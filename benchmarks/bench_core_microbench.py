@@ -1,0 +1,94 @@
+"""Micro-benchmarks of the profiling core itself.
+
+The paper reports profiling *overhead* (ATOM full value profiling slows
+programs by an order of magnitude).  These benchmarks track the cost of
+the same primitive operations in this implementation: recording into a
+TNV table, recording into a full profile, simulating with and without
+instrumentation, and sampled recording.
+"""
+
+import random
+
+from repro.core.metrics import ValueStreamStats
+from repro.core.profile import ProfileDatabase
+from repro.core.sampling import ConvergentSampling, SamplingProfiler
+from repro.core.sites import load_site
+from repro.core.tnv import TNVTable
+from repro.isa.instrument import ProfileTarget, ValueProfiler
+from repro.isa.machine import Machine
+from repro.workloads.registry import get_workload
+
+_RNG = random.Random(20_250_705)
+_VALUES = [_RNG.randrange(64) for _ in range(10_000)]
+_SITE = load_site("bench", "main", 0)
+
+
+def test_tnv_record_throughput(benchmark):
+    def record_all():
+        table = TNVTable()
+        record = table.record
+        for value in _VALUES:
+            record(value)
+        return table
+
+    table = benchmark(record_all)
+    assert table.total == len(_VALUES)
+
+
+def test_exact_stats_record_throughput(benchmark):
+    def record_all():
+        stats = ValueStreamStats()
+        stats.record_many(_VALUES)
+        return stats
+
+    stats = benchmark(record_all)
+    assert stats.total == len(_VALUES)
+
+
+def test_profile_database_record_throughput(benchmark):
+    def record_all():
+        db = ProfileDatabase()
+        for value in _VALUES:
+            db.record(_SITE, value)
+        return db
+
+    db = benchmark(record_all)
+    assert db.total_executions() == len(_VALUES)
+
+
+def test_sampled_record_throughput(benchmark):
+    def record_all():
+        profiler = SamplingProfiler(ConvergentSampling(burst=100, base_skip=900))
+        for value in _VALUES:
+            profiler.record(_SITE, value)
+        return profiler
+
+    profiler = benchmark(record_all)
+    assert profiler.seen() == len(_VALUES)
+
+
+def _run_go(observer=None):
+    workload = get_workload("go")
+    dataset = workload.dataset("train", scale=0.1)
+    machine = Machine(workload.program(), observer=observer)
+    machine.set_input(dataset.values)
+    return machine.run()
+
+
+def test_simulator_uninstrumented(benchmark):
+    result = benchmark(_run_go)
+    assert result.halted
+
+
+def test_simulator_with_value_profiling(benchmark):
+    workload = get_workload("go")
+
+    def run():
+        db = ProfileDatabase()
+        observer = ValueProfiler(
+            workload.program(), db, targets=(ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS)
+        )
+        return _run_go(observer)
+
+    result = benchmark(run)
+    assert result.halted

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper artifact ``fig-convergence``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_fig_convergence(benchmark):
+    result = run_experiment(benchmark, "fig-convergence")
+    assert result.data["mean_converged_fraction"] < 0.6

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper artifact ``fig-invariance-distribution``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_fig_invariance_distribution(benchmark):
+    result = run_experiment(benchmark, "fig-invariance-distribution")
+    shares = [bucket["share"] for bucket in result.data["all"]]
+    assert abs(sum(shares) - 1.0) < 1e-6
+    assert shares[0] + shares[-1] > shares[4] + shares[5]

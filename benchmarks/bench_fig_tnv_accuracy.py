@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the paper artifact ``fig-tnv-accuracy``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_fig_tnv_accuracy(benchmark):
+    result = run_experiment(benchmark, "fig-tnv-accuracy")
+    phased = result.data["phased"]
+    lfu = phased["LFU (no clearing)"]["inv_error"]
+    best = min(e["inv_error"] for label, e in phased.items() if label != "LFU (no clearing)")
+    assert best < lfu

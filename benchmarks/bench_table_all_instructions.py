@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper artifact ``table-all-instructions``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_all_instructions(benchmark):
+    result = run_experiment(benchmark, "table-all-instructions")
+    average = result.data["average"]
+    assert average["Inv-Top1"] > 15.0
+    assert average["%Zeros"] > 1.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the paper artifact ``table-basic-blocks``.
+
+Thesis Table IV.1: the basic-block quantile table (hot-block skew).
+"""
+
+from helpers import run_experiment
+
+
+def test_table_basic_blocks(benchmark):
+    result = run_experiment(benchmark, "table-basic-blocks")
+    assert result.data["mean_top_10pct"] > 0.3

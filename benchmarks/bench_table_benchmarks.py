@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper artifact ``table-benchmarks``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_benchmarks(benchmark):
+    result = run_experiment(benchmark, "table-benchmarks")
+    data = result.data
+    assert len(data) == 8
+    for entry in data.values():
+        # train input is the larger run, as in Table III.A.1
+        assert entry["train"]["instructions"] > 0
+        assert entry["test"]["instructions"] > 0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the extension artifact ``table-calling-context``.
+
+See DESIGN.md's experiment index and EXPERIMENTS.md's extension
+section for what this measures.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_calling_context(benchmark):
+    result = run_experiment(benchmark, "table-calling-context")
+    assert result.data["min_gain"] >= -1e-9
+    assert result.data["ijpeg"]["gain"] > 0.1

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper artifact ``table-insn-classes``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_insn_classes(benchmark):
+    result = run_experiment(benchmark, "table-insn-classes")
+    data = result.data
+    assert data["compare"]["Inv-Top1"] > data["muldiv"]["Inv-Top1"]
+    assert data["move"]["Inv-Top1"] > data["muldiv"]["Inv-Top1"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the extension artifact ``table-isa-specialization``.
+
+The thesis' Chapter X at the machine-code level: calling-context value
+profiles drive per-call-site binary specialization with a guard.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_isa_specialization(benchmark):
+    result = run_experiment(benchmark, "table-isa-specialization")
+    assert result.data["all_outputs_identical"]
+    assert result.data["ijpeg"]["reduction"] > 0

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the extension artifact ``table-load-speculation``.
+
+See DESIGN.md's experiment index and EXPERIMENTS.md's extension
+section for what this measures.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_load_speculation(benchmark):
+    result = run_experiment(benchmark, "table-load-speculation")
+    average = result.data["average"]
+    assert average["filtered"]["net_per_1k"] > average["all"]["net_per_1k"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the paper artifact ``table-load-values``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_load_values(benchmark):
+    result = run_experiment(benchmark, "table-load-values")
+    average = result.data["average"]
+    # Paper shape: load values show substantial invariance.
+    assert average["Inv-All"] > 30.0
+    assert average["Inv-Top1"] > 10.0

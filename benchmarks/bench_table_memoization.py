@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the extension artifact ``table-memoization``.
+
+See DESIGN.md's experiment index and EXPERIMENTS.md's extension
+section for what this measures.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_memoization(benchmark):
+    result = run_experiment(benchmark, "table-memoization")
+    assert result.data["zipf-args"]["enabled"]
+    assert not result.data["unique-args"]["enabled"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper artifact ``table-memory-locations``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_memory_locations(benchmark):
+    result = run_experiment(benchmark, "table-memory-locations")
+    average = result.data["average"]
+    assert average["Inv-Top1"] > 10.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper artifact ``table-parameters``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_parameters(benchmark):
+    result = run_experiment(benchmark, "table-parameters")
+    shares = [e["semi_invariant_share"] for e in result.data.values()
+              if isinstance(e, dict) and "semi_invariant_share" in e]
+    assert max(shares) > 0.2

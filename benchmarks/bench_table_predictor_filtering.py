@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper artifact ``table-predictor-filtering``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_predictor_filtering(benchmark):
+    result = run_experiment(benchmark, "table-predictor-filtering")
+    averages = result.data["average"]
+    assert averages["filtered"] > averages["unfiltered"]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper artifact ``table-predictors``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_predictors(benchmark):
+    result = run_experiment(benchmark, "table-predictors")
+    averages = result.data["average"]
+    assert averages["stride"] > averages["lvp"]
+    assert averages["hybrid(stride+2level)"] >= averages["2level"] - 0.02

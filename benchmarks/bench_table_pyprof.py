@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper artifact ``table-pyprof``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_pyprof(benchmark):
+    result = run_experiment(benchmark, "table-pyprof")
+    entry = result.data["perl.reference.ast"]
+    assert entry["sites"] >= 5

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper artifact ``table-sampling-accuracy``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_sampling_accuracy(benchmark):
+    result = run_experiment(benchmark, "table-sampling-accuracy")
+    average = result.data["average"]
+    assert average["periodic 1%"]["overhead"] < average["periodic 10%"]["overhead"]
+    assert average["convergent"]["inv_error"] < 0.2

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the paper artifact ``table-specialization``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_specialization(benchmark):
+    result = run_experiment(benchmark, "table-specialization")
+    filt = result.data["filter_signal"]
+    assert filt["bindings"]
+    assert filt["speedup_direct"] > 0.95

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the paper artifact ``table-top-procedures``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_top_procedures(benchmark):
+    result = run_experiment(benchmark, "table-top-procedures")
+    for rows in result.data.values():
+        assert rows[0]["share"] >= rows[-1]["share"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the paper artifact ``table-train-vs-test``.
+
+See DESIGN.md's experiment index for the paper table/figure this
+corresponds to and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_train_vs_test(benchmark):
+    result = run_experiment(benchmark, "table-train-vs-test")
+    assert result.data["mean_correlation"] > 0.85

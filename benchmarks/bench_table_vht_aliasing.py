@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the extension artifact ``table-vht-aliasing``.
+
+Gabbay's table-utilization claim measured in a finite, tagged value
+history table: profile filtering vs aliasing pressure.
+"""
+
+from helpers import run_experiment
+
+
+def test_table_vht_aliasing(benchmark):
+    result = run_experiment(benchmark, "table-vht-aliasing")
+    assert result.data["mean_gain_small_table"] > result.data["mean_gain_large_table"]

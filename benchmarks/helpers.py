@@ -1,0 +1,45 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_<experiment>.py`` regenerates one table or figure of the
+paper via the experiment registry, times it with pytest-benchmark, and
+writes the rendered artifact to ``benchmarks/results/<id>.txt`` so a
+full benchmark run leaves the complete set of reproduced tables and
+figures on disk.
+
+``BENCH_SCALE`` shrinks workload inputs; the shapes asserted here are
+scale-robust.  Caches are cleared before every measured run so each
+experiment pays its own profiling cost.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.analysis import experiments
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_experiment(benchmark, experiment_id: str, scale: float = BENCH_SCALE):
+    """Time one experiment end to end and persist its artifact."""
+
+    def setup():
+        experiments.clear_caches()
+        return (), {}
+
+    result = benchmark.pedantic(
+        lambda: experiments.run(experiment_id, scale=scale),
+        setup=setup,
+        rounds=1,
+        iterations=1,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artifact = RESULTS_DIR / f"{experiment_id}.txt"
+    artifact.write_text(f"== {result.title} ==\n{result.text}\n")
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["scale"] = scale
+    assert result.text.strip(), f"{experiment_id} produced no output"
+    return result

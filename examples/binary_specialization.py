@@ -1,0 +1,84 @@
+"""Profile-driven binary specialization of VPA machine code.
+
+The thesis' Chapter X end to end, at the instruction level:
+
+1. run ``ijpeg`` with a *calling-context* parameter profile,
+2. discover that ``dct1d``'s stride arguments are fully invariant per
+   call site (stride 1 from the row pass, stride 8 from the column
+   pass) even though the merged profile calls them 50/50 variant,
+3. generate one guarded, constant-folded, strength-reduced variant per
+   call site,
+4. patch the call sites (one word each) and re-run: bit-identical
+   output, fewer cycles.
+
+Run with::
+
+    python examples/binary_specialization.py
+"""
+
+from repro.core import ProfileDatabase, SiteKind
+from repro.isa import Machine, ProfileTarget, ValueProfiler, run_program
+from repro.isa.instructions import REG_ARGS
+from repro.isa.optimize import patch_call_site, specialize_procedure
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("ijpeg")
+    dataset = workload.dataset("train", scale=0.5)
+    program = workload.program()
+
+    baseline = run_program(program, input_values=dataset.values)
+    print(f"baseline: {baseline.instructions_executed:,} instructions, "
+          f"{baseline.cycles:,} cycles\n")
+
+    # --- 1./2. calling-context parameter profile -----------------------
+    context_db = ProfileDatabase(name="ijpeg.context")
+    observer = ValueProfiler(
+        program, context_db, targets=(ProfileTarget.PARAMETERS,), parameter_context=True
+    )
+    machine = Machine(program, observer=observer)
+    machine.set_input(dataset.values)
+    machine.run()
+
+    print("dct1d stride arguments, per calling site:")
+    bindings_by_site = {}
+    for site, metrics in context_db.metrics_by_site(SiteKind.PARAMETER):
+        if site.procedure != "dct1d":
+            continue
+        arg_label, _, call_pc = site.label.partition("@")
+        arg_index = int(arg_label.replace("arg", ""))
+        if arg_index < 2:  # src/dst pointers vary per block; strides don't
+            continue
+        top = context_db.profile_for(site).tnv.top_value()
+        print(
+            f"  call@{call_pc} {arg_label}: Inv-Top1={100 * metrics.inv_top1:5.1f}% "
+            f"top value {top}"
+        )
+        if metrics.inv_top1 == 1.0:
+            bindings_by_site.setdefault(int(call_pc), {})[REG_ARGS[arg_index]] = top
+
+    # --- 3./4. specialize per call site and patch -----------------------
+    specialized = program
+    for call_pc, bindings in sorted(bindings_by_site.items()):
+        variant = f"dct1d__site{call_pc}"
+        specialized, report = specialize_procedure(specialized, "dct1d", bindings, variant)
+        patch_call_site(specialized, call_pc, variant)
+        print(
+            f"\n{variant}: bound {bindings}, "
+            f"{report.folds} folds, {report.strength_reductions} strength reductions "
+            f"(static gain {report.cycle_gain} cycles/execution of rewritten code)"
+        )
+
+    result = run_program(specialized, input_values=dataset.values)
+    assert list(result.output) == list(dataset.expected_output), "output diverged!"
+    saved = baseline.cycles - result.cycles
+    print(
+        f"\nspecialized: {result.cycles:,} cycles "
+        f"({saved:,} saved, {100 * saved / baseline.cycles:.2f}%), "
+        "output bit-identical"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: value-profile one benchmark and read the results.
+
+Runs the ``compress`` workload (an LZW compressor on the VPA simulator)
+under the value profiler and prints the paper's per-site metrics —
+LVP, Inv-Top1, Inv-All, Diff and %Zeros — plus the contents of the
+hottest load's TNV table.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import SiteKind
+from repro.workloads import profile_workload
+
+
+def main() -> None:
+    # One call: assemble the workload, generate its deterministic train
+    # input, execute it under instrumentation, verify the output against
+    # the pure-Python reference, and return the profile database.
+    run = profile_workload("compress", variant="train", scale=0.5)
+
+    print(f"program: {run.name}")
+    print(f"instructions executed: {run.result.instructions_executed:,}")
+    print(f"dynamic loads: {run.result.dynamic_loads:,}")
+    print()
+
+    # Per-site metrics for every static load, hottest first.
+    print(f"{'load site':28s} {'execs':>8s} {'LVP%':>6s} {'Inv1%':>6s} {'InvAll%':>8s} {'Diff':>6s}")
+    for site, metrics in run.database.metrics_by_site(SiteKind.LOAD):
+        print(
+            f"{site.qualified_name():28s} {metrics.executions:>8d} "
+            f"{100 * metrics.lvp:>6.1f} {100 * metrics.inv_top1:>6.1f} "
+            f"{100 * metrics.inv_top_n:>8.1f} {metrics.distinct:>6d}"
+        )
+
+    summary = run.database.summary(SiteKind.LOAD)
+    print(
+        f"\nweighted average: LVP {100 * summary.lvp:.1f}%  "
+        f"Inv-Top1 {100 * summary.inv_top1:.1f}%  Inv-All {100 * summary.inv_top_n:.1f}%"
+    )
+
+    # Inspect the hottest site's TNV table — the paper's core structure.
+    hottest, _ = run.database.metrics_by_site(SiteKind.LOAD)[0]
+    table = run.database.profile_for(hottest).tnv
+    print(f"\nTNV table of {hottest.qualified_name()} (top 5 of {len(table)} resident):")
+    for entry in table.top(5):
+        share = entry.count / table.total
+        print(f"  value {entry.value!r:>8}  count {entry.count:>6d}  ({100 * share:.1f}% of executions)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Value Profiling — reproduction of Calder, Feller & Eustace (MICRO-30, 1997).
+
+Public API tour:
+
+* :mod:`repro.core` — TNV tables, metrics (LVP, Inv-Top, Diff, %Zeros),
+  profile databases, convergence detection, sampling policies.
+* :mod:`repro.isa` — the VPA RISC substrate: assembler, interpreter,
+  ATOM-style instrumentation.
+* :mod:`repro.workloads` — eight SPEC95-analogue benchmark programs
+  with train/test inputs and self-checking references.
+* :mod:`repro.pyprof` — value profiling of Python code (call hook, AST
+  instrumentation, memory-location wrappers).
+* :mod:`repro.predictors` — LVP/stride/2-level/hybrid value predictors
+  and profile-guided filtering.
+* :mod:`repro.specialize` — profile-guided code specialization with
+  guarded dispatch and an adaptive (self-specializing) wrapper.
+* :mod:`repro.analysis` — the experiment registry regenerating every
+  table and figure (see DESIGN.md / EXPERIMENTS.md).
+
+Quickstart::
+
+    from repro.workloads import profile_workload
+    from repro.core import SiteKind
+
+    run = profile_workload("compress", "train")
+    print(run.database.summary(SiteKind.LOAD))
+"""
+
+from repro.core import (
+    ConvergenceDetector,
+    ConvergentSampling,
+    FullSampling,
+    PeriodicSampling,
+    ProfileDatabase,
+    SamplingProfiler,
+    Site,
+    SiteKind,
+    SiteMetrics,
+    TNVConfig,
+    TNVTable,
+    ValueStreamStats,
+)
+from repro.errors import (
+    AssemblerError,
+    ExperimentError,
+    MachineError,
+    ProfileError,
+    ReproError,
+    SpecializationError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssemblerError",
+    "ConvergenceDetector",
+    "ConvergentSampling",
+    "ExperimentError",
+    "FullSampling",
+    "MachineError",
+    "PeriodicSampling",
+    "ProfileDatabase",
+    "ProfileError",
+    "ReproError",
+    "SamplingProfiler",
+    "Site",
+    "SiteKind",
+    "SiteMetrics",
+    "SpecializationError",
+    "TNVConfig",
+    "TNVTable",
+    "ValueStreamStats",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,4 @@
+from repro.cli import main
+import sys
+
+sys.exit(main())

@@ -1,0 +1,39 @@
+"""Analysis layer: experiment registry, quantile analysis, rendering."""
+
+from repro.analysis.experiments import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    clear_caches,
+    experiment_ids,
+    run,
+)
+from repro.analysis.diff import ProfileDiff, SiteDelta, diff_profiles
+from repro.analysis.figures import bar_chart, series_plot
+from repro.analysis.report import ValueProfileReport, build_report
+from repro.analysis.quantile import Bucket, cumulative_share, invariance_buckets, top_weighted
+from repro.analysis.tables import METRICS_COLUMNS, Table, metrics_row, percentage
+
+__all__ = [
+    "Bucket",
+    "Experiment",
+    "ProfileDiff",
+    "SiteDelta",
+    "ExperimentResult",
+    "METRICS_COLUMNS",
+    "Table",
+    "ValueProfileReport",
+    "build_report",
+    "all_experiments",
+    "bar_chart",
+    "clear_caches",
+    "cumulative_share",
+    "diff_profiles",
+    "experiment_ids",
+    "invariance_buckets",
+    "metrics_row",
+    "percentage",
+    "run",
+    "series_plot",
+    "top_weighted",
+]

@@ -1,0 +1,173 @@
+"""Profile diffing: compare two value-profile databases.
+
+The thesis' cross-input argument (Table V.5) is an instance of a more
+general operation any deployed value profiler needs: *diff two
+profiles* — train vs test, yesterday's build vs today's — and report
+which sites kept their behaviour, which drifted, and how strongly the
+profiles agree overall.  The specializer uses the same question to
+decide whether stale profiles are still safe to act on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.metrics import SiteMetrics, weighted_mean
+from repro.core.profile import ProfileDatabase
+from repro.core.sites import Site, SiteKind
+
+
+@dataclass(frozen=True)
+class SiteDelta:
+    """One site's change between two profiles."""
+
+    site: Site
+    executions_a: int
+    executions_b: int
+    inv_top1_a: float
+    inv_top1_b: float
+    lvp_a: float
+    lvp_b: float
+    top_value_a: object
+    top_value_b: object
+
+    @property
+    def inv_delta(self) -> float:
+        return self.inv_top1_b - self.inv_top1_a
+
+    @property
+    def top_value_changed(self) -> bool:
+        return self.top_value_a != self.top_value_b
+
+
+@dataclass
+class ProfileDiff:
+    """Result of :func:`diff_profiles`."""
+
+    name_a: str
+    name_b: str
+    common: List[SiteDelta] = field(default_factory=list)
+    only_in_a: List[Site] = field(default_factory=list)
+    only_in_b: List[Site] = field(default_factory=list)
+    drift_threshold: float = 0.1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def drifted(self) -> List[SiteDelta]:
+        """Common sites whose invariance moved beyond the threshold or
+        whose dominant value changed."""
+        return [
+            delta
+            for delta in self.common
+            if abs(delta.inv_delta) > self.drift_threshold or delta.top_value_changed
+        ]
+
+    @property
+    def stable_fraction(self) -> float:
+        """Execution-weighted share of common sites that did not drift."""
+        if not self.common:
+            return 1.0
+        drifted = {id(d) for d in self.drifted}
+        pairs = [
+            (0.0 if id(d) in drifted else 1.0, d.executions_a) for d in self.common
+        ]
+        return weighted_mean(pairs)
+
+    def invariance_correlation(self) -> float:
+        """Pearson correlation of per-site Inv-Top1 across the profiles."""
+        xs = [d.inv_top1_a for d in self.common]
+        ys = [d.inv_top1_b for d in self.common]
+        n = len(xs)
+        if n < 2:
+            return 1.0
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        var_y = sum((y - mean_y) ** 2 for y in ys)
+        if var_x == 0 or var_y == 0:
+            return 1.0 if var_x == var_y else 0.0
+        return cov / math.sqrt(var_x * var_y)
+
+    def mean_abs_inv_delta(self) -> float:
+        """Execution-weighted mean |ΔInv-Top1| over common sites."""
+        return weighted_mean(
+            (abs(d.inv_delta), d.executions_a) for d in self.common
+        )
+
+    def render(self, top: int = 10) -> str:
+        """Readable summary, drifted sites first."""
+        lines = [
+            f"profile diff: {self.name_a or 'A'}  vs  {self.name_b or 'B'}",
+            f"  common sites:   {len(self.common)}",
+            f"  only in A:      {len(self.only_in_a)}",
+            f"  only in B:      {len(self.only_in_b)}",
+            f"  correlation:    {self.invariance_correlation():.3f}",
+            f"  mean |dInv|:    {self.mean_abs_inv_delta():.4f}",
+            f"  stable share:   {100 * self.stable_fraction:.1f}% "
+            f"(drift threshold {self.drift_threshold})",
+        ]
+        drifted = sorted(self.drifted, key=lambda d: -abs(d.inv_delta))
+        if drifted:
+            lines.append(f"  drifted sites ({len(drifted)}), worst first:")
+            for delta in drifted[:top]:
+                marker = " top-value changed" if delta.top_value_changed else ""
+                lines.append(
+                    f"    {delta.site.qualified_name():40s} "
+                    f"Inv {delta.inv_top1_a:.2f} -> {delta.inv_top1_b:.2f}{marker}"
+                )
+        else:
+            lines.append("  no drifted sites")
+        return "\n".join(lines)
+
+
+def diff_profiles(
+    a: ProfileDatabase,
+    b: ProfileDatabase,
+    kind: Optional[SiteKind] = None,
+    min_executions: int = 1,
+    drift_threshold: float = 0.1,
+) -> ProfileDiff:
+    """Compare two profile databases site by site.
+
+    Args:
+        a, b: the profiles to compare (e.g. train and test runs).
+        kind: restrict to one site kind.
+        min_executions: ignore sites colder than this in *both* runs.
+        drift_threshold: |ΔInv-Top1| beyond which a site counts as
+            drifted (dominant-value changes always count).
+    """
+    metrics_a = dict(a.metrics_by_site(kind))
+    metrics_b = dict(b.metrics_by_site(kind))
+    diff = ProfileDiff(name_a=a.name, name_b=b.name, drift_threshold=drift_threshold)
+    for site, ma in metrics_a.items():
+        mb = metrics_b.get(site)
+        if mb is None:
+            if ma.executions >= min_executions:
+                diff.only_in_a.append(site)
+            continue
+        if ma.executions < min_executions and mb.executions < min_executions:
+            continue
+        diff.common.append(
+            SiteDelta(
+                site=site,
+                executions_a=ma.executions,
+                executions_b=mb.executions,
+                inv_top1_a=ma.inv_top1,
+                inv_top1_b=mb.inv_top1,
+                lvp_a=ma.lvp,
+                lvp_b=mb.lvp,
+                top_value_a=a.profile_for(site).tnv.top_value(),
+                top_value_b=b.profile_for(site).tnv.top_value(),
+            )
+        )
+    for site, mb in metrics_b.items():
+        if site not in metrics_a and mb.executions >= min_executions:
+            diff.only_in_b.append(site)
+    diff.common.sort(key=lambda d: -d.executions_a)
+    diff.only_in_a.sort()
+    diff.only_in_b.sort()
+    return diff

@@ -1,0 +1,155 @@
+"""Experiment registry: every table and figure of the paper.
+
+Each experiment is a named, self-describing runner that regenerates
+one artifact of the evaluation (see DESIGN.md's experiment index).
+Runners return an :class:`ExperimentResult` whose ``text`` is the
+rendered table/figure and whose ``data`` carries the raw numbers for
+tests and for EXPERIMENTS.md.
+
+Usage::
+
+    from repro.analysis import experiments
+    result = experiments.run("table-load-values", scale=0.5)
+    print(result.text)
+
+``scale`` shrinks workload inputs proportionally; 1.0 is the default
+experiment size used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.profile import TNVConfig
+from repro.errors import ExperimentError
+from repro.isa.instrument import ProfileTarget
+from repro.workloads.harness import ProfiledRun, profile_workload, trace_workload
+from repro.workloads.registry import workload_names
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment: str
+    title: str
+    text: str
+    data: dict
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    id: str
+    title: str
+    paper_artifact: str
+    claim: str
+    runner: Callable[[float], ExperimentResult] = field(compare=False)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def experiment(id: str, title: str, paper_artifact: str, claim: str):
+    """Decorator registering ``runner(scale) -> ExperimentResult``."""
+
+    def decorate(runner: Callable[[float], ExperimentResult]) -> Callable:
+        if id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {id!r}")
+        _REGISTRY[id] = Experiment(id, title, paper_artifact, claim, runner)
+        return runner
+
+    return decorate
+
+
+def make_result(id: str, text: str, data: dict) -> ExperimentResult:
+    return ExperimentResult(id, _REGISTRY[id].title, text, data)
+
+
+def run(id: str, scale: float = 1.0) -> ExperimentResult:
+    """Run one experiment by id."""
+    _ensure_loaded()
+    exp = _REGISTRY.get(id)
+    if exp is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(f"unknown experiment {id!r} (known: {known})")
+    return exp.runner(scale)
+
+
+def all_experiments() -> List[Experiment]:
+    _ensure_loaded()
+    return [_REGISTRY[eid] for eid in sorted(_REGISTRY)]
+
+
+def experiment_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    if _REGISTRY:
+        return
+    from repro.analysis import (  # noqa: F401  (registration side effect)
+        exp_extensions,
+        exp_predictors,
+        exp_profiles,
+        exp_sampling,
+        exp_specialize,
+    )
+
+
+# ----------------------------------------------------------------------
+# shared profiled-run cache (experiments in one process share runs)
+# ----------------------------------------------------------------------
+
+_RUN_CACHE: Dict[Tuple, ProfiledRun] = {}
+_TRACE_CACHE: Dict[Tuple, dict] = {}
+
+
+def profiled(
+    name: str,
+    variant: str = "train",
+    scale: float = 1.0,
+    targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS),
+    config: Optional[TNVConfig] = None,
+) -> ProfiledRun:
+    """Cached :func:`profile_workload` (same-process memoization)."""
+    target_key = tuple(sorted(t.value for t in targets))
+    config_key = (
+        (config.capacity, config.steady, config.clear_interval) if config else None
+    )
+    key = (name, variant, scale, target_key, config_key)
+    cached = _RUN_CACHE.get(key)
+    if cached is None:
+        cached = profile_workload(name, variant, scale=scale, targets=targets, config=config)
+        _RUN_CACHE[key] = cached
+    return cached
+
+
+def traced(
+    name: str,
+    variant: str = "train",
+    scale: float = 1.0,
+    targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
+) -> dict:
+    """Cached :func:`trace_workload`."""
+    target_key = tuple(sorted(t.value for t in targets))
+    key = (name, variant, scale, target_key)
+    cached = _TRACE_CACHE.get(key)
+    if cached is None:
+        cached = trace_workload(name, variant, scale=scale, targets=targets)
+        _TRACE_CACHE[key] = cached
+    return cached
+
+
+def clear_caches() -> None:
+    """Drop memoized runs (tests use this to control memory)."""
+    _RUN_CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+def programs() -> List[str]:
+    """The benchmark programs, in report order."""
+    return workload_names()

@@ -1,0 +1,77 @@
+"""Plain-text figures: bar charts and line series.
+
+The paper's figures are bar graphs (invariance distributions per
+program) and line plots (convergence over time).  These render as
+monospace art so benchmark output is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "%",
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bar chart; values rendered to ``width`` characters."""
+    if not data:
+        return title
+    peak = max_value if max_value is not None else max(data.values()) or 1.0
+    label_width = max(len(label) for label in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        filled = 0 if peak == 0 else int(round(width * min(value, peak) / peak))
+        lines.append(f"{label.ljust(label_width)} |{'#' * filled}{' ' * (width - filled)}| {value:6.1f}{unit}")
+    return "\n".join(lines)
+
+
+def series_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """ASCII scatter/line plot of one or more (x, y) series.
+
+    Each series gets a distinct marker; axes are annotated with the
+    data ranges.  Intended for convergence curves and sweep results.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return title
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        y_max = y_min + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in values:
+            col = int(round((width - 1) * (x - x_min) / (x_max - x_min)))
+            row = int(round((height - 1) * (y - y_min) / (y_max - y_min)))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{y_label}: {y_min:.3f} .. {y_max:.3f}")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label}: {x_min:g} .. {x_max:g}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

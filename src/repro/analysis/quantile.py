@@ -1,0 +1,100 @@
+"""Invariance-bucket (quantile) analysis — thesis §III.D.
+
+The thesis presents invariance results as *quantile graphs*: sites are
+bucketed by their invariance (0-10%, 10-20%, ..., 90-100%) and each
+bucket's share of total dynamic executions is plotted.  The
+characteristic paper result is a bimodal shape — a large mass of
+executions in the lowest bucket and another large mass in the highest —
+showing that semi-invariant behaviour is common, not an average effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.metrics import SiteMetrics
+
+DEFAULT_BUCKETS = 10
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One invariance bucket's aggregate."""
+
+    low: float
+    high: float
+    sites: int
+    executions: int
+    share: float
+
+    @property
+    def label(self) -> str:
+        return f"{int(self.low * 100)}-{int(self.high * 100)}%"
+
+
+def invariance_buckets(
+    rows: Sequence[SiteMetrics],
+    buckets: int = DEFAULT_BUCKETS,
+    key: Callable[[SiteMetrics], float] = lambda m: m.inv_top1,
+) -> List[Bucket]:
+    """Bucket sites by invariance; share is execution-weighted.
+
+    ``key`` selects the bucketed metric (Inv-Top1 by default; pass
+    ``lambda m: m.lvp`` for an LVP distribution).
+    """
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    counts = [0] * buckets
+    weights = [0] * buckets
+    total = 0
+    for metrics in rows:
+        value = min(max(key(metrics), 0.0), 1.0)
+        index = min(buckets - 1, int(value * buckets))
+        counts[index] += 1
+        weights[index] += metrics.executions
+        total += metrics.executions
+    result = []
+    for index in range(buckets):
+        low = index / buckets
+        high = (index + 1) / buckets
+        share = weights[index] / total if total else 0.0
+        result.append(Bucket(low, high, counts[index], weights[index], share))
+    return result
+
+
+def top_weighted(
+    rows: Sequence[Tuple[str, SiteMetrics]],
+    count: int = 10,
+) -> List[Tuple[str, SiteMetrics, float]]:
+    """The ``count`` heaviest entries with their execution share.
+
+    Used for the "top procedures" table (Table V.4): a handful of
+    procedures carry most of the dynamic loads.
+    """
+    total = sum(metrics.executions for _, metrics in rows)
+    ranked = sorted(rows, key=lambda item: (-item[1].executions, item[0]))
+    result = []
+    for name, metrics in ranked[:count]:
+        share = metrics.executions / total if total else 0.0
+        result.append((name, metrics, share))
+    return result
+
+
+def cumulative_share(rows: Sequence[SiteMetrics]) -> List[float]:
+    """Cumulative execution share of sites, hottest first.
+
+    ``cumulative_share(rows)[k]`` is the fraction of dynamic executions
+    covered by the k+1 hottest sites — the paper's skew argument for
+    profiling only hot code.
+    """
+    weights = sorted((m.executions for m in rows), reverse=True)
+    total = sum(weights)
+    if total == 0:
+        return []
+    shares = []
+    running = 0
+    for weight in weights:
+        running += weight
+        shares.append(running / total)
+    return shares

@@ -1,0 +1,103 @@
+"""Plain-text table rendering for experiment output.
+
+All experiments print their results as monospace tables shaped like
+the paper's, so paper-vs-measured comparison is a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 1) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A titled, aligned, plain-text table.
+
+    Numeric columns are right-aligned automatically; floats are
+    rendered with a fixed precision.
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "", precision: int = 1) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.precision = precision
+        self.rows: List[List[str]] = []
+        self._numeric = [True] * len(self.columns)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        rendered = []
+        for index, cell in enumerate(cells):
+            if isinstance(cell, str):
+                self._numeric[index] = False
+            rendered.append(format_cell(cell, self.precision))
+        self.rows.append(rendered)
+
+    def add_separator(self) -> None:
+        self.rows.append([])
+
+    def render(self) -> str:
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Iterable[str], aligns: Sequence[bool]) -> str:
+            parts = []
+            for cell, width, right in zip(cells, widths, aligns):
+                parts.append(cell.rjust(width) if right else cell.ljust(width))
+            return "  ".join(parts).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.columns, [False] * len(self.columns)))
+        out.append(rule)
+        for row in self.rows:
+            if not row:
+                out.append(rule)
+            else:
+                out.append(line(row, self._numeric))
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def percentage(ratio: float) -> float:
+    """Ratio in [0,1] -> percentage for table cells."""
+    return 100.0 * ratio
+
+
+def metrics_row(name: str, metrics, precision_executions_in_millions: bool = True) -> tuple:
+    """Standard (program, execs, LVP, Inv-Top1, Inv-All, Diff, %Zeros) row.
+
+    ``metrics`` is a :class:`repro.core.metrics.SiteMetrics`.
+    Executions are reported in millions when large, like Table III.A.1.
+    """
+    executions: Cell = metrics.executions
+    if precision_executions_in_millions and metrics.executions >= 1_000_000:
+        executions = f"{metrics.executions / 1e6:.1f}M"
+    return (
+        name,
+        executions,
+        percentage(metrics.lvp),
+        percentage(metrics.inv_top1),
+        percentage(metrics.inv_top_n),
+        metrics.distinct,
+        percentage(metrics.pct_zeros),
+    )
+
+
+METRICS_COLUMNS = ("program", "execs", "LVP%", "Inv-Top1%", "Inv-All%", "Diff", "%Zeros")

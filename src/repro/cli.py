@@ -1,0 +1,178 @@
+"""Command-line interface: ``value-profiling`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show all experiments with their paper artifacts.
+* ``run <experiment-id> [--scale S]`` — run one experiment and print
+  its table/figure.
+* ``all [--scale S]`` — run every experiment in order.
+* ``profile <workload> [--variant V] [--scale S]`` — ad-hoc profile of
+  one workload, printing per-site metrics.
+* ``workloads`` — list the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import experiments
+from repro.analysis.tables import METRICS_COLUMNS, Table, metrics_row
+from repro.core.sites import SiteKind
+from repro.errors import ReproError
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    table = Table(("id", "paper artifact", "title"))
+    for exp in experiments.all_experiments():
+        table.add_row(exp.id, exp.paper_artifact, exp.title)
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = experiments.run(args.experiment, scale=args.scale)
+    print(f"== {result.title} ({result.experiment}) ==")
+    print(result.text)
+    if args.json:
+        import json
+
+        payload = {
+            "experiment": result.experiment,
+            "title": result.title,
+            "scale": args.scale,
+            "data": result.data,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"(data written to {args.json})")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    for exp in experiments.all_experiments():
+        result = exp.runner(args.scale)
+        print(f"\n== {result.title} ({result.experiment}) ==")
+        print(result.text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.workloads import profile_workload
+
+    run = profile_workload(args.workload, args.variant, scale=args.scale)
+    kind = SiteKind(args.kind) if args.kind else SiteKind.LOAD
+    table = Table(METRICS_COLUMNS, title=f"{run.name}: per-site {kind.value} metrics")
+    for site, metrics in run.database.metrics_by_site(kind)[: args.top]:
+        table.add_row(*metrics_row(site.qualified_name(), metrics))
+    table.add_separator()
+    table.add_row(*metrics_row("TOTAL", run.database.summary(kind)))
+    print(table.render())
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.diff import diff_profiles
+    from repro.workloads import profile_workload
+
+    kind = SiteKind(args.kind)
+    a = profile_workload(args.workload, "train", scale=args.scale)
+    b = profile_workload(args.workload, "test", scale=args.scale)
+    diff = diff_profiles(
+        a.database,
+        b.database,
+        kind=kind,
+        min_executions=args.min_executions,
+        drift_threshold=args.threshold,
+    )
+    print(diff.render(top=args.top))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+    from repro.workloads import profile_workload
+
+    kind = SiteKind(args.kind)
+    run = profile_workload(args.workload, args.variant, scale=args.scale)
+    report = build_report(run.database, kind=kind)
+    print(report.render())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import all_workloads
+
+    table = Table(("name", "SPEC analogue", "description"))
+    for workload in all_workloads():
+        table.add_row(workload.name, workload.spec_analogue, workload.description)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="value-profiling",
+        description="Value Profiling (MICRO'97) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--scale", type=float, default=1.0)
+    run_parser.add_argument("--json", help="also write the raw data to this JSON file")
+    run_parser.set_defaults(func=_cmd_run)
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--scale", type=float, default=1.0)
+    all_parser.set_defaults(func=_cmd_all)
+
+    profile_parser = sub.add_parser("profile", help="profile one workload")
+    profile_parser.add_argument("workload")
+    profile_parser.add_argument("--variant", default="train", choices=("train", "test"))
+    profile_parser.add_argument("--scale", type=float, default=1.0)
+    profile_parser.add_argument("--kind", default="load", help="site kind (load, instruction, ...)")
+    profile_parser.add_argument("--top", type=int, default=20)
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    diff_parser = sub.add_parser(
+        "diff", help="diff a workload's train profile against its test profile"
+    )
+    diff_parser.add_argument("workload")
+    diff_parser.add_argument("--kind", default="load")
+    diff_parser.add_argument("--scale", type=float, default=1.0)
+    diff_parser.add_argument("--min-executions", type=int, default=10)
+    diff_parser.add_argument("--threshold", type=float, default=0.1)
+    diff_parser.add_argument("--top", type=int, default=10)
+    diff_parser.set_defaults(func=_cmd_diff)
+
+    report_parser = sub.add_parser(
+        "report", help="actionable value-profile report for one workload"
+    )
+    report_parser.add_argument("workload")
+    report_parser.add_argument("--variant", default="train", choices=("train", "test"))
+    report_parser.add_argument("--scale", type=float, default=1.0)
+    report_parser.add_argument("--kind", default="load")
+    report_parser.set_defaults(func=_cmd_report)
+
+    sub.add_parser("workloads", help="list the benchmark suite").set_defaults(
+        func=_cmd_workloads
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Core value-profiling machinery: TNV tables, metrics, profiles, sampling.
+
+This package is front-end agnostic.  Instrumentation layers (the VPA
+ISA simulator, the Python tracer) produce ``(site, value)`` event
+streams; everything here consumes them.
+"""
+
+from repro.core.convergence import (
+    ConvergenceConfig,
+    ConvergenceDetector,
+    ConvergencePoint,
+    convergence_curve,
+)
+from repro.core.metrics import (
+    TOP_N,
+    SiteMetrics,
+    ValueStreamStats,
+    aggregate_metrics,
+    mean_unweighted,
+    weighted_mean,
+)
+from repro.core.profile import ProfileDatabase, SiteProfile, TNVConfig
+from repro.core.sampling import (
+    ConvergentSampling,
+    FullSampling,
+    PeriodicSampling,
+    RandomSampling,
+    SamplingPolicy,
+    SamplingProfiler,
+)
+from repro.core.sites import (
+    Site,
+    SiteKind,
+    instruction_site,
+    load_site,
+    memory_site,
+    parameter_site,
+    python_site,
+    return_site,
+)
+from repro.core.tnv import TNVEntry, TNVTable
+
+__all__ = [
+    "TOP_N",
+    "ConvergenceConfig",
+    "ConvergenceDetector",
+    "ConvergencePoint",
+    "ConvergentSampling",
+    "FullSampling",
+    "PeriodicSampling",
+    "ProfileDatabase",
+    "RandomSampling",
+    "SamplingPolicy",
+    "SamplingProfiler",
+    "Site",
+    "SiteKind",
+    "SiteMetrics",
+    "SiteProfile",
+    "TNVConfig",
+    "TNVEntry",
+    "TNVTable",
+    "ValueStreamStats",
+    "aggregate_metrics",
+    "convergence_curve",
+    "instruction_site",
+    "load_site",
+    "mean_unweighted",
+    "memory_site",
+    "parameter_site",
+    "return_site",
+    "python_site",
+    "weighted_mean",
+]

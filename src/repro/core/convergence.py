@@ -1,0 +1,122 @@
+"""Convergence detection for value-profile estimates (thesis Ch. VIII).
+
+The thesis' "intelligent" sampler stops paying full profiling cost for a
+site once that site's invariance estimate has stopped moving.  The
+criterion used there — and implemented here — is: take the invariance
+estimate at the end of every profiling burst; if it has changed by less
+than a threshold for several consecutive bursts, the site has
+*converged*.  A later re-check that finds the estimate has drifted marks
+the site unconverged again (programs have phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ConvergenceConfig:
+    """Knobs of the convergence criterion.
+
+    Attributes:
+        delta: maximum absolute change in the invariance estimate (a
+            ratio in [0, 1]) between consecutive checkpoints for the
+            checkpoint to count as "stable".
+        patience: number of consecutive stable checkpoints required
+            before declaring convergence.
+        reset_delta: drift (absolute change versus the estimate frozen
+            at convergence) that un-converges a site during re-checks.
+    """
+
+    delta: float = 0.02
+    patience: int = 3
+    reset_delta: float = 0.05
+
+
+class ConvergenceDetector:
+    """Tracks one site's invariance estimate across checkpoints."""
+
+    __slots__ = ("config", "_previous", "_stable_streak", "_converged_at", "history")
+
+    def __init__(self, config: Optional[ConvergenceConfig] = None) -> None:
+        self.config = config or ConvergenceConfig()
+        self._previous: Optional[float] = None
+        self._stable_streak = 0
+        self._converged_at: Optional[float] = None
+        #: estimates observed at every checkpoint, for convergence plots
+        self.history: List[float] = []
+
+    @property
+    def converged(self) -> bool:
+        return self._converged_at is not None
+
+    @property
+    def converged_estimate(self) -> Optional[float]:
+        """The estimate frozen when convergence was declared."""
+        return self._converged_at
+
+    def observe(self, estimate: float) -> bool:
+        """Feed a checkpoint estimate; returns the new converged state.
+
+        While unconverged, consecutive estimates within ``delta`` build
+        a streak; ``patience`` stable checkpoints declare convergence.
+        While converged, an estimate drifting more than ``reset_delta``
+        from the frozen value resets the detector.
+        """
+        self.history.append(estimate)
+        if self._converged_at is not None:
+            if abs(estimate - self._converged_at) > self.config.reset_delta:
+                self.reset()
+                self._previous = estimate
+            return self.converged
+
+        if self._previous is not None and abs(estimate - self._previous) <= self.config.delta:
+            self._stable_streak += 1
+        else:
+            self._stable_streak = 0
+        self._previous = estimate
+        if self._stable_streak >= self.config.patience:
+            self._converged_at = estimate
+        return self.converged
+
+    def reset(self) -> None:
+        """Forget convergence (the site entered a new phase)."""
+        self._previous = None
+        self._stable_streak = 0
+        self._converged_at = None
+
+
+@dataclass
+class ConvergencePoint:
+    """One point of a convergence curve: estimate after ``executions``."""
+
+    executions: int
+    estimate: float
+    exact: float = field(default=0.0)
+
+    @property
+    def error(self) -> float:
+        return abs(self.estimate - self.exact)
+
+
+def convergence_curve(values, checkpoint: int = 1000, top_k: int = 1) -> List[ConvergencePoint]:
+    """Invariance estimate as a function of executions profiled.
+
+    Replays ``values`` through an exact histogram, snapshotting
+    ``Inv-Top(top_k)`` every ``checkpoint`` executions.  The final
+    estimate is attached to every point as ``exact`` so callers can plot
+    estimation error directly (the thesis' convergence figures).
+    """
+    from repro.core.metrics import ValueStreamStats
+
+    stats = ValueStreamStats()
+    points: List[ConvergencePoint] = []
+    for index, value in enumerate(values, start=1):
+        stats.record(value)
+        if index % checkpoint == 0:
+            points.append(ConvergencePoint(executions=index, estimate=stats.invariance(top_k)))
+    if not points or points[-1].executions != stats.total:
+        points.append(ConvergencePoint(executions=stats.total, estimate=stats.invariance(top_k)))
+    final = points[-1].estimate
+    return [ConvergencePoint(p.executions, p.estimate, final) for p in points]

@@ -1,0 +1,273 @@
+"""Sampling policies and the sampling profiler (thesis Ch. VIII).
+
+Profiling every execution of every instruction is slow (the thesis
+reports order-of-magnitude slowdowns under ATOM).  The thesis evaluates
+two remedies and we implement both:
+
+* **Periodic sampling** — profile a fixed *burst* of executions out of
+  every *interval* (a duty cycle), per site.
+* **Convergent ("intelligent") sampling** — start with periodic bursts;
+  once a site's invariance estimate converges
+  (:class:`~repro.core.convergence.ConvergenceDetector`), double that
+  site's skip interval up to a cap, so converged sites are only
+  re-checked occasionally.  If a re-check finds the invariance drifted,
+  the interval resets.
+
+The key quantities the experiments report are **overhead** — the
+fraction of dynamic executions actually profiled — and **accuracy** —
+how close sampled metrics are to full-profiling metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.core.convergence import ConvergenceConfig, ConvergenceDetector
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import Site
+
+Value = Hashable
+
+
+class SamplingPolicy:
+    """Decides, per dynamic execution of a site, whether to profile it.
+
+    Subclasses implement :meth:`should_sample`; the profiler calls it
+    exactly once per dynamic execution, in order.
+    """
+
+    def should_sample(self, site: Site) -> bool:
+        raise NotImplementedError
+
+    def checkpoint(self, site: Site, estimate: float) -> None:
+        """Called at the end of each profiled burst with the site's
+        current invariance estimate.  Default: ignore."""
+
+    def fresh(self) -> "SamplingPolicy":
+        """A new, state-free copy of this policy (same parameters)."""
+        raise NotImplementedError
+
+
+class FullSampling(SamplingPolicy):
+    """Profile every execution (the paper's baseline)."""
+
+    def should_sample(self, site: Site) -> bool:
+        return True
+
+    def fresh(self) -> "FullSampling":
+        return FullSampling()
+
+
+@dataclass
+class _PeriodicState:
+    position: int = 0
+
+
+class PeriodicSampling(SamplingPolicy):
+    """Profile the first ``burst`` of every ``interval`` executions.
+
+    ``burst=1000, interval=10000`` is a 10% duty cycle.  State is kept
+    per site so sites with different execution counts each get their
+    fair duty cycle.
+    """
+
+    def __init__(self, burst: int, interval: int) -> None:
+        if burst < 1 or interval < burst:
+            raise ValueError(f"need 1 <= burst <= interval, got burst={burst} interval={interval}")
+        self.burst = burst
+        self.interval = interval
+        self._state: Dict[Site, _PeriodicState] = {}
+
+    def should_sample(self, site: Site) -> bool:
+        state = self._state.setdefault(site, _PeriodicState())
+        sampled = state.position < self.burst
+        state.position += 1
+        if state.position >= self.interval:
+            state.position = 0
+        return sampled
+
+    def fresh(self) -> "PeriodicSampling":
+        return PeriodicSampling(self.burst, self.interval)
+
+
+class RandomSampling(SamplingPolicy):
+    """CPI-style random sampling (Anderson et al. [1]).
+
+    The Continuous Profiling Infrastructure samples *randomly* rather
+    than in bursts; the thesis asks whether that suffices for value
+    profiling.  This policy samples each execution independently with
+    probability ``rate`` using a deterministic PRNG (seeded per policy,
+    so experiments are reproducible).
+
+    The experiment answer (``table-sampling-accuracy``): random
+    sampling estimates *histogram* metrics (Inv-Top) about as well as
+    periodic sampling at equal cost, but is much worse for *sequential*
+    metrics (LVP), because sampling breaks adjacency — the pairs of
+    consecutive executions LVP is defined over are almost never both
+    sampled.
+    """
+
+    def __init__(self, rate: float, seed: int = 0x5EED) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        import random as _random
+
+        self._rng = _random.Random(seed)
+
+    def should_sample(self, site: Site) -> bool:
+        return self._rng.random() < self.rate
+
+    def fresh(self) -> "RandomSampling":
+        return RandomSampling(self.rate, self.seed)
+
+
+@dataclass
+class _ConvergentState:
+    """Per-site burst/backoff state machine."""
+
+    in_burst: bool = True
+    burst_remaining: int = 0
+    skip_remaining: int = 0
+    skip_interval: int = 0
+
+
+class ConvergentSampling(SamplingPolicy):
+    """The thesis' intelligent sampler.
+
+    Each site alternates bursts of ``burst`` profiled executions with
+    skips.  Before convergence the skip interval is ``base_skip``; each
+    time the convergence detector reports the site converged, the skip
+    interval doubles, up to ``max_skip``.  A drifting re-check resets
+    both the detector and the interval.
+    """
+
+    def __init__(
+        self,
+        burst: int = 1000,
+        base_skip: int = 9000,
+        max_skip: int = 1_000_000,
+        backoff: float = 2.0,
+        convergence: Optional[ConvergenceConfig] = None,
+    ) -> None:
+        if burst < 1 or base_skip < 1 or max_skip < base_skip or backoff < 1.0:
+            raise ValueError("invalid ConvergentSampling parameters")
+        self.burst = burst
+        self.base_skip = base_skip
+        self.max_skip = max_skip
+        self.backoff = backoff
+        self.convergence = convergence or ConvergenceConfig()
+        self._state: Dict[Site, _ConvergentState] = {}
+        self._detectors: Dict[Site, ConvergenceDetector] = {}
+
+    def detector_for(self, site: Site) -> ConvergenceDetector:
+        detector = self._detectors.get(site)
+        if detector is None:
+            detector = ConvergenceDetector(self.convergence)
+            self._detectors[site] = detector
+        return detector
+
+    def should_sample(self, site: Site) -> bool:
+        state = self._state.get(site)
+        if state is None:
+            state = _ConvergentState(
+                in_burst=True, burst_remaining=self.burst, skip_interval=self.base_skip
+            )
+            self._state[site] = state
+        if state.in_burst:
+            state.burst_remaining -= 1
+            if state.burst_remaining <= 0:
+                # Burst over; the profiler will call checkpoint() next.
+                state.in_burst = False
+                state.skip_remaining = state.skip_interval
+            return True
+        state.skip_remaining -= 1
+        if state.skip_remaining <= 0:
+            state.in_burst = True
+            state.burst_remaining = self.burst
+        return False
+
+    def checkpoint(self, site: Site, estimate: float) -> None:
+        state = self._state.get(site)
+        if state is None:  # pragma: no cover - profiler always samples first
+            return
+        detector = self.detector_for(site)
+        was_converged = detector.converged
+        now_converged = detector.observe(estimate)
+        if now_converged:
+            state.skip_interval = min(self.max_skip, int(state.skip_interval * self.backoff))
+        elif was_converged:
+            # Drift detected during a re-check: back to attentive mode.
+            state.skip_interval = self.base_skip
+
+    def fresh(self) -> "ConvergentSampling":
+        return ConvergentSampling(
+            burst=self.burst,
+            base_skip=self.base_skip,
+            max_skip=self.max_skip,
+            backoff=self.backoff,
+            convergence=self.convergence,
+        )
+
+
+class SamplingProfiler:
+    """A profile database writer gated by a sampling policy.
+
+    Sees *every* (site, value) event, records only the sampled subset
+    into its :class:`ProfileDatabase`, and tracks true execution totals
+    so experiments can report overhead and scale sampled counts.
+    """
+
+    def __init__(
+        self,
+        policy: SamplingPolicy,
+        config: Optional[TNVConfig] = None,
+        exact: bool = True,
+        name: str = "",
+    ) -> None:
+        self.policy = policy
+        self.database = ProfileDatabase(config=config, exact=exact, name=name)
+        self._seen: Dict[Site, int] = {}
+        self._profiled: Dict[Site, int] = {}
+        self._since_checkpoint: Dict[Site, int] = {}
+        #: profiled executions between checkpoint() calls to the policy;
+        #: defaults to the policy's burst so each burst ends with a
+        #: checkpoint (what the convergent sampler's backoff needs).
+        self.checkpoint_every = getattr(policy, "burst", 1000)
+
+    def record(self, site: Site, value: Value) -> None:
+        """Feed one dynamic execution; profiles it iff the policy says so."""
+        self._seen[site] = self._seen.get(site, 0) + 1
+        if not self.policy.should_sample(site):
+            return
+        self.database.record(site, value)
+        self._profiled[site] = self._profiled.get(site, 0) + 1
+        pending = self._since_checkpoint.get(site, 0) + 1
+        if pending >= self.checkpoint_every:
+            profile = self.database.profile_for(site)
+            self.policy.checkpoint(site, profile.tnv.estimated_invariance(1))
+            pending = 0
+        self._since_checkpoint[site] = pending
+
+    # ------------------------------------------------------------------
+
+    def seen(self, site: Optional[Site] = None) -> int:
+        """True dynamic executions observed (for one site or overall)."""
+        if site is not None:
+            return self._seen.get(site, 0)
+        return sum(self._seen.values())
+
+    def profiled(self, site: Optional[Site] = None) -> int:
+        """Executions actually recorded into the database."""
+        if site is not None:
+            return self._profiled.get(site, 0)
+        return sum(self._profiled.values())
+
+    def overhead(self) -> float:
+        """Fraction of dynamic executions that paid profiling cost."""
+        seen = self.seen()
+        if seen == 0:
+            return 0.0
+        return self.profiled() / seen

@@ -1,0 +1,224 @@
+"""The Top-N-Value (TNV) table.
+
+This is the paper's central data structure (MICRO'97 §3, thesis §III.B).
+One TNV table is kept per profile site.  It approximates the site's full
+value histogram in constant space:
+
+* The table holds at most ``capacity`` (value, count) entries.
+* Recording a value that is already present increments its count.
+* Recording a new value inserts it if a slot is free; otherwise the
+  value is *dropped* — a pure least-frequently-used table would lock in
+  whatever values arrived first.
+* To let newly hot values displace stale ones, every ``clear_interval``
+  recordings the table is sorted by count and the bottom
+  ``capacity - steady`` entries (the *clear part*) are evicted.  The top
+  ``steady`` entries (the *steady part*) survive with their counts.
+
+The paper's configuration is a 10-entry table whose bottom half is
+cleared every ~2000 executions; those are the defaults here, and the
+``fig-tnv-accuracy`` experiment sweeps both knobs.
+
+TNV tables are value-type agnostic: the ISA front end records 64-bit
+integers, the Python front end records any hashable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.errors import ProfileError
+
+Value = Hashable
+
+DEFAULT_CAPACITY = 10
+DEFAULT_STEADY = 5
+DEFAULT_CLEAR_INTERVAL = 2000
+
+
+@dataclass(frozen=True)
+class TNVEntry:
+    """One (value, count) pair of a TNV table snapshot."""
+
+    value: Value
+    count: int
+
+
+class TNVTable:
+    """Bounded top-value histogram with periodic clearing.
+
+    Args:
+        capacity: maximum number of distinct values tracked at once.
+        steady: number of top entries that survive a clearing pass.
+            Must satisfy ``0 <= steady < capacity``; ``steady == 0``
+            degenerates to "clear everything", ``capacity - steady`` is
+            the size of the paper's *clear part*.
+        clear_interval: number of ``record`` calls between clearing
+            passes.  ``None`` disables clearing entirely (pure LFU),
+            which is the strawman the paper's design improves on.
+    """
+
+    __slots__ = ("capacity", "steady", "clear_interval", "_entries", "_since_clear", "_total", "_clears")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        steady: int = DEFAULT_STEADY,
+        clear_interval: int | None = DEFAULT_CLEAR_INTERVAL,
+    ) -> None:
+        if capacity < 1:
+            raise ProfileError(f"TNV capacity must be >= 1, got {capacity}")
+        if not 0 <= steady < capacity:
+            raise ProfileError(
+                f"TNV steady part must satisfy 0 <= steady < capacity, got steady={steady} capacity={capacity}"
+            )
+        if clear_interval is not None and clear_interval < 1:
+            raise ProfileError(f"TNV clear_interval must be >= 1 or None, got {clear_interval}")
+        self.capacity = capacity
+        self.steady = steady
+        self.clear_interval = clear_interval
+        self._entries: Dict[Value, int] = {}
+        self._since_clear = 0
+        self._total = 0
+        self._clears = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, value: Value) -> None:
+        """Record one dynamic execution producing ``value``."""
+        self._total += 1
+        entries = self._entries
+        if value in entries:
+            entries[value] += 1
+        elif len(entries) < self.capacity:
+            entries[value] = 1
+        # else: table is full and the value is not resident; it is
+        # dropped.  The periodic clear below is what re-opens slots.
+        if self.clear_interval is not None:
+            self._since_clear += 1
+            if self._since_clear >= self.clear_interval:
+                self.clear_bottom()
+
+    def record_many(self, values: Iterable[Value]) -> None:
+        """Record a sequence of dynamic values in order."""
+        for value in values:
+            self.record(value)
+
+    def clear_bottom(self) -> None:
+        """Evict the clear part: keep only the ``steady`` hottest entries.
+
+        Exposed publicly so samplers can force a clear at the end of a
+        profiling burst, mirroring the thesis' sampling implementation.
+        """
+        self._since_clear = 0
+        self._clears += 1
+        if len(self._entries) <= self.steady:
+            return
+        survivors = sorted(self._entries.items(), key=lambda item: (-item[1], repr(item[0])))
+        self._entries = dict(survivors[: self.steady])
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Number of ``record`` calls seen (including dropped values)."""
+        return self._total
+
+    @property
+    def clears(self) -> int:
+        """Number of clearing passes performed so far."""
+        return self._clears
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self._entries
+
+    def count_of(self, value: Value) -> int:
+        """Resident count for ``value`` (0 if not resident)."""
+        return self._entries.get(value, 0)
+
+    def top(self, k: int | None = None) -> List[TNVEntry]:
+        """The ``k`` hottest resident entries, hottest first.
+
+        Ties are broken deterministically on the value's ``repr`` so
+        results are reproducible across runs.
+        """
+        if k is None:
+            k = self.capacity
+        ranked = sorted(self._entries.items(), key=lambda item: (-item[1], repr(item[0])))
+        return [TNVEntry(value, count) for value, count in ranked[:k]]
+
+    def top_value(self) -> Value | None:
+        """The single hottest value, or ``None`` for an empty table."""
+        entries = self.top(1)
+        return entries[0].value if entries else None
+
+    def estimated_invariance(self, k: int = 1) -> float:
+        """Fraction of all executions covered by the top-``k`` entries.
+
+        This is the table's own estimate of ``Inv-Top(k)``: resident
+        counts divided by the *true* execution total.  Because counts in
+        the clear part are discarded on clearing, the estimate is a
+        lower bound on the exact invariance; the ``fig-tnv-accuracy``
+        experiment quantifies the gap.
+        """
+        if self._total == 0:
+            return 0.0
+        covered = sum(entry.count for entry in self.top(k))
+        return min(1.0, covered / self._total)
+
+    def snapshot(self) -> List[TNVEntry]:
+        """All resident entries, hottest first."""
+        return self.top(self.capacity)
+
+    # ------------------------------------------------------------------
+    # combination / persistence
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "TNVTable") -> None:
+        """Fold ``other``'s resident entries and totals into this table.
+
+        Used when combining profiles from multiple runs (e.g. train and
+        test inputs).  The merged table keeps the hottest ``capacity``
+        entries of the union.
+        """
+        merged: Dict[Value, int] = dict(self._entries)
+        for value, count in other._entries.items():
+            merged[value] = merged.get(value, 0) + count
+        ranked = sorted(merged.items(), key=lambda item: (-item[1], repr(item[0])))
+        self._entries = dict(ranked[: self.capacity])
+        self._total += other._total
+        self._clears += other._clears
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (values must be JSON-friendly)."""
+        return {
+            "capacity": self.capacity,
+            "steady": self.steady,
+            "clear_interval": self.clear_interval,
+            "total": self._total,
+            "entries": [[entry.value, entry.count] for entry in self.snapshot()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TNVTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        table = cls(
+            capacity=payload["capacity"],
+            steady=payload["steady"],
+            clear_interval=payload["clear_interval"],
+        )
+        entries: List[Tuple[Value, int]] = [tuple(pair) for pair in payload["entries"]]
+        table._entries = {value: count for value, count in entries}
+        table._total = payload["total"]
+        return table
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = ", ".join(f"{e.value!r}:{e.count}" for e in self.top(3))
+        return f"TNVTable(total={self._total}, top=[{head}])"

@@ -1,0 +1,65 @@
+"""The VPA ISA substrate: assembler, interpreter, instrumentation.
+
+This package replaces the paper's DEC Alpha + ATOM toolchain.  A
+workload is VPA assembly text; :func:`assemble` turns it into a
+:class:`Program`; :class:`Machine` executes it; observers in
+:mod:`repro.isa.instrument` deliver the (site, value) event stream the
+profiling core consumes.
+"""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.instructions import (
+    Format,
+    InsnClass,
+    Instruction,
+    OPCODES,
+    OpcodeInfo,
+    opcode_info,
+    to_signed64,
+)
+from repro.isa.instrument import (
+    ALL_TARGETS,
+    FanoutObserver,
+    GlobalTraceCollector,
+    ProfileTarget,
+    ValueProfiler,
+    ValueTraceCollector,
+)
+from repro.isa.machine import (
+    DEFAULT_BUDGET,
+    DEFAULT_MEMORY_WORDS,
+    Machine,
+    MachineObserver,
+    RunResult,
+    block_counts,
+    run_program,
+)
+from repro.isa.program import BasicBlock, Procedure, Program
+
+__all__ = [
+    "ALL_TARGETS",
+    "Assembler",
+    "BasicBlock",
+    "DEFAULT_BUDGET",
+    "DEFAULT_MEMORY_WORDS",
+    "FanoutObserver",
+    "GlobalTraceCollector",
+    "Format",
+    "InsnClass",
+    "Instruction",
+    "Machine",
+    "MachineObserver",
+    "OPCODES",
+    "OpcodeInfo",
+    "Procedure",
+    "ProfileTarget",
+    "Program",
+    "RunResult",
+    "ValueProfiler",
+    "ValueTraceCollector",
+    "assemble",
+    "block_counts",
+    "opcode_info",
+    "run_program",
+    "to_signed64",
+]

@@ -1,0 +1,432 @@
+"""Two-pass assembler for VPA assembly source.
+
+Surface syntax (one statement per line, ``;`` or ``#`` comments)::
+
+    .program compress
+    .equ TABLE_SIZE 4096
+    .data
+    table:   .word 0, 1, 2, TABLE_SIZE
+    buffer:  .space 256
+    handlers:.word do_add, do_sub        ; code labels allowed (jump tables)
+    .text
+    .proc main nargs=0
+        la   r10, table
+        li   r11, TABLE_SIZE
+    loop:
+        ld   r12, 0(r10)
+        beqz r12, done
+        ...
+        j    loop
+    done:
+        halt
+    .endproc
+
+Registers are ``r0``–``r31`` with aliases ``zero`` (r0), ``sp`` (r29)
+and ``lr`` (r31).  Immediates are decimal or ``0x`` hexadecimal
+integers, optionally negative, or ``.equ`` constants.
+
+Pseudo-instructions (expanded in place, so labels stay correct):
+
+==============  =======================================
+``ret``         ``jr lr``
+``call L``      ``jal L``
+``push rX``     ``subi sp, sp, 1`` ; ``st rX, 0(sp)``
+``pop rX``      ``ld rX, 0(sp)`` ; ``addi sp, sp, 1``
+``beqz rX, L``  ``beq rX, zero, L``
+``bnez rX, L``  ``bne rX, zero, L``
+``inc rX``      ``addi rX, rX, 1``
+``dec rX``      ``subi rX, rX, 1``
+==============  =======================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import Format, Instruction, NUM_REGISTERS, OPCODES
+from repro.isa.program import Procedure, Program
+
+_REG_ALIASES = {"zero": 0, "sp": 29, "lr": 31}
+_MEM_OPERAND = re.compile(r"^(?P<off>[^()]*)\((?P<reg>[^()]+)\)$")
+_LABEL_NAME = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+#: Expansion size (in real instructions) of each pseudo-instruction.
+_PSEUDO_SIZES = {
+    "ret": 1,
+    "call": 1,
+    "push": 2,
+    "pop": 2,
+    "beqz": 1,
+    "bnez": 1,
+    "inc": 1,
+    "dec": 1,
+}
+
+
+@dataclass
+class _Statement:
+    """One source statement after comment stripping and label removal."""
+
+    line: int
+    mnemonic: str
+    operands: List[str]
+
+
+@dataclass
+class _DataItem:
+    """One unresolved data word: an int, symbol, or ``.equ`` name."""
+
+    line: int
+    text: str
+
+
+@dataclass
+class _ProcedureSpan:
+    name: str
+    start: int
+    nargs: int
+    end: int = -1
+    line: int = 0
+
+
+class Assembler:
+    """Assembles VPA source text into a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._equates: Dict[str, int] = {}
+        self._code_labels: Dict[str, int] = {}
+        self._data_symbols: Dict[str, int] = {}
+        self._data_items: List[Tuple[int, _DataItem]] = []  # (address, item)
+        self._data_cursor = 0
+        self._statements: List[_Statement] = []
+        self._procedures: List[_ProcedureSpan] = []
+        self._program_name = ""
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "") -> Program:
+        """Assemble ``source``; ``name`` overrides any ``.program`` line."""
+        self._first_pass(source)
+        program_name = name or self._program_name or "anonymous"
+        instructions = self._second_pass(program_name)
+        data_image = self._resolve_data()
+        procedures = {
+            span.name: Procedure(span.name, span.start, span.end, span.nargs)
+            for span in self._procedures
+        }
+        entry = procedures["main"].start if "main" in procedures else 0
+        return Program(
+            name=program_name,
+            instructions=instructions,
+            procedures=procedures,
+            labels=dict(self._code_labels),
+            data_symbols=dict(self._data_symbols),
+            data_image=data_image,
+            entry=entry,
+            source=source,
+        )
+
+    # ------------------------------------------------------------------
+    # pass 1: layout
+    # ------------------------------------------------------------------
+
+    def _first_pass(self, source: str) -> None:
+        segment = "text"
+        pc = 0
+        open_proc: Optional[_ProcedureSpan] = None
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw).strip()
+            if not line:
+                continue
+
+            # Peel off any leading "label:" prefixes.
+            while True:
+                head, sep, rest = line.partition(":")
+                if sep and _LABEL_NAME.match(head.strip()) and "(" not in head:
+                    label = head.strip()
+                    self._define_label(label, segment, pc, lineno)
+                    line = rest.strip()
+                    if not line:
+                        break
+                else:
+                    break
+            if not line:
+                continue
+
+            mnemonic, _, operand_text = line.partition(" ")
+            mnemonic = mnemonic.strip().lower()
+            operands = self._split_operands(operand_text)
+
+            if mnemonic.startswith("."):
+                segment, pc, open_proc = self._directive_pass1(
+                    mnemonic, operands, operand_text, segment, pc, open_proc, lineno
+                )
+                continue
+
+            if segment != "text":
+                raise AssemblerError(f"instruction {mnemonic!r} outside .text", lineno)
+            size = _PSEUDO_SIZES.get(mnemonic)
+            if size is None:
+                if mnemonic not in OPCODES:
+                    raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno)
+                size = 1
+            self._statements.append(_Statement(lineno, mnemonic, operands))
+            pc += size
+
+        if open_proc is not None:
+            raise AssemblerError(f"procedure {open_proc.name!r} never closed (.endproc missing)", open_proc.line)
+
+    def _directive_pass1(
+        self,
+        mnemonic: str,
+        operands: List[str],
+        operand_text: str,
+        segment: str,
+        pc: int,
+        open_proc: Optional[_ProcedureSpan],
+        lineno: int,
+    ) -> Tuple[str, int, Optional[_ProcedureSpan]]:
+        if mnemonic == ".program":
+            if not operands:
+                raise AssemblerError(".program needs a name", lineno)
+            self._program_name = operands[0]
+        elif mnemonic == ".equ":
+            parts = operand_text.split()
+            if len(parts) != 2:
+                raise AssemblerError(".equ needs NAME VALUE", lineno)
+            name, value_text = parts
+            self._equates[name] = self._parse_int(value_text, lineno)
+        elif mnemonic == ".data":
+            segment = "data"
+        elif mnemonic == ".text":
+            segment = "text"
+        elif mnemonic == ".word":
+            if segment != "data":
+                raise AssemblerError(".word outside .data", lineno)
+            for item in operands:
+                self._data_items.append((self._data_cursor, _DataItem(lineno, item)))
+                self._data_cursor += 1
+        elif mnemonic == ".space":
+            if segment != "data":
+                raise AssemblerError(".space outside .data", lineno)
+            if len(operands) != 1:
+                raise AssemblerError(".space needs a size", lineno)
+            self._data_cursor += self._parse_int(operands[0], lineno)
+        elif mnemonic == ".proc":
+            if segment != "text":
+                raise AssemblerError(".proc outside .text", lineno)
+            if open_proc is not None:
+                raise AssemblerError(
+                    f"nested .proc (procedure {open_proc.name!r} still open)", lineno
+                )
+            words = operand_text.split()
+            if not words:
+                raise AssemblerError(".proc needs a name", lineno)
+            name = words[0]
+            nargs = 0
+            for extra in words[1:]:
+                key, _, value = extra.partition("=")
+                if key.strip() == "nargs":
+                    nargs = self._parse_int(value, lineno)
+                else:
+                    raise AssemblerError(f"unknown .proc attribute {extra!r}", lineno)
+            self._define_label(name, "text", pc, lineno)
+            open_proc = _ProcedureSpan(name=name, start=pc, nargs=nargs, line=lineno)
+        elif mnemonic == ".endproc":
+            if open_proc is None:
+                raise AssemblerError(".endproc without .proc", lineno)
+            open_proc.end = pc
+            self._procedures.append(open_proc)
+            open_proc = None
+        else:
+            raise AssemblerError(f"unknown directive {mnemonic!r}", lineno)
+        return segment, pc, open_proc
+
+    def _define_label(self, label: str, segment: str, pc: int, lineno: int) -> None:
+        table = self._code_labels if segment == "text" else self._data_symbols
+        other = self._data_symbols if segment == "text" else self._code_labels
+        if label in table or label in other or label in self._equates:
+            raise AssemblerError(f"duplicate label {label!r}", lineno)
+        table[label] = pc if segment == "text" else self._data_cursor
+
+    # ------------------------------------------------------------------
+    # pass 2: encoding
+    # ------------------------------------------------------------------
+
+    def _second_pass(self, program_name: str) -> List[Instruction]:
+        instructions: List[Instruction] = []
+        proc_by_pc = {}
+        for span in self._procedures:
+            for pc in range(span.start, span.end):
+                proc_by_pc[pc] = span.name
+
+        for statement in self._statements:
+            for inst in self._expand(statement):
+                inst.pc = len(instructions)
+                inst.procedure = proc_by_pc.get(inst.pc, "")
+                instructions.append(inst)
+        return instructions
+
+    def _expand(self, statement: _Statement) -> List[Instruction]:
+        """Expand pseudos, then encode each real instruction."""
+        m, ops, line = statement.mnemonic, statement.operands, statement.line
+        if m == "ret":
+            self._expect(ops, 0, m, line)
+            return [self._encode("jr", ["lr"], line)]
+        if m == "call":
+            self._expect(ops, 1, m, line)
+            return [self._encode("jal", ops, line)]
+        if m == "push":
+            self._expect(ops, 1, m, line)
+            return [
+                self._encode("subi", ["sp", "sp", "1"], line),
+                self._encode("st", [ops[0], "0(sp)"], line),
+            ]
+        if m == "pop":
+            self._expect(ops, 1, m, line)
+            return [
+                self._encode("ld", [ops[0], "0(sp)"], line),
+                self._encode("addi", ["sp", "sp", "1"], line),
+            ]
+        if m in ("beqz", "bnez"):
+            self._expect(ops, 2, m, line)
+            real = "beq" if m == "beqz" else "bne"
+            return [self._encode(real, [ops[0], "zero", ops[1]], line)]
+        if m in ("inc", "dec"):
+            self._expect(ops, 1, m, line)
+            real = "addi" if m == "inc" else "subi"
+            return [self._encode(real, [ops[0], ops[0], "1"], line)]
+        return [self._encode(m, ops, line)]
+
+    def _encode(self, mnemonic: str, operands: List[str], line: int) -> Instruction:
+        info = OPCODES[mnemonic]
+        fmt = info.fmt
+        inst = Instruction(opcode=mnemonic, line=line)
+        if fmt is Format.RRR:
+            self._expect(operands, 3, mnemonic, line)
+            inst.rd = self._parse_reg(operands[0], line)
+            inst.ra = self._parse_reg(operands[1], line)
+            inst.rb = self._parse_reg(operands[2], line)
+        elif fmt is Format.RRI:
+            self._expect(operands, 3, mnemonic, line)
+            inst.rd = self._parse_reg(operands[0], line)
+            inst.ra = self._parse_reg(operands[1], line)
+            inst.imm = self._parse_int(operands[2], line)
+        elif fmt is Format.RI:
+            self._expect(operands, 2, mnemonic, line)
+            inst.rd = self._parse_reg(operands[0], line)
+            inst.imm = self._parse_int(operands[1], line)
+        elif fmt is Format.RL:
+            self._expect(operands, 2, mnemonic, line)
+            inst.rd = self._parse_reg(operands[0], line)
+            inst.imm = self._resolve_symbol(operands[1], line)
+        elif fmt is Format.RR:
+            self._expect(operands, 2, mnemonic, line)
+            inst.rd = self._parse_reg(operands[0], line)
+            inst.ra = self._parse_reg(operands[1], line)
+        elif fmt is Format.R:
+            self._expect(operands, 1, mnemonic, line)
+            inst.rd = self._parse_reg(operands[0], line)
+        elif fmt is Format.MEM:
+            self._expect(operands, 2, mnemonic, line)
+            inst.rd = self._parse_reg(operands[0], line)
+            match = _MEM_OPERAND.match(operands[1])
+            if not match:
+                raise AssemblerError(f"bad memory operand {operands[1]!r}", line)
+            off_text = match.group("off").strip()
+            inst.imm = self._parse_int(off_text, line) if off_text else 0
+            inst.ra = self._parse_reg(match.group("reg").strip(), line)
+        elif fmt is Format.BRANCH:
+            self._expect(operands, 3, mnemonic, line)
+            inst.ra = self._parse_reg(operands[0], line)
+            inst.rb = self._parse_reg(operands[1], line)
+            inst.target = self._resolve_code_label(operands[2], line)
+        elif fmt is Format.LABEL:
+            self._expect(operands, 1, mnemonic, line)
+            inst.target = self._resolve_code_label(operands[0], line)
+        elif fmt is Format.NONE:
+            self._expect(operands, 0, mnemonic, line)
+        return inst
+
+    # ------------------------------------------------------------------
+    # operand helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _expect(operands: List[str], count: int, mnemonic: str, line: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}", line
+            )
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        for marker in (";", "#"):
+            index = line.find(marker)
+            if index >= 0:
+                line = line[:index]
+        return line
+
+    @staticmethod
+    def _split_operands(text: str) -> List[str]:
+        text = text.strip()
+        if not text:
+            return []
+        return [part.strip() for part in text.split(",")]
+
+    def _parse_reg(self, text: str, line: int) -> int:
+        name = text.strip().lower()
+        if name in _REG_ALIASES:
+            return _REG_ALIASES[name]
+        if name.startswith("r") and name[1:].isdigit():
+            index = int(name[1:])
+            if 0 <= index < NUM_REGISTERS:
+                return index
+        raise AssemblerError(f"bad register {text!r}", line)
+
+    def _parse_int(self, text: str, line: int) -> int:
+        text = text.strip()
+        if text in self._equates:
+            return self._equates[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblerError(f"bad integer {text!r}", line) from None
+
+    def _resolve_symbol(self, text: str, line: int) -> int:
+        """Resolve a ``la`` operand: data symbol, equ, or literal."""
+        text = text.strip()
+        if text in self._data_symbols:
+            return self._data_symbols[text]
+        if text in self._code_labels:
+            return self._code_labels[text]
+        return self._parse_int(text, line)
+
+    def _resolve_code_label(self, text: str, line: int) -> int:
+        text = text.strip()
+        if text in self._code_labels:
+            return self._code_labels[text]
+        raise AssemblerError(f"undefined code label {text!r}", line)
+
+    def _resolve_data(self) -> List[int]:
+        image = [0] * self._data_cursor
+        for address, item in self._data_items:
+            text = item.text
+            if text in self._data_symbols:
+                image[address] = self._data_symbols[text]
+            elif text in self._code_labels:
+                image[address] = self._code_labels[text]
+            else:
+                image[address] = self._parse_int(text, item.line)
+        return image
+
+
+def assemble(source: str, name: str = "") -> Program:
+    """Assemble one VPA source string (fresh assembler per call)."""
+    return Assembler().assemble(source, name=name)

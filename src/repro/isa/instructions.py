@@ -1,0 +1,247 @@
+"""The VPA instruction set.
+
+VPA ("Value Profiling Architecture") is the Alpha-flavoured 64-bit RISC
+this reproduction uses in place of DEC Alpha binaries.  It is a load/
+store register machine:
+
+* 32 general registers ``r0``–``r31``; ``r0`` is hardwired to zero.
+  Convention: ``r1``–``r6`` carry arguments and ``r1`` the return
+  value, ``r29`` is the stack pointer, ``r31`` the link register.
+* Word-addressed data memory; every cell holds one 64-bit value.
+* Two's-complement 64-bit arithmetic with wraparound.
+
+The set below is deliberately small but covers everything the SPEC95
+analogues need and — crucially for the paper — gives every *register-
+defining* instruction a well-defined destination value to profile.
+
+Each opcode carries metadata: its operand format (how the assembler
+parses it), whether it defines a register (is a value-profiling site),
+and its *class* for the per-instruction-class breakdown (Table V.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class Format(enum.Enum):
+    """Operand encodings understood by the assembler."""
+
+    RRR = "rd, ra, rb"  # three registers
+    RRI = "rd, ra, imm"  # two registers + immediate
+    RI = "rd, imm"  # register + immediate (li)
+    RL = "rd, label"  # register + label address (la)
+    RR = "rd, ra"  # two registers (mov, jalr)
+    R = "rd"  # one register (in, out, jr)
+    MEM = "rd, off(ra)"  # loads/stores
+    BRANCH = "ra, rb, label"  # compare-and-branch
+    LABEL = "label"  # jumps/calls
+    NONE = ""  # halt, nop, ret
+
+
+class InsnClass(enum.Enum):
+    """Instruction families used by the Table V.3 breakdown."""
+
+    LOAD = "load"
+    STORE = "store"
+    ALU = "alu"
+    MULDIV = "muldiv"
+    SHIFT = "shift"
+    COMPARE = "compare"
+    MOVE = "move"
+    BRANCH = "branch"
+    JUMP = "jump"
+    IO = "io"
+    SYSTEM = "system"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one VPA opcode."""
+
+    mnemonic: str
+    fmt: Format
+    insn_class: InsnClass
+    defines_register: bool
+    description: str
+
+    @property
+    def is_load(self) -> bool:
+        return self.insn_class is InsnClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.insn_class is InsnClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.insn_class in (InsnClass.BRANCH, InsnClass.JUMP)
+
+
+def _op(mnemonic: str, fmt: Format, insn_class: InsnClass, defines: bool, description: str) -> OpcodeInfo:
+    return OpcodeInfo(mnemonic, fmt, insn_class, defines, description)
+
+
+#: Every opcode of the architecture, keyed by mnemonic.
+OPCODES: Dict[str, OpcodeInfo] = {
+    info.mnemonic: info
+    for info in [
+        # arithmetic -------------------------------------------------
+        _op("add", Format.RRR, InsnClass.ALU, True, "rd = ra + rb"),
+        _op("addi", Format.RRI, InsnClass.ALU, True, "rd = ra + imm"),
+        _op("sub", Format.RRR, InsnClass.ALU, True, "rd = ra - rb"),
+        _op("subi", Format.RRI, InsnClass.ALU, True, "rd = ra - imm"),
+        _op("mul", Format.RRR, InsnClass.MULDIV, True, "rd = ra * rb"),
+        _op("muli", Format.RRI, InsnClass.MULDIV, True, "rd = ra * imm"),
+        _op("div", Format.RRR, InsnClass.MULDIV, True, "rd = ra / rb (trunc, fault on 0)"),
+        _op("divi", Format.RRI, InsnClass.MULDIV, True, "rd = ra / imm"),
+        _op("rem", Format.RRR, InsnClass.MULDIV, True, "rd = ra mod rb (trunc, fault on 0)"),
+        _op("remi", Format.RRI, InsnClass.MULDIV, True, "rd = ra mod imm"),
+        # bitwise ------------------------------------------------------
+        _op("and", Format.RRR, InsnClass.ALU, True, "rd = ra & rb"),
+        _op("andi", Format.RRI, InsnClass.ALU, True, "rd = ra & imm"),
+        _op("or", Format.RRR, InsnClass.ALU, True, "rd = ra | rb"),
+        _op("ori", Format.RRI, InsnClass.ALU, True, "rd = ra | imm"),
+        _op("xor", Format.RRR, InsnClass.ALU, True, "rd = ra ^ rb"),
+        _op("xori", Format.RRI, InsnClass.ALU, True, "rd = ra ^ imm"),
+        # shifts -------------------------------------------------------
+        _op("sll", Format.RRR, InsnClass.SHIFT, True, "rd = ra << (rb & 63)"),
+        _op("slli", Format.RRI, InsnClass.SHIFT, True, "rd = ra << imm"),
+        _op("srl", Format.RRR, InsnClass.SHIFT, True, "rd = (unsigned) ra >> (rb & 63)"),
+        _op("srli", Format.RRI, InsnClass.SHIFT, True, "rd = (unsigned) ra >> imm"),
+        _op("sra", Format.RRR, InsnClass.SHIFT, True, "rd = (signed) ra >> (rb & 63)"),
+        _op("srai", Format.RRI, InsnClass.SHIFT, True, "rd = (signed) ra >> imm"),
+        # comparisons --------------------------------------------------
+        _op("slt", Format.RRR, InsnClass.COMPARE, True, "rd = 1 if ra < rb else 0"),
+        _op("slti", Format.RRI, InsnClass.COMPARE, True, "rd = 1 if ra < imm else 0"),
+        _op("seq", Format.RRR, InsnClass.COMPARE, True, "rd = 1 if ra == rb else 0"),
+        _op("seqi", Format.RRI, InsnClass.COMPARE, True, "rd = 1 if ra == imm else 0"),
+        _op("sne", Format.RRR, InsnClass.COMPARE, True, "rd = 1 if ra != rb else 0"),
+        _op("snei", Format.RRI, InsnClass.COMPARE, True, "rd = 1 if ra != imm else 0"),
+        # moves / constants -------------------------------------------
+        _op("li", Format.RI, InsnClass.MOVE, True, "rd = imm (any 64-bit constant)"),
+        _op("la", Format.RL, InsnClass.MOVE, True, "rd = address of data label"),
+        _op("mov", Format.RR, InsnClass.MOVE, True, "rd = ra"),
+        # memory -------------------------------------------------------
+        _op("ld", Format.MEM, InsnClass.LOAD, True, "rd = memory[ra + off]"),
+        _op("st", Format.MEM, InsnClass.STORE, False, "memory[ra + off] = rd"),
+        # control flow -------------------------------------------------
+        _op("beq", Format.BRANCH, InsnClass.BRANCH, False, "if ra == rb goto label"),
+        _op("bne", Format.BRANCH, InsnClass.BRANCH, False, "if ra != rb goto label"),
+        _op("blt", Format.BRANCH, InsnClass.BRANCH, False, "if ra < rb goto label"),
+        _op("bge", Format.BRANCH, InsnClass.BRANCH, False, "if ra >= rb goto label"),
+        _op("ble", Format.BRANCH, InsnClass.BRANCH, False, "if ra <= rb goto label"),
+        _op("bgt", Format.BRANCH, InsnClass.BRANCH, False, "if ra > rb goto label"),
+        _op("j", Format.LABEL, InsnClass.JUMP, False, "goto label"),
+        _op("jal", Format.LABEL, InsnClass.JUMP, False, "r31 = pc + 1; goto label (call)"),
+        _op("jalr", Format.RR, InsnClass.JUMP, False, "rd = pc + 1; goto ra (indirect call)"),
+        _op("jr", Format.R, InsnClass.JUMP, False, "goto rd (return / computed jump)"),
+        # i/o and system ----------------------------------------------
+        _op("in", Format.R, InsnClass.IO, True, "rd = next input value (0 at EOF)"),
+        _op("out", Format.R, InsnClass.IO, False, "append rd to the output stream"),
+        _op("nop", Format.NONE, InsnClass.SYSTEM, False, "do nothing"),
+        _op("halt", Format.NONE, InsnClass.SYSTEM, False, "stop the machine"),
+    ]
+}
+
+#: Latency model used by the machine's cycle accounting (simple scalar
+#: in-order costs: multiplies/divides are long-latency, memory costs 2).
+CYCLE_COSTS = {
+    InsnClass.LOAD: 2,
+    InsnClass.STORE: 2,
+    InsnClass.MULDIV: 4,
+    InsnClass.ALU: 1,
+    InsnClass.SHIFT: 1,
+    InsnClass.COMPARE: 1,
+    InsnClass.MOVE: 1,
+    InsnClass.BRANCH: 1,
+    InsnClass.JUMP: 1,
+    InsnClass.IO: 1,
+    InsnClass.SYSTEM: 1,
+}
+
+
+def cycle_cost(mnemonic: str) -> int:
+    """Cycles charged for one execution of ``mnemonic``."""
+    return CYCLE_COSTS[OPCODES[mnemonic].insn_class]
+
+
+NUM_REGISTERS = 32
+WORD_MASK = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+REG_ZERO = 0
+REG_RETURN = 1
+REG_ARGS = (1, 2, 3, 4, 5, 6)
+REG_SP = 29
+REG_LINK = 31
+
+
+def to_signed64(value: int) -> int:
+    """Wrap a Python int to signed two's-complement 64-bit."""
+    value &= WORD_MASK
+    if value & SIGN_BIT:
+        value -= 1 << 64
+    return value
+
+
+@dataclass
+class Instruction:
+    """One decoded VPA instruction.
+
+    ``rd``/``ra``/``rb`` are register indices, ``imm`` an immediate or
+    memory offset, ``target`` a resolved code address for control flow.
+    ``pc`` and ``procedure`` locate the instruction for profiling and
+    diagnostics; ``line`` is the assembly source line.
+    """
+
+    opcode: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    target: int = 0
+    pc: int = 0
+    procedure: str = ""
+    line: int = 0
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return OPCODES[self.opcode]
+
+    def render(self) -> str:
+        """Disassemble back to canonical assembly text."""
+        info = self.info
+        fmt = info.fmt
+        if fmt is Format.RRR:
+            ops = f"r{self.rd}, r{self.ra}, r{self.rb}"
+        elif fmt is Format.RRI:
+            ops = f"r{self.rd}, r{self.ra}, {self.imm}"
+        elif fmt is Format.RI:
+            ops = f"r{self.rd}, {self.imm}"
+        elif fmt is Format.RL:
+            ops = f"r{self.rd}, {self.imm}"
+        elif fmt is Format.RR:
+            ops = f"r{self.rd}, r{self.ra}"
+        elif fmt is Format.R:
+            ops = f"r{self.rd}"
+        elif fmt is Format.MEM:
+            ops = f"r{self.rd}, {self.imm}(r{self.ra})"
+        elif fmt is Format.BRANCH:
+            ops = f"r{self.ra}, r{self.rb}, @{self.target}"
+        elif fmt is Format.LABEL:
+            ops = f"@{self.target}"
+        else:
+            ops = ""
+        text = self.opcode if not ops else f"{self.opcode} {ops}"
+        return text
+
+    def __str__(self) -> str:
+        return f"{self.pc:5d}: {self.render()}"
+
+
+def opcode_info(mnemonic: str) -> Optional[OpcodeInfo]:
+    """Lookup that returns ``None`` for unknown mnemonics."""
+    return OPCODES.get(mnemonic)

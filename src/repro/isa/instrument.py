@@ -1,0 +1,272 @@
+"""ATOM-style instrumentation of the VPA machine.
+
+The paper instruments Alpha binaries with ATOM [35]: a probe after each
+instruction passes the destination-register value to an analysis
+routine that updates the TNV table (§III.E).  This module is that
+layer for VPA: :class:`ValueProfiler` subscribes to machine events and
+records values into any object with a ``record(site, value)`` method —
+a :class:`~repro.core.profile.ProfileDatabase` for full profiling or a
+:class:`~repro.core.sampling.SamplingProfiler` for sampled profiling.
+
+Site objects are interned per static instruction / memory word /
+parameter so the per-event cost is one dictionary lookup, mirroring how
+ATOM passes a pre-allocated per-instruction handle to its probes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.core.sites import (
+    Site,
+    instruction_site,
+    load_site,
+    memory_site,
+    parameter_site,
+    return_site,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.machine import MachineObserver
+from repro.isa.program import Procedure, Program
+
+
+class ProfileTarget(enum.Enum):
+    """Which event families a profiler subscribes to."""
+
+    INSTRUCTIONS = "instructions"  # destination values of all defining instructions
+    LOADS = "loads"  # values fetched by load instructions
+    MEMORY = "memory"  # values stored to each memory word
+    PARAMETERS = "parameters"  # argument registers at procedure entry
+    RETURNS = "returns"  # the return register at procedure exit
+
+
+ALL_TARGETS = frozenset(ProfileTarget)
+
+
+class Recorder(Protocol):
+    """Anything that accepts (site, value) profile events."""
+
+    def record(self, site: Site, value: Hashable) -> None:  # pragma: no cover
+        ...
+
+
+class ValueProfiler(MachineObserver):
+    """Machine observer that feeds a profile recorder.
+
+    Args:
+        program: the program being profiled (site identities come from
+            its instruction and procedure tables).
+        recorder: destination for (site, value) events.
+        targets: event families to profile; fewer targets means less
+            interpreter overhead, exactly as with ATOM probes.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        recorder: Recorder,
+        targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
+        parameter_context: bool = False,
+    ) -> None:
+        self.program = program
+        self.recorder = recorder
+        self.targets: Set[ProfileTarget] = set(targets)
+        #: when set, parameter sites are keyed by calling site as well
+        #: (Young & Smith-style path sensitivity; thesis future work)
+        self.parameter_context = parameter_context
+        name = program.name
+        # Pre-interned sites, indexed by pc.
+        self._instruction_sites: List[Optional[Site]] = []
+        self._load_sites: List[Optional[Site]] = []
+        for inst in program.instructions:
+            info = inst.info
+            self._instruction_sites.append(
+                instruction_site(name, inst.procedure, inst.pc, inst.opcode)
+                if info.defines_register
+                else None
+            )
+            self._load_sites.append(
+                load_site(name, inst.procedure, inst.pc, inst.opcode) if info.is_load else None
+            )
+        self._memory_sites: Dict[int, Site] = {}
+        self._parameter_sites: Dict[Tuple[str, int, int], Site] = {}
+        self._return_sites: Dict[str, Site] = {}
+        self._want_instructions = ProfileTarget.INSTRUCTIONS in self.targets
+        self._want_loads = ProfileTarget.LOADS in self.targets
+        self._want_memory = ProfileTarget.MEMORY in self.targets
+        self._want_parameters = ProfileTarget.PARAMETERS in self.targets
+        self._want_returns = ProfileTarget.RETURNS in self.targets
+
+    # ------------------------------------------------------------------
+    # MachineObserver interface
+    # ------------------------------------------------------------------
+
+    def on_define(self, inst: Instruction, value: int) -> None:
+        if not self._want_instructions:
+            return
+        site = self._instruction_sites[inst.pc]
+        if site is not None:
+            self.recorder.record(site, value)
+
+    def on_load(self, inst: Instruction, address: int, value: int) -> None:
+        if not self._want_loads:
+            return
+        site = self._load_sites[inst.pc]
+        if site is not None:
+            self.recorder.record(site, value)
+
+    def on_store(self, inst: Instruction, address: int, value: int) -> None:
+        if not self._want_memory:
+            return
+        site = self._memory_sites.get(address)
+        if site is None:
+            site = memory_site(self.program.name, address)
+            self._memory_sites[address] = site
+        self.recorder.record(site, value)
+
+    def on_call(self, procedure: Procedure, args: Sequence[int], call_site: int = -1) -> None:
+        if not self._want_parameters:
+            return
+        context = call_site if self.parameter_context else -1
+        for index, value in enumerate(args):
+            key = (procedure.name, index, context)
+            site = self._parameter_sites.get(key)
+            if site is None:
+                site = parameter_site(self.program.name, procedure.name, index)
+                if context >= 0:
+                    site = Site(
+                        kind=site.kind,
+                        program=site.program,
+                        procedure=site.procedure,
+                        label=f"{site.label}@{context}",
+                    )
+                self._parameter_sites[key] = site
+            self.recorder.record(site, value)
+
+
+    def on_return(self, procedure: Procedure, value: int) -> None:
+        if not self._want_returns:
+            return
+        site = self._return_sites.get(procedure.name)
+        if site is None:
+            site = return_site(self.program.name, procedure.name)
+            self._return_sites[procedure.name] = site
+        self.recorder.record(site, value)
+
+
+class ValueTraceCollector(MachineObserver):
+    """Observer that collects raw per-site value *sequences*.
+
+    Value predictors (:mod:`repro.predictors`) need the ordered stream
+    of values each site produced, not just its histogram.  Traces can
+    be capped per site to bound memory.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
+        max_per_site: Optional[int] = None,
+    ) -> None:
+        self._profiler = ValueProfiler(program, recorder=self, targets=targets)
+        self.max_per_site = max_per_site
+        self.traces: Dict[Site, List[int]] = {}
+
+    # Recorder protocol (the inner ValueProfiler writes into us).
+    def record(self, site: Site, value: Hashable) -> None:
+        trace = self.traces.get(site)
+        if trace is None:
+            trace = []
+            self.traces[site] = trace
+        if self.max_per_site is None or len(trace) < self.max_per_site:
+            trace.append(value)
+
+    # MachineObserver interface — delegate to the site-interning profiler.
+    def on_define(self, inst: Instruction, value: int) -> None:
+        self._profiler.on_define(inst, value)
+
+    def on_load(self, inst: Instruction, address: int, value: int) -> None:
+        self._profiler.on_load(inst, address, value)
+
+    def on_store(self, inst: Instruction, address: int, value: int) -> None:
+        self._profiler.on_store(inst, address, value)
+
+    def on_call(self, procedure: Procedure, args: Sequence[int], call_site: int = -1) -> None:
+        self._profiler.on_call(procedure, args, call_site)
+
+    def on_return(self, procedure: Procedure, value: int) -> None:
+        self._profiler.on_return(procedure, value)
+
+
+class GlobalTraceCollector(MachineObserver):
+    """Observer that records (site, value) events in *program order*.
+
+    Per-site traces (:class:`ValueTraceCollector`) lose the interleaving
+    between sites, which finite prediction-table simulations need: two
+    sites aliasing to one table entry interact only through the global
+    order.  Memory is bounded by ``max_events``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
+        max_events: Optional[int] = None,
+    ) -> None:
+        self._profiler = ValueProfiler(program, recorder=self, targets=targets)
+        self.max_events = max_events
+        self.events: List[Tuple[Site, int]] = []
+        self.dropped = 0
+
+    def record(self, site: Site, value: Hashable) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append((site, value))
+
+    def on_define(self, inst: Instruction, value: int) -> None:
+        self._profiler.on_define(inst, value)
+
+    def on_load(self, inst: Instruction, address: int, value: int) -> None:
+        self._profiler.on_load(inst, address, value)
+
+    def on_store(self, inst: Instruction, address: int, value: int) -> None:
+        self._profiler.on_store(inst, address, value)
+
+    def on_call(self, procedure: Procedure, args: Sequence[int], call_site: int = -1) -> None:
+        self._profiler.on_call(procedure, args, call_site)
+
+    def on_return(self, procedure: Procedure, value: int) -> None:
+        self._profiler.on_return(procedure, value)
+
+
+class FanoutObserver(MachineObserver):
+    """Broadcasts machine events to several observers in order.
+
+    Lets one simulation run feed e.g. a full profiler and a sampling
+    profiler simultaneously so accuracy comparisons share a trace.
+    """
+
+    def __init__(self, observers: Sequence[MachineObserver]) -> None:
+        self.observers = list(observers)
+
+    def on_define(self, inst: Instruction, value: int) -> None:
+        for observer in self.observers:
+            observer.on_define(inst, value)
+
+    def on_load(self, inst: Instruction, address: int, value: int) -> None:
+        for observer in self.observers:
+            observer.on_load(inst, address, value)
+
+    def on_store(self, inst: Instruction, address: int, value: int) -> None:
+        for observer in self.observers:
+            observer.on_store(inst, address, value)
+
+    def on_call(self, procedure: Procedure, args: Sequence[int], call_site: int = -1) -> None:
+        for observer in self.observers:
+            observer.on_call(procedure, args, call_site)
+
+    def on_return(self, procedure: Procedure, value: int) -> None:
+        for observer in self.observers:
+            observer.on_return(procedure, value)

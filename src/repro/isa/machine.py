@@ -1,0 +1,436 @@
+"""The VPA interpreter.
+
+Executes an assembled :class:`~repro.isa.program.Program` with 64-bit
+two's-complement semantics, word-addressed memory, an input stream and
+an output stream.  An optional :class:`MachineObserver` receives the
+instruction-level events the value-profiling front ends consume — the
+role ATOM's analysis routines play in the paper.
+
+The execute loop is a hand-ordered ``if``/``elif`` chain over opcode
+mnemonics rather than a handler table: on CPython this is measurably
+faster, and the simulator's speed bounds every experiment in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import MachineError
+from repro.isa.instructions import (
+    REG_ARGS,
+    REG_LINK,
+    REG_RETURN,
+    REG_SP,
+    NUM_REGISTERS,
+    Instruction,
+    cycle_cost,
+    to_signed64,
+)
+from repro.isa.program import Procedure, Program
+
+DEFAULT_MEMORY_WORDS = 1 << 20
+DEFAULT_BUDGET = 200_000_000
+
+
+class MachineObserver:
+    """Instrumentation callbacks (all no-ops by default).
+
+    Subclasses override only what they need; the machine checks a
+    single ``observer is not None`` per event class.
+    """
+
+    def on_define(self, inst: Instruction, value: int) -> None:
+        """A register-defining instruction produced ``value``.
+
+        Fires for every instruction whose opcode has
+        ``defines_register`` — including loads and ``in``.
+        """
+
+    def on_load(self, inst: Instruction, address: int, value: int) -> None:
+        """A load at ``inst`` fetched ``value`` from ``address``."""
+
+    def on_store(self, inst: Instruction, address: int, value: int) -> None:
+        """A store at ``inst`` wrote ``value`` to ``address``."""
+
+    def on_call(self, procedure: Procedure, args: Sequence[int], call_site: int = -1) -> None:
+        """Control entered ``procedure`` via ``jal``/``jalr``.
+
+        ``call_site`` is the pc of the calling instruction (-1 when
+        unknown), enabling calling-context-sensitive profiling.
+        """
+
+    def on_return(self, procedure: Procedure, value: int) -> None:
+        """``procedure`` returned (``jr`` through the link register);
+        ``value`` is the return register ``r1`` at that point."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one complete execution."""
+
+    program: str
+    instructions_executed: int
+    output: List[int]
+    halted: bool
+    dynamic_loads: int = 0
+    dynamic_stores: int = 0
+    dynamic_calls: int = 0
+    dynamic_defines: int = 0
+    cycles: int = 0
+    procedure_calls: dict = field(default_factory=dict)
+
+
+class Machine:
+    """One VPA core plus its memory.
+
+    Args:
+        program: the assembled program to run.
+        memory_words: data-memory size; the data image is loaded at
+            address 0 and the stack starts at the top growing down.
+        observer: optional instrumentation sink.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        memory_words: int = DEFAULT_MEMORY_WORDS,
+        observer: Optional[MachineObserver] = None,
+        count_pcs: bool = False,
+    ) -> None:
+        if len(program.data_image) > memory_words:
+            raise MachineError(
+                f"{program.name}: data image ({len(program.data_image)} words) "
+                f"exceeds memory ({memory_words} words)"
+            )
+        self.program = program
+        self.memory_words = memory_words
+        self.observer = observer
+        self.registers: List[int] = [0] * NUM_REGISTERS
+        self.memory: List[int] = list(program.data_image) + [0] * (memory_words - len(program.data_image))
+        self.pc = program.entry
+        self.halted = False
+        self.instructions_executed = 0
+        self.output: List[int] = []
+        self._input: List[int] = []
+        self._input_pos = 0
+        self._procedures_by_entry = {
+            procedure.start: procedure for procedure in program.procedures.values()
+        }
+        self._cost_by_pc: List[int] = [cycle_cost(inst.opcode) for inst in program.instructions]
+        #: per-pc execution counts (basic-block profiling); None unless
+        #: count_pcs was requested — counting costs one list update per
+        #: instruction, the classic block-profiling overhead
+        self.pc_counts: Optional[List[int]] = (
+            [0] * len(program.instructions) if count_pcs else None
+        )
+        self.cycles = 0
+        self._procedure_by_pc: List[Optional[Procedure]] = [None] * len(program.instructions)
+        for procedure in program.procedures.values():
+            for pc in range(procedure.start, procedure.end):
+                self._procedure_by_pc[pc] = procedure
+        # counters for RunResult
+        self.dynamic_loads = 0
+        self.dynamic_stores = 0
+        self.dynamic_calls = 0
+        self.dynamic_defines = 0
+        self.procedure_calls: dict = {}
+        self.registers[REG_SP] = memory_words
+
+    # ------------------------------------------------------------------
+
+    def set_input(self, values: Iterable[int]) -> None:
+        """Install the input stream consumed by ``in`` instructions."""
+        self._input = [to_signed64(v) for v in values]
+        self._input_pos = 0
+
+    def read_register(self, index: int) -> int:
+        return self.registers[index]
+
+    def read_memory(self, address: int) -> int:
+        self._check_address(address)
+        return self.memory[address]
+
+    def write_memory(self, address: int, value: int) -> None:
+        self._check_address(address)
+        self.memory[address] = to_signed64(value)
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.memory_words:
+            raise MachineError(
+                f"{self.program.name}: memory access out of range: {address} "
+                f"(pc={self.pc}, memory={self.memory_words} words)"
+            )
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int = DEFAULT_BUDGET) -> RunResult:
+        """Execute until ``halt`` or the instruction budget is exhausted."""
+        observer = self.observer
+        registers = self.registers
+        memory = self.memory
+        instructions = self.program.instructions
+        code_size = len(instructions)
+        memory_words = self.memory_words
+        procedures_by_entry = self._procedures_by_entry
+        cost_by_pc = self._cost_by_pc
+        cycles = self.cycles
+        pc_counts = self.pc_counts
+        pc = self.pc
+        executed = self.instructions_executed
+
+        while not self.halted:
+            if executed >= max_instructions:
+                self.pc = pc
+                self.instructions_executed = executed
+                raise MachineError(
+                    f"{self.program.name}: instruction budget exceeded "
+                    f"({max_instructions}); infinite loop?"
+                )
+            if not 0 <= pc < code_size:
+                self.pc = pc
+                self.instructions_executed = executed
+                raise MachineError(f"{self.program.name}: pc {pc} outside code segment")
+            inst = instructions[pc]
+            op = inst.opcode
+            executed += 1
+            cycles += cost_by_pc[pc]
+            if pc_counts is not None:
+                pc_counts[pc] += 1
+            next_pc = pc + 1
+            value: Optional[int] = None
+
+            if op == "ld":
+                address = registers[inst.ra] + inst.imm
+                if not 0 <= address < memory_words:
+                    self.pc = pc
+                    self.instructions_executed = executed
+                    raise MachineError(
+                        f"{self.program.name}: load out of range at pc {pc}: address {address}"
+                    )
+                value = memory[address]
+                registers[inst.rd] = value
+                self.dynamic_loads += 1
+                if observer is not None:
+                    observer.on_load(inst, address, value)
+            elif op == "st":
+                address = registers[inst.ra] + inst.imm
+                if not 0 <= address < memory_words:
+                    self.pc = pc
+                    self.instructions_executed = executed
+                    raise MachineError(
+                        f"{self.program.name}: store out of range at pc {pc}: address {address}"
+                    )
+                stored = registers[inst.rd]
+                memory[address] = stored
+                self.dynamic_stores += 1
+                if observer is not None:
+                    observer.on_store(inst, address, stored)
+            elif op == "addi":
+                value = to_signed64(registers[inst.ra] + inst.imm)
+                registers[inst.rd] = value
+            elif op == "add":
+                value = to_signed64(registers[inst.ra] + registers[inst.rb])
+                registers[inst.rd] = value
+            elif op == "beq":
+                if registers[inst.ra] == registers[inst.rb]:
+                    next_pc = inst.target
+            elif op == "bne":
+                if registers[inst.ra] != registers[inst.rb]:
+                    next_pc = inst.target
+            elif op == "blt":
+                if registers[inst.ra] < registers[inst.rb]:
+                    next_pc = inst.target
+            elif op == "bge":
+                if registers[inst.ra] >= registers[inst.rb]:
+                    next_pc = inst.target
+            elif op == "ble":
+                if registers[inst.ra] <= registers[inst.rb]:
+                    next_pc = inst.target
+            elif op == "bgt":
+                if registers[inst.ra] > registers[inst.rb]:
+                    next_pc = inst.target
+            elif op == "sub":
+                value = to_signed64(registers[inst.ra] - registers[inst.rb])
+                registers[inst.rd] = value
+            elif op == "subi":
+                value = to_signed64(registers[inst.ra] - inst.imm)
+                registers[inst.rd] = value
+            elif op == "li":
+                value = to_signed64(inst.imm)
+                registers[inst.rd] = value
+            elif op == "la":
+                value = inst.imm
+                registers[inst.rd] = value
+            elif op == "mov":
+                value = registers[inst.ra]
+                registers[inst.rd] = value
+            elif op == "mul":
+                value = to_signed64(registers[inst.ra] * registers[inst.rb])
+                registers[inst.rd] = value
+            elif op == "muli":
+                value = to_signed64(registers[inst.ra] * inst.imm)
+                registers[inst.rd] = value
+            elif op in ("div", "divi", "rem", "remi"):
+                numerator = registers[inst.ra]
+                denominator = inst.imm if op.endswith("i") else registers[inst.rb]
+                if denominator == 0:
+                    self.pc = pc
+                    self.instructions_executed = executed
+                    raise MachineError(
+                        f"{self.program.name}: division by zero at pc {pc} "
+                        f"({inst.render()}, line {inst.line})"
+                    )
+                quotient = abs(numerator) // abs(denominator)
+                if (numerator < 0) != (denominator < 0):
+                    quotient = -quotient
+                if op.startswith("div"):
+                    value = to_signed64(quotient)
+                else:
+                    value = to_signed64(numerator - quotient * denominator)
+                registers[inst.rd] = value
+            elif op == "and":
+                value = to_signed64(registers[inst.ra] & registers[inst.rb])
+                registers[inst.rd] = value
+            elif op == "andi":
+                value = to_signed64(registers[inst.ra] & inst.imm)
+                registers[inst.rd] = value
+            elif op == "or":
+                value = to_signed64(registers[inst.ra] | registers[inst.rb])
+                registers[inst.rd] = value
+            elif op == "ori":
+                value = to_signed64(registers[inst.ra] | inst.imm)
+                registers[inst.rd] = value
+            elif op == "xor":
+                value = to_signed64(registers[inst.ra] ^ registers[inst.rb])
+                registers[inst.rd] = value
+            elif op == "xori":
+                value = to_signed64(registers[inst.ra] ^ inst.imm)
+                registers[inst.rd] = value
+            elif op in ("sll", "slli"):
+                shift = (inst.imm if op.endswith("i") else registers[inst.rb]) & 63
+                value = to_signed64(registers[inst.ra] << shift)
+                registers[inst.rd] = value
+            elif op in ("srl", "srli"):
+                shift = (inst.imm if op.endswith("i") else registers[inst.rb]) & 63
+                value = to_signed64((registers[inst.ra] & ((1 << 64) - 1)) >> shift)
+                registers[inst.rd] = value
+            elif op in ("sra", "srai"):
+                shift = (inst.imm if op.endswith("i") else registers[inst.rb]) & 63
+                value = to_signed64(registers[inst.ra] >> shift)
+                registers[inst.rd] = value
+            elif op == "slt":
+                value = 1 if registers[inst.ra] < registers[inst.rb] else 0
+                registers[inst.rd] = value
+            elif op == "slti":
+                value = 1 if registers[inst.ra] < inst.imm else 0
+                registers[inst.rd] = value
+            elif op == "seq":
+                value = 1 if registers[inst.ra] == registers[inst.rb] else 0
+                registers[inst.rd] = value
+            elif op == "seqi":
+                value = 1 if registers[inst.ra] == inst.imm else 0
+                registers[inst.rd] = value
+            elif op == "sne":
+                value = 1 if registers[inst.ra] != registers[inst.rb] else 0
+                registers[inst.rd] = value
+            elif op == "snei":
+                value = 1 if registers[inst.ra] != inst.imm else 0
+                registers[inst.rd] = value
+            elif op == "j":
+                next_pc = inst.target
+            elif op == "jal":
+                registers[REG_LINK] = pc + 1
+                next_pc = inst.target
+                self._enter_procedure(next_pc, pc, registers, observer)
+            elif op == "jalr":
+                registers[inst.rd] = pc + 1
+                next_pc = registers[inst.ra]
+                self._enter_procedure(next_pc, pc, registers, observer)
+            elif op == "jr":
+                next_pc = registers[inst.rd]
+                if inst.rd == REG_LINK and observer is not None:
+                    returning = self._procedure_by_pc[pc]
+                    if returning is not None:
+                        observer.on_return(returning, registers[REG_RETURN])
+            elif op == "in":
+                if self._input_pos < len(self._input):
+                    value = self._input[self._input_pos]
+                    self._input_pos += 1
+                else:
+                    value = 0
+                registers[inst.rd] = value
+            elif op == "out":
+                self.output.append(registers[inst.rd])
+            elif op == "nop":
+                pass
+            elif op == "halt":
+                self.halted = True
+            else:  # pragma: no cover - assembler rejects unknown opcodes
+                raise MachineError(f"{self.program.name}: unimplemented opcode {op!r}")
+
+            if value is not None:
+                registers[0] = 0  # r0 stays hardwired to zero
+                self.dynamic_defines += 1
+                if observer is not None:
+                    observer.on_define(inst, registers[inst.rd] if inst.rd != 0 else 0)
+            pc = next_pc
+
+        self.pc = pc
+        self.instructions_executed = executed
+        self.cycles = cycles
+        return RunResult(
+            program=self.program.name,
+            instructions_executed=executed,
+            output=list(self.output),
+            halted=self.halted,
+            dynamic_loads=self.dynamic_loads,
+            dynamic_stores=self.dynamic_stores,
+            dynamic_calls=self.dynamic_calls,
+            dynamic_defines=self.dynamic_defines,
+            cycles=cycles,
+            procedure_calls=dict(self.procedure_calls),
+        )
+
+    def _enter_procedure(
+        self,
+        entry_pc: int,
+        call_pc: int,
+        registers: List[int],
+        observer: Optional[MachineObserver],
+    ) -> None:
+        procedure = self._procedures_by_entry.get(entry_pc)
+        if procedure is None:
+            return
+        self.dynamic_calls += 1
+        self.procedure_calls[procedure.name] = self.procedure_calls.get(procedure.name, 0) + 1
+        if observer is not None:
+            args = tuple(registers[REG_ARGS[i]] for i in range(procedure.nargs))
+            observer.on_call(procedure, args, call_pc)
+
+
+def block_counts(machine: Machine) -> Dict[int, int]:
+    """Basic-block execution counts from a ``count_pcs`` machine.
+
+    Keyed by block-leader pc; the count is how many times execution
+    entered the block (the leader's pc count).
+    """
+    if machine.pc_counts is None:
+        raise MachineError("block_counts requires Machine(count_pcs=True)")
+    return {
+        block.start: machine.pc_counts[block.start]
+        for block in machine.program.basic_blocks()
+    }
+
+
+def run_program(
+    program: Program,
+    input_values: Iterable[int] = (),
+    observer: Optional[MachineObserver] = None,
+    memory_words: int = DEFAULT_MEMORY_WORDS,
+    max_instructions: int = DEFAULT_BUDGET,
+) -> RunResult:
+    """Convenience wrapper: build a machine, feed input, run to halt."""
+    machine = Machine(program, memory_words=memory_words, observer=observer)
+    machine.set_input(input_values)
+    return machine.run(max_instructions=max_instructions)

@@ -1,0 +1,140 @@
+"""Executable VPA programs: procedures, basic blocks, data segment.
+
+The assembler produces a :class:`Program`; the machine executes it and
+the instrumentation layer queries it — exactly the role ATOM's program
+representation plays in the paper, where "instructions, basic blocks,
+and procedures [can] be queried and manipulated" (§III.E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.isa.instructions import Instruction
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """One procedure: a contiguous range of instructions.
+
+    Attributes:
+        name: procedure name from the ``.proc`` directive.
+        start: pc of the first instruction (the call target).
+        end: pc one past the last instruction.
+        nargs: declared argument count (``r1``..``r<nargs>`` at entry),
+            used by the parameter-profiling front end.
+    """
+
+    name: str
+    start: int
+    end: int
+    nargs: int = 0
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """Maximal straight-line instruction range within one procedure."""
+
+    start: int
+    end: int
+    procedure: str
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Program:
+    """A fully assembled VPA program.
+
+    Attributes:
+        name: program (workload) name; becomes the ``program`` field of
+            every profile site.
+        instructions: the code segment, indexed by pc.
+        procedures: procedure table by name.
+        labels: code labels by name (includes procedure entries).
+        data_symbols: data-segment symbol addresses by name.
+        data_image: initial contents of the data segment, starting at
+            address 0.
+        entry: pc where execution starts (the ``main`` procedure).
+    """
+
+    name: str
+    instructions: List[Instruction]
+    procedures: Dict[str, Procedure]
+    labels: Dict[str, int]
+    data_symbols: Dict[str, int]
+    data_image: List[int]
+    entry: int = 0
+    source: str = field(default="", repr=False)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def procedure_at(self, pc: int) -> Optional[Procedure]:
+        """The procedure containing ``pc`` (linear scan is fine: few procs)."""
+        for procedure in self.procedures.values():
+            if pc in procedure:
+                return procedure
+        return None
+
+    def procedure_of_label(self, label: str) -> Procedure:
+        try:
+            return self.procedures[label]
+        except KeyError:
+            raise MachineError(f"{self.name}: no procedure named {label!r}") from None
+
+    def basic_blocks(self) -> List[BasicBlock]:
+        """Partition the code into basic blocks.
+
+        Leaders are: entry of every procedure, every branch/jump target,
+        and every instruction following a control transfer.
+        """
+        if not self.instructions:
+            return []
+        leaders = {procedure.start for procedure in self.procedures.values()}
+        leaders.add(0)
+        for inst in self.instructions:
+            info = inst.info
+            if info.is_branch:
+                if inst.opcode not in ("jr", "jalr"):
+                    leaders.add(inst.target)
+                if inst.pc + 1 < len(self.instructions):
+                    leaders.add(inst.pc + 1)
+        boundaries = sorted(leaders) + [len(self.instructions)]
+        blocks = []
+        for start, end in zip(boundaries, boundaries[1:]):
+            if start >= end:
+                continue
+            procedure = self.procedure_at(start)
+            blocks.append(BasicBlock(start, end, procedure.name if procedure else ""))
+        return blocks
+
+    def disassemble(self) -> str:
+        """Readable listing of the whole code segment."""
+        lines = []
+        starts = {procedure.start: procedure for procedure in self.procedures.values()}
+        for inst in self.instructions:
+            if inst.pc in starts:
+                procedure = starts[inst.pc]
+                lines.append(f"{procedure.name}:  ; nargs={procedure.nargs}")
+            lines.append(f"  {inst}")
+        return "\n".join(lines)
+
+    def static_load_count(self) -> int:
+        """Number of static load instructions (Diff(L/I) denominators)."""
+        return sum(1 for inst in self.instructions if inst.info.is_load)
+
+    def static_defining_count(self) -> int:
+        """Number of static register-defining instructions."""
+        return sum(1 for inst in self.instructions if inst.info.defines_register)

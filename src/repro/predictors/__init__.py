@@ -1,0 +1,53 @@
+"""Value predictors and profile-guided prediction filtering (§II.A)."""
+
+from repro.predictors.base import PredictionStats, Predictor, run_trace
+from repro.predictors.classify import (
+    ClassifierConfig,
+    InvarianceClass,
+    class_histogram,
+    classify,
+    classify_all,
+    invariance_filter,
+    lvp_filter,
+    predictable_classes,
+)
+from repro.predictors.context import FiniteContextPredictor, TwoLevelPredictor
+from repro.predictors.harness import (
+    STANDARD_BANK,
+    BankResult,
+    FilteredResult,
+    evaluate_bank,
+    evaluate_filtered,
+)
+from repro.predictors.hybrid import HybridPredictor, lvp_stride_hybrid, stride_2level_hybrid
+from repro.predictors.last_value import LastValuePredictor
+from repro.predictors.vht import ValueHistoryTable, VHTStats
+from repro.predictors.stride import StridePredictor
+
+__all__ = [
+    "BankResult",
+    "ClassifierConfig",
+    "FilteredResult",
+    "FiniteContextPredictor",
+    "HybridPredictor",
+    "InvarianceClass",
+    "LastValuePredictor",
+    "PredictionStats",
+    "Predictor",
+    "STANDARD_BANK",
+    "StridePredictor",
+    "TwoLevelPredictor",
+    "VHTStats",
+    "ValueHistoryTable",
+    "class_histogram",
+    "classify",
+    "classify_all",
+    "evaluate_bank",
+    "evaluate_filtered",
+    "invariance_filter",
+    "lvp_filter",
+    "lvp_stride_hybrid",
+    "predictable_classes",
+    "run_trace",
+    "stride_2level_hybrid",
+]

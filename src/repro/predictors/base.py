@@ -1,0 +1,69 @@
+"""Value-predictor interface.
+
+The thesis motivates value profiling with hardware value prediction
+(§II.A): a predictor guesses an instruction's next output value from
+its history.  Each predictor here models the per-instruction state one
+entry of a hardware Value History Table would hold; the harness in
+:mod:`repro.predictors.harness` instantiates one per site and replays
+recorded value traces through it.
+
+Protocol: for each dynamic execution, the harness first calls
+:meth:`Predictor.predict` (``None`` means "no prediction", a miss),
+then :meth:`Predictor.update` with the actual value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+Value = Hashable
+
+
+class Predictor:
+    """One site's prediction state."""
+
+    #: short name used in result tables
+    name: str = "base"
+
+    def predict(self) -> Optional[Value]:
+        """The predicted next value, or ``None`` for no prediction."""
+        raise NotImplementedError
+
+    def update(self, value: Value) -> None:
+        """Observe the actual value produced by this execution."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PredictionStats:
+    """Outcome of replaying one trace through one predictor."""
+
+    predictor: str
+    executions: int
+    hits: int
+    no_prediction: int
+
+    @property
+    def accuracy(self) -> float:
+        """Correct predictions over all executions (misses include
+        executions where the predictor offered no prediction)."""
+        if self.executions == 0:
+            return 0.0
+        return self.hits / self.executions
+
+
+def run_trace(predictor: Predictor, trace: Iterable[Value]) -> PredictionStats:
+    """Replay ``trace`` through ``predictor`` and score it."""
+    executions = 0
+    hits = 0
+    no_prediction = 0
+    for value in trace:
+        guess = predictor.predict()
+        if guess is None:
+            no_prediction += 1
+        elif guess == value:
+            hits += 1
+        predictor.update(value)
+        executions += 1
+    return PredictionStats(predictor.name, executions, hits, no_prediction)

@@ -1,0 +1,112 @@
+"""Profile-guided predictability classification — Gabbay & Mendelson [18].
+
+Gabbay showed that a profile pass can classify instructions by their
+tendency to be value-predictable, and that predicting *only* the
+instructions marked predictable improves prediction-table utilization
+and cuts mispredictions.  Value profiling supplies exactly the needed
+classification: a site's LVP and invariance metrics.
+
+This module turns :class:`~repro.core.metrics.SiteMetrics` into the
+thesis' three-way classification (invariant / semi-invariant /
+variant) and builds filters for the prediction harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.core.metrics import SiteMetrics
+from repro.core.sites import Site
+
+
+class InvarianceClass(enum.Enum):
+    """The thesis' classification of profiled sites."""
+
+    INVARIANT = "invariant"
+    SEMI_INVARIANT = "semi-invariant"
+    VARIANT = "variant"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Thresholds on Inv-Top(1) separating the three classes.
+
+    Defaults follow the thesis' working definitions: a semi-invariant
+    variable spends at least half its executions on its top value; an
+    invariant one essentially always produces it.
+    """
+
+    invariant_threshold: float = 0.95
+    semi_invariant_threshold: float = 0.50
+
+
+def classify(metrics: SiteMetrics, config: ClassifierConfig = ClassifierConfig()) -> InvarianceClass:
+    """Classify one site from its profile metrics."""
+    if metrics.inv_top1 >= config.invariant_threshold:
+        return InvarianceClass.INVARIANT
+    if metrics.inv_top1 >= config.semi_invariant_threshold:
+        return InvarianceClass.SEMI_INVARIANT
+    return InvarianceClass.VARIANT
+
+
+def classify_all(
+    rows: Iterable[Tuple[Site, SiteMetrics]],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> Dict[Site, InvarianceClass]:
+    """Classification map over (site, metrics) rows."""
+    return {site: classify(metrics, config) for site, metrics in rows}
+
+
+def class_histogram(
+    classes: Dict[Site, InvarianceClass],
+    weights: Dict[Site, int],
+) -> Dict[InvarianceClass, float]:
+    """Execution-weighted share of each class (rows of the thesis'
+    classification tables)."""
+    totals = {cls: 0 for cls in InvarianceClass}
+    for site, cls in classes.items():
+        totals[cls] += weights.get(site, 0)
+    grand = sum(totals.values())
+    if grand == 0:
+        return {cls: 0.0 for cls in InvarianceClass}
+    return {cls: count / grand for cls, count in totals.items()}
+
+
+SiteFilter = Callable[[Site, SiteMetrics], bool]
+
+
+def lvp_filter(min_lvp: float) -> SiteFilter:
+    """Keep sites whose profiled LVP is at least ``min_lvp`` — the
+    filter Gabbay's opcode annotations approximate."""
+
+    def accept(site: Site, metrics: SiteMetrics) -> bool:
+        return metrics.lvp >= min_lvp
+
+    return accept
+
+
+def invariance_filter(min_inv: float) -> SiteFilter:
+    """Keep sites whose Inv-Top(1) is at least ``min_inv``."""
+
+    def accept(site: Site, metrics: SiteMetrics) -> bool:
+        return metrics.inv_top1 >= min_inv
+
+    return accept
+
+
+def predictable_classes(
+    allowed: Iterable[InvarianceClass],
+    config: ClassifierConfig = ClassifierConfig(),
+) -> SiteFilter:
+    """Keep sites whose classification is in ``allowed``."""
+    allowed_set = set(allowed)
+
+    def accept(site: Site, metrics: SiteMetrics) -> bool:
+        return classify(metrics, config) in allowed_set
+
+    return accept

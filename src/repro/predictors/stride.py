@@ -1,0 +1,50 @@
+"""Stride predictor — Gabbay & Mendelson [17, 18].
+
+Predicts ``last + stride``.  With stride 0 it degenerates to last-value
+prediction, which is why the thesis notes stride subsumes LVP.  The
+default is the *two-delta* variant used in the literature: the
+committed stride only changes after the same delta is observed twice in
+a row, which stops loop-exit glitches from corrupting a stable stride.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.predictors.base import Predictor, Value
+
+
+class StridePredictor(Predictor):
+    """Two-delta (or plain) stride prediction over integer traces.
+
+    Non-integer values flow through gracefully: the predictor falls
+    back to last-value behaviour for them (stride stays 0).
+    """
+
+    name = "stride"
+
+    def __init__(self, two_delta: bool = True) -> None:
+        self.two_delta = two_delta
+        self._last: Optional[Value] = None
+        self._has_last = False
+        self._stride = 0
+        self._pending_stride = 0
+
+    def predict(self) -> Optional[Value]:
+        if not self._has_last:
+            return None
+        if isinstance(self._last, int):
+            return self._last + self._stride
+        return self._last
+
+    def update(self, value: Value) -> None:
+        if self._has_last and isinstance(value, int) and isinstance(self._last, int):
+            delta = value - self._last
+            if self.two_delta:
+                if delta == self._pending_stride:
+                    self._stride = delta
+                self._pending_stride = delta
+            else:
+                self._stride = delta
+        self._last = value
+        self._has_last = True

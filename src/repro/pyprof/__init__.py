@@ -1,0 +1,26 @@
+"""Python-host value-profiling front end.
+
+Three instrumentation granularities, all feeding the same core:
+
+* :class:`FunctionProfiler` / :func:`profile_calls` — arguments and
+  return values via the CPython profiling hook (cheap, coarse).
+* :func:`instrument_function` — per-statement AST instrumentation
+  (assignments, loop variables, returns), the closest analogue to the
+  paper's per-instruction ATOM probes.
+* :class:`ProfiledDict` / :class:`ProfiledList` /
+  :func:`profile_attributes` — memory-location profiling of container
+  slots and object attributes.
+"""
+
+from repro.pyprof.ast_instrument import instrument_function
+from repro.pyprof.memprof import ProfiledDict, ProfiledList, profile_attributes
+from repro.pyprof.tracer import FunctionProfiler, profile_calls
+
+__all__ = [
+    "FunctionProfiler",
+    "ProfiledDict",
+    "ProfiledList",
+    "instrument_function",
+    "profile_attributes",
+    "profile_calls",
+]

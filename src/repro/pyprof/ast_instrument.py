@@ -1,0 +1,162 @@
+"""AST-level value profiling of Python functions.
+
+Statement-level instrumentation: every simple assignment, augmented
+assignment, ``for`` loop variable, and ``return`` inside a function is
+rewritten to pass its value through a recorder before use — the Python
+analogue of ATOM inserting a probe after each register-defining
+instruction.  Example::
+
+    def body(x):
+        y = x * 2          ->   y = __vp_record__('y', x * 2)
+        return y + 1       ->   return __vp_record__('return', y + 1)
+
+Limitations (checked, with clear errors): the function's source must
+be retrievable via :mod:`inspect` and it must not capture a closure.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Hashable, Optional
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import python_site
+from repro.errors import ProfileError
+
+_RECORDER_NAME = "__vp_record__"
+
+
+class _Instrumenter(ast.NodeTransformer):
+    """Rewrites value-producing statements to route through the recorder."""
+
+    def __init__(self) -> None:
+        self.instrumented_names: set = set()
+
+    def _record_call(self, label: str, value: ast.expr) -> ast.expr:
+        self.instrumented_names.add(label)
+        return ast.Call(
+            func=ast.Name(id=_RECORDER_NAME, ctx=ast.Load()),
+            args=[ast.Constant(value=label), value],
+            keywords=[],
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> ast.stmt:
+        self.generic_visit(node)
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            node.value = self._record_call(node.targets[0].id, node.value)
+        return node
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> ast.stmt:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            node.value = self._record_call(node.target.id, node.value)
+        return node
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> list:
+        self.generic_visit(node)
+        if not isinstance(node.target, ast.Name):
+            return node
+        # x += e  ->  x += e ; __vp_record__('x', x)
+        probe = ast.Expr(
+            value=self._record_call(
+                node.target.id, ast.Name(id=node.target.id, ctx=ast.Load())
+            )
+        )
+        return [node, probe]
+
+    def visit_For(self, node: ast.For) -> ast.stmt:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name):
+            probe = ast.Expr(
+                value=self._record_call(
+                    node.target.id, ast.Name(id=node.target.id, ctx=ast.Load())
+                )
+            )
+            node.body = [probe] + node.body
+        return node
+
+    def visit_Return(self, node: ast.Return) -> ast.stmt:
+        self.generic_visit(node)
+        if node.value is not None:
+            node.value = self._record_call("return", node.value)
+        return node
+
+    # Nested definitions keep their own semantics; do not descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.stmt:
+        return node
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> ast.stmt:
+        return node
+
+    def visit_Lambda(self, node: ast.Lambda) -> ast.expr:
+        return node
+
+
+def _normalize(value: object) -> Hashable:
+    try:
+        hash(value)
+    except TypeError:
+        return f"<{type(value).__name__}>"
+    return value
+
+
+def instrument_function(
+    func: Callable,
+    database: Optional[ProfileDatabase] = None,
+    config: Optional[TNVConfig] = None,
+) -> Callable:
+    """Return an instrumented clone of ``func`` plus its database.
+
+    The clone behaves identically (modulo the recording side effect)
+    and carries the database as ``clone.__vp_database__``.
+    """
+    if getattr(func, "__closure__", None):
+        raise ProfileError(
+            f"cannot instrument {func.__qualname__}: closures are not supported"
+        )
+    try:
+        source = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise ProfileError(f"cannot retrieve source of {func!r}: {exc}") from exc
+
+    tree = ast.parse(textwrap.dedent(source))
+    funcdef = tree.body[0]
+    if not isinstance(funcdef, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise ProfileError(f"source of {func!r} is not a function definition")
+    funcdef.decorator_list = []
+
+    instrumenter = _Instrumenter()
+    funcdef.body = [instrumenter.visit(stmt) for stmt in funcdef.body]
+    # visit() may return lists (AugAssign expansion); flatten.
+    flattened = []
+    for stmt in funcdef.body:
+        if isinstance(stmt, list):
+            flattened.extend(stmt)
+        else:
+            flattened.append(stmt)
+    funcdef.body = flattened
+    ast.fix_missing_locations(tree)
+
+    if database is None:
+        database = ProfileDatabase(config=config, name=f"ast:{func.__qualname__}")
+    module = getattr(func, "__module__", "?") or "?"
+    site_cache: dict = {}
+
+    def recorder(label: str, value: object) -> object:
+        site = site_cache.get(label)
+        if site is None:
+            site = python_site(module, func.__name__, label)
+            site_cache[label] = site
+        database.record(site, _normalize(value))
+        return value
+
+    namespace = dict(func.__globals__)
+    namespace[_RECORDER_NAME] = recorder
+    code = compile(tree, filename=f"<instrumented {func.__qualname__}>", mode="exec")
+    exec(code, namespace)
+    clone = namespace[funcdef.name]
+    clone.__vp_database__ = database
+    clone.__wrapped__ = func
+    return clone

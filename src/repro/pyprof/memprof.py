@@ -1,0 +1,138 @@
+"""Memory-location value profiling at the Python level.
+
+The thesis (Chapters on memory-location profiling) attaches a TNV
+table to each profiled *memory word*, recorded on every store.  The
+Python analogues of memory words are container slots and object
+attributes; this module provides transparent wrappers that record
+every store into a :class:`~repro.core.profile.ProfileDatabase` under
+``MEMORY`` sites:
+
+* :class:`ProfiledDict` — records stores per key.
+* :class:`ProfiledList` — records stores per index.
+* :class:`profile_attributes` — class decorator recording attribute
+  stores per attribute name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import Site, SiteKind
+
+
+def _normalize(value: object) -> Hashable:
+    try:
+        hash(value)
+    except TypeError:
+        return f"<{type(value).__name__}>"
+    return value
+
+
+def _memory_site(program: str, label: str) -> Site:
+    return Site(kind=SiteKind.MEMORY, program=program, label=label)
+
+
+class ProfiledDict(dict):
+    """A dict recording every store's value, keyed per dict key."""
+
+    def __init__(
+        self,
+        *args: Any,
+        database: Optional[ProfileDatabase] = None,
+        name: str = "dict",
+        config: Optional[TNVConfig] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.database = database if database is not None else ProfileDatabase(config=config, name=name)
+        self._name = name
+        self._site_cache: dict = {}
+
+    def _site(self, key: Hashable) -> Site:
+        site = self._site_cache.get(key)
+        if site is None:
+            site = _memory_site(self._name, repr(key))
+            self._site_cache[key] = site
+        return site
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.database.record(self._site(key), _normalize(value))
+        super().__setitem__(key, value)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:  # keep profiling on update()
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def setdefault(self, key: Hashable, default: Any = None) -> Any:
+        if key not in self:
+            self[key] = default
+        return self[key]
+
+
+class ProfiledList(list):
+    """A list recording every indexed store's value, keyed per index."""
+
+    def __init__(
+        self,
+        iterable: Iterable = (),
+        database: Optional[ProfileDatabase] = None,
+        name: str = "list",
+        config: Optional[TNVConfig] = None,
+    ) -> None:
+        super().__init__(iterable)
+        self.database = database if database is not None else ProfileDatabase(config=config, name=name)
+        self._name = name
+        self._site_cache: dict = {}
+
+    def _site(self, index: int) -> Site:
+        site = self._site_cache.get(index)
+        if site is None:
+            site = _memory_site(self._name, str(index))
+            self._site_cache[index] = site
+        return site
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        if isinstance(index, int):
+            position = index if index >= 0 else len(self) + index
+            self.database.record(self._site(position), _normalize(value))
+        super().__setitem__(index, value)
+
+
+def profile_attributes(
+    database: Optional[ProfileDatabase] = None,
+    name: Optional[str] = None,
+    config: Optional[TNVConfig] = None,
+):
+    """Class decorator: record every attribute store on instances.
+
+    Each attribute name is one memory site (all instances share it, the
+    way the thesis aggregates a structure field across objects)::
+
+        @profile_attributes()
+        class Particle:
+            def __init__(self, x):
+                self.x = x
+
+        Particle.__vp_database__.summary()
+    """
+
+    def decorate(cls: type) -> type:
+        db = database if database is not None else ProfileDatabase(config=config, name=name or cls.__name__)
+        site_cache: dict = {}
+        label = name or cls.__name__
+        original_setattr = cls.__setattr__
+
+        def __setattr__(self: Any, attr: str, value: Any) -> None:
+            site = site_cache.get(attr)
+            if site is None:
+                site = _memory_site(label, attr)
+                site_cache[attr] = site
+            db.record(site, _normalize(value))
+            original_setattr(self, attr, value)
+
+        cls.__setattr__ = __setattr__
+        cls.__vp_database__ = db
+        return cls
+
+    return decorate

@@ -1,0 +1,153 @@
+"""Function-level value profiling for Python code.
+
+This is the host-language front end: where the paper instruments Alpha
+binaries with ATOM, here we hook CPython's profiling callback
+(``sys.setprofile``) and record *argument* and *return* values of
+selected Python functions into the same
+:class:`~repro.core.profile.ProfileDatabase` the ISA front end uses.
+Argument sites correspond to the thesis' parameter profiling; return
+sites to instruction destination values.
+
+Only hashable values are recorded (unhashable arguments are profiled
+by type name instead — type feedback in the Holzle & Ungar [23]
+sense, which is itself a value profile of the hidden type word).
+"""
+
+from __future__ import annotations
+
+import sys
+from types import FrameType
+from typing import Callable, Hashable, Iterable, Optional, Set
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import Site, python_site
+
+
+def _normalize(value: object) -> Hashable:
+    """Map a runtime value to a profilable (hashable) token."""
+    try:
+        hash(value)
+    except TypeError:
+        return f"<{type(value).__name__}>"
+    return value
+
+
+class FunctionProfiler:
+    """Profiles arguments and returns of selected Python functions.
+
+    Use as a context manager::
+
+        profiler = FunctionProfiler(match=lambda name: name.startswith("mymod."))
+        with profiler:
+            run_application()
+        print(profiler.database.summary())
+
+    Args:
+        match: predicate on ``module.qualname`` deciding whether a
+            function is profiled.  Defaults to "not the profiler, not
+            the stdlib internals" — pass an explicit matcher in real
+            use.
+        config: TNV knobs for every site.
+        exact: keep exact reference histograms too.
+    """
+
+    def __init__(
+        self,
+        match: Optional[Callable[[str], bool]] = None,
+        config: Optional[TNVConfig] = None,
+        exact: bool = True,
+    ) -> None:
+        self.match = match or (lambda name: True)
+        self.database = ProfileDatabase(config=config, exact=exact, name="pyprof")
+        self.calls = 0
+        self._active = False
+        self._site_cache: dict = {}
+        self._skipped: Set[int] = set()
+
+    # ------------------------------------------------------------------
+
+    def _function_name(self, frame: FrameType) -> str:
+        module = frame.f_globals.get("__name__", "?")
+        return f"{module}.{frame.f_code.co_qualname}" if hasattr(frame.f_code, "co_qualname") else f"{module}.{frame.f_code.co_name}"
+
+    def _should_profile(self, frame: FrameType) -> bool:
+        code_id = id(frame.f_code)
+        if code_id in self._skipped:
+            return False
+        name = self._function_name(frame)
+        if name.startswith("repro.pyprof") or not self.match(name):
+            self._skipped.add(code_id)
+            return False
+        return True
+
+    def _site(self, frame: FrameType, label: str) -> Site:
+        key = (id(frame.f_code), label)
+        site = self._site_cache.get(key)
+        if site is None:
+            module = frame.f_globals.get("__name__", "?")
+            function = frame.f_code.co_name
+            site = python_site(module, function, label)
+            self._site_cache[key] = site
+        return site
+
+    def _profile_event(self, frame: FrameType, event: str, arg: object) -> None:
+        if event == "call":
+            if not self._should_profile(frame):
+                return
+            self.calls += 1
+            code = frame.f_code
+            names = code.co_varnames[: code.co_argcount]
+            for index, name in enumerate(names):
+                if name in frame.f_locals:
+                    site = self._site(frame, f"arg{index}:{name}")
+                    self.database.record(site, _normalize(frame.f_locals[name]))
+        elif event == "return":
+            if not self._should_profile(frame):
+                return
+            site = self._site(frame, "return")
+            self.database.record(site, _normalize(arg))
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        sys.setprofile(self._profile_event)
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        sys.setprofile(None)
+        self._active = False
+
+    def __enter__(self) -> "FunctionProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def profile_calls(
+    func: Callable,
+    calls: Iterable[tuple],
+    config: Optional[TNVConfig] = None,
+) -> ProfileDatabase:
+    """Profile ``func`` over a sequence of argument tuples.
+
+    A convenience wrapper for the common "profile this one function on
+    this workload" case; avoids global tracing by recording arguments
+    and returns directly.
+    """
+    database = ProfileDatabase(config=config, name=f"pyprof:{func.__name__}")
+    module = getattr(func, "__module__", "?") or "?"
+    arg_names = func.__code__.co_varnames[: func.__code__.co_argcount]
+    arg_sites = [python_site(module, func.__name__, f"arg{i}:{name}") for i, name in enumerate(arg_names)]
+    return_site = python_site(module, func.__name__, "return")
+    for call_args in calls:
+        for site, value in zip(arg_sites, call_args):
+            database.record(site, _normalize(value))
+        result = func(*call_args)
+        database.record(return_site, _normalize(result))
+    return database

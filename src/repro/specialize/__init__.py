@@ -1,0 +1,28 @@
+"""Profile-guided code specialization (thesis Chapter X).
+
+Pipeline: profile parameters (:mod:`repro.pyprof` or any
+:class:`~repro.core.profile.ProfileDatabase`) → select candidates
+(:func:`find_candidates`) → generate a guarded specialized variant
+(:func:`specialize_function` / :class:`SpecializedFunction`) — or let
+:class:`AdaptiveSpecializer` do the whole loop at run time.
+"""
+
+from repro.specialize.analysis import BenefitModel, SpecializationCandidate, find_candidates
+from repro.specialize.codegen import specialize_function
+from repro.specialize.runtime import (
+    AdaptiveConfig,
+    AdaptiveFunction,
+    AdaptiveSpecializer,
+    SpecializedFunction,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveFunction",
+    "AdaptiveSpecializer",
+    "BenefitModel",
+    "SpecializationCandidate",
+    "SpecializedFunction",
+    "find_candidates",
+    "specialize_function",
+]

@@ -1,0 +1,107 @@
+"""Candidate selection for code specialization (thesis Chapter X).
+
+The thesis' pipeline: value-profile a program, find the semi-invariant
+variables, and specialize the code that consumes them, guarded by an
+equality test on the invariant value.  This module implements the
+*selection* step over a :class:`~repro.core.profile.ProfileDatabase`:
+rank sites by expected benefit and expose the top value to bind.
+
+The benefit model is the paper's break-even argument: specialization
+pays when
+
+    executions * (invariance * saving_per_call) > executions * guard_cost
+                                                   + specialization_cost
+
+i.e. the invariant path must be hot enough and invariant enough to
+amortize both the per-call guard and the one-time code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.profile import ProfileDatabase
+from repro.core.sites import Site, SiteKind
+
+
+@dataclass(frozen=True)
+class SpecializationCandidate:
+    """One profitable-looking (site, value) binding."""
+
+    site: Site
+    value: object
+    invariance: float
+    executions: int
+
+    @property
+    def expected_hits(self) -> float:
+        """Executions expected to take the specialized path."""
+        return self.invariance * self.executions
+
+
+@dataclass(frozen=True)
+class BenefitModel:
+    """Break-even estimate for one candidate.
+
+    Attributes:
+        saving_per_call: time saved per specialized-path call (general
+            minus specialized), in arbitrary cost units.
+        guard_cost: per-call cost of the dispatch guard.
+        specialization_cost: one-time cost of generating the variant.
+    """
+
+    saving_per_call: float = 1.0
+    guard_cost: float = 0.05
+    specialization_cost: float = 100.0
+
+    def net_benefit(self, candidate: SpecializationCandidate) -> float:
+        gain = candidate.expected_hits * self.saving_per_call
+        cost = candidate.executions * self.guard_cost + self.specialization_cost
+        return gain - cost
+
+    def breakeven_invariance(self, executions: int) -> float:
+        """Minimum invariance at which specialization pays off."""
+        if executions == 0 or self.saving_per_call == 0:
+            return 1.0
+        needed = (executions * self.guard_cost + self.specialization_cost) / (
+            executions * self.saving_per_call
+        )
+        return min(1.0, needed)
+
+
+def find_candidates(
+    database: ProfileDatabase,
+    kind: Optional[SiteKind] = None,
+    min_invariance: float = 0.50,
+    min_executions: int = 100,
+    model: Optional[BenefitModel] = None,
+) -> List[SpecializationCandidate]:
+    """Rank specialization candidates from a profile.
+
+    Uses the TNV table's top value (what a deployed profiler would
+    have), not the exact histogram.  Candidates are sorted by expected
+    specialized-path executions, descending; when a ``model`` is given,
+    candidates with non-positive net benefit are dropped.
+    """
+    candidates: List[SpecializationCandidate] = []
+    for profile in database.profiles(kind):
+        if profile.executions < min_executions:
+            continue
+        top_value = profile.tnv.top_value()
+        if top_value is None:
+            continue
+        invariance = profile.tnv.estimated_invariance(1)
+        if invariance < min_invariance:
+            continue
+        candidate = SpecializationCandidate(
+            site=profile.site,
+            value=top_value,
+            invariance=invariance,
+            executions=profile.executions,
+        )
+        if model is not None and model.net_benefit(candidate) <= 0:
+            continue
+        candidates.append(candidate)
+    candidates.sort(key=lambda c: (-c.expected_hits, c.site))
+    return candidates

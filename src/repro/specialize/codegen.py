@@ -1,0 +1,322 @@
+"""Specialized-code generation by constant substitution and folding.
+
+Given a function and a binding of some parameters to the invariant
+values a profile discovered, this module generates the *specialized
+version* of the code the thesis' Chapter X describes: the parameter
+becomes a compile-time constant, and a folding pass propagates it —
+collapsing arithmetic, pruning dead ``if`` branches, and unrolling the
+decision work the general version repeats on every call.
+
+The transformation is deliberately conservative: only pure-literal
+expressions are folded, and any failure falls back to leaving the
+expression untouched, so the specialized function is always
+semantically equivalent to the original under the guard
+``param == value``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Dict, Mapping
+
+from repro.errors import SpecializationError
+
+_FOLDABLE_TYPES = (int, float, bool, str, bytes, type(None))
+
+
+def _is_literal(value: object) -> bool:
+    return isinstance(value, _FOLDABLE_TYPES) or (
+        isinstance(value, tuple) and all(_is_literal(item) for item in value)
+    )
+
+
+class _Substituter(ast.NodeTransformer):
+    """Replace parameter loads with constants; then fold."""
+
+    def __init__(self, bindings: Mapping[str, object], const_names: Mapping[str, str]) -> None:
+        self.bindings = dict(bindings)
+        self.const_names = dict(const_names)
+
+    def visit_Name(self, node: ast.Name) -> ast.expr:
+        if isinstance(node.ctx, ast.Load) and node.id in self.bindings:
+            value = self.bindings[node.id]
+            if _is_literal(value):
+                return ast.copy_location(ast.Constant(value=value), node)
+            # Non-literal invariants are injected as module-level names.
+            return ast.copy_location(
+                ast.Name(id=self.const_names[node.id], ctx=ast.Load()), node
+            )
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.stmt:
+        # A nested def that rebinds the name shadows it; skip descending
+        # if the parameter appears among the nested function's args.
+        nested_args = {arg.arg for arg in node.args.args}
+        if nested_args & set(self.bindings):
+            return node
+        self.generic_visit(node)
+        return node
+
+
+class _Folder(ast.NodeTransformer):
+    """Constant folding over the substituted tree.
+
+    Folds binary/unary/compare/bool operations whose operands are
+    constants, and prunes ``if``/ternary branches with constant tests.
+    Evaluation errors (overflow, division by zero...) leave the node
+    unfolded so the runtime behaviour is preserved.
+    """
+
+    def __init__(self) -> None:
+        self.folds = 0
+        self.pruned_branches = 0
+
+    def _try_eval(self, node: ast.expr) -> ast.expr:
+        try:
+            value = ast.literal_eval(node)
+        except (ValueError, TypeError, SyntaxError, MemoryError):
+            return node
+        if not _is_literal(value):
+            return node
+        self.folds += 1
+        return ast.copy_location(ast.Constant(value=value), node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> ast.expr:
+        self.generic_visit(node)
+        if isinstance(node.left, ast.Constant) and isinstance(node.right, ast.Constant):
+            left, right = node.left.value, node.right.value
+            try:
+                value = _BINOPS[type(node.op)](left, right)
+            except (KeyError, ZeroDivisionError, TypeError, ValueError, OverflowError):
+                return node
+            if _is_literal(value):
+                self.folds += 1
+                return ast.copy_location(ast.Constant(value=value), node)
+        return node
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> ast.expr:
+        self.generic_visit(node)
+        if isinstance(node.operand, ast.Constant):
+            try:
+                value = _UNARYOPS[type(node.op)](node.operand.value)
+            except (KeyError, TypeError):
+                return node
+            if _is_literal(value):
+                self.folds += 1
+                return ast.copy_location(ast.Constant(value=value), node)
+        return node
+
+    def visit_Compare(self, node: ast.Compare) -> ast.expr:
+        self.generic_visit(node)
+        if isinstance(node.left, ast.Constant) and all(
+            isinstance(c, ast.Constant) for c in node.comparators
+        ):
+            try:
+                left = node.left.value
+                result = True
+                for op, comparator in zip(node.ops, node.comparators):
+                    right = comparator.value
+                    if not _CMPOPS[type(op)](left, right):
+                        result = False
+                        break
+                    left = right
+            except (KeyError, TypeError):
+                return node
+            self.folds += 1
+            return ast.copy_location(ast.Constant(value=result), node)
+        return node
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> ast.expr:
+        self.generic_visit(node)
+        # Short-circuit on constant *leading* operands: `True or X`
+        # decides immediately; `False or X` reduces to X (and dually
+        # for `and`).  Only leading operands are safe to judge — later
+        # ones are guarded by the non-constant prefix.
+        is_or = isinstance(node.op, ast.Or)
+        values = list(node.values)
+        while values and isinstance(values[0], ast.Constant):
+            first = values[0]
+            decides = bool(first.value) if is_or else not bool(first.value)
+            if decides:
+                self.pruned_branches += 1
+                return ast.copy_location(first, node)
+            values.pop(0)
+            self.folds += 1
+        if not values:
+            # All operands were non-deciding constants; Python returns
+            # the last operand's value.
+            return ast.copy_location(node.values[-1], node)
+        if len(values) == 1:
+            return values[0]
+        if len(values) != len(node.values):
+            node.values = values
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp) -> ast.expr:
+        self.generic_visit(node)
+        if isinstance(node.test, ast.Constant):
+            self.pruned_branches += 1
+            return node.body if node.test.value else node.orelse
+        return node
+
+    def visit_If(self, node: ast.If):
+        self.generic_visit(node)
+        if isinstance(node.test, ast.Constant):
+            self.pruned_branches += 1
+            taken = node.body if node.test.value else node.orelse
+            return taken or [ast.copy_location(ast.Pass(), node)]
+        return node
+
+    def visit_While(self, node: ast.While):
+        self.generic_visit(node)
+        if isinstance(node.test, ast.Constant) and not node.test.value:
+            self.pruned_branches += 1
+            return node.orelse or [ast.copy_location(ast.Pass(), node)]
+        return node
+
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitXor: lambda a, b: a ^ b,
+}
+
+_UNARYOPS = {
+    ast.USub: lambda a: -a,
+    ast.UAdd: lambda a: +a,
+    ast.Invert: lambda a: ~a,
+    ast.Not: lambda a: not a,
+}
+
+_CMPOPS = {
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+}
+
+
+def _rebound_names(funcdef: ast.FunctionDef) -> set:
+    """Names the function body rebinds (assignment, loop target,
+    nested def/class, with-as...).  Binding such a parameter as a
+    constant would silently change semantics, so the specializer
+    refuses them."""
+    rebound = set()
+
+    class _Scanner(ast.NodeVisitor):
+        def visit_Name(self, node: ast.Name) -> None:
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                rebound.add(node.id)
+            self.generic_visit(node)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            rebound.add(node.name)  # the def itself rebinds the name
+
+        def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+            rebound.add(node.name)
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            rebound.add(node.name)
+
+    scanner = _Scanner()
+    for stmt in funcdef.body:
+        scanner.visit(stmt)
+    return rebound
+
+
+def specialize_function(func: Callable, bindings: Mapping[str, object]) -> Callable:
+    """Build the specialized variant of ``func`` under ``bindings``.
+
+    Args:
+        func: a plain Python function whose source is retrievable and
+            which captures no closure.
+        bindings: parameter name -> invariant value.  Bound parameters
+            are removed from the specialized signature; callers go
+            through :class:`repro.specialize.runtime.SpecializedFunction`
+            which handles guarding and argument dropping.
+
+    Returns:
+        The specialized function.  Fold statistics are attached as
+        ``__vp_folds__`` and ``__vp_pruned__``.
+    """
+    if not bindings:
+        raise SpecializationError("no parameter bindings given")
+    if getattr(func, "__closure__", None):
+        raise SpecializationError(
+            f"cannot specialize {func.__qualname__}: closures are not supported"
+        )
+    try:
+        source = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise SpecializationError(f"cannot retrieve source of {func!r}: {exc}") from exc
+
+    tree = ast.parse(textwrap.dedent(source))
+    funcdef = tree.body[0]
+    if not isinstance(funcdef, ast.FunctionDef):
+        raise SpecializationError(f"{func!r} is not a plain function")
+    funcdef.decorator_list = []
+
+    param_names = {arg.arg for arg in funcdef.args.args}
+    unknown = set(bindings) - param_names
+    if unknown:
+        raise SpecializationError(
+            f"{func.__qualname__} has no parameter(s) {sorted(unknown)}"
+        )
+    rebound = _rebound_names(funcdef) & set(bindings)
+    if rebound:
+        raise SpecializationError(
+            f"{func.__qualname__} rebinds parameter(s) {sorted(rebound)}; "
+            "substituting them as constants would be unsound"
+        )
+    defaults_start = len(funcdef.args.args) - len(funcdef.args.defaults)
+    kept_args = []
+    kept_defaults = []
+    for index, arg in enumerate(funcdef.args.args):
+        if arg.arg in bindings:
+            continue
+        kept_args.append(arg)
+        if index >= defaults_start:
+            kept_defaults.append(funcdef.args.defaults[index - defaults_start])
+    funcdef.args.args = kept_args
+    funcdef.args.defaults = kept_defaults
+    funcdef.name = f"{funcdef.name}__spec"
+
+    const_names = {name: f"__spec_const_{name}__" for name in bindings}
+    substituter = _Substituter(bindings, const_names)
+    funcdef.body = [substituter.visit(stmt) for stmt in funcdef.body]
+    folder = _Folder()
+    funcdef.body = [folder.visit(stmt) for stmt in funcdef.body]
+    # Statement visitors may return lists; flatten one level.
+    flattened = []
+    for stmt in funcdef.body:
+        if isinstance(stmt, list):
+            flattened.extend(stmt)
+        else:
+            flattened.append(stmt)
+    funcdef.body = flattened or [ast.Pass()]
+    ast.fix_missing_locations(tree)
+
+    namespace = dict(func.__globals__)
+    for name, value in bindings.items():
+        if not _is_literal(value):
+            namespace[const_names[name]] = value
+    code = compile(tree, filename=f"<specialized {func.__qualname__}>", mode="exec")
+    exec(code, namespace)
+    specialized = namespace[funcdef.name]
+    specialized.__vp_folds__ = folder.folds
+    specialized.__vp_pruned__ = folder.pruned_branches
+    specialized.__wrapped__ = func
+    return specialized

@@ -1,0 +1,120 @@
+"""Demo functions for the code-specialization experiments (Chapter X).
+
+These play the role of the thesis' specialization case studies:
+functions whose *algorithmic shape* depends on a semi-invariant
+parameter, so binding that parameter lets the specializer prune
+per-iteration branches and fold constants.  Each demo ships with a
+deterministic call-stream generator whose parameter distribution is
+semi-invariant (one dominant value plus a minority of others).
+
+They live in a real module (not a test body) because both the AST
+instrumenter and the specializer need retrievable source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+
+def filter_signal(samples, mode, gain):
+    """Per-sample transform selected by ``mode`` (0..3).
+
+    The mode test sits inside the loop, so a general call pays one
+    branch chain per sample; specializing on ``mode`` prunes it to
+    straight-line code.
+    """
+    total = 0
+    for sample in samples:
+        if mode == 0:
+            total += sample * gain
+        elif mode == 1:
+            total += (sample * gain) >> 2
+        elif mode == 2:
+            total += abs(sample - gain)
+        else:
+            total += sample ^ gain
+    return total
+
+
+def checksum_block(data, poly, init):
+    """Bit-serial CRC-style checksum; ``poly`` is normally invariant."""
+    crc = init
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+    return crc
+
+
+def render_row(values, width, mode):
+    """Fixed-width row formatting; ``width`` and ``mode`` rarely change."""
+    parts = []
+    for value in values:
+        if mode == 0:
+            text = str(value).rjust(width)
+        elif mode == 1:
+            text = str(value).ljust(width)
+        else:
+            text = str(value).center(width)
+        parts.append(text)
+    return "|".join(parts)
+
+
+@dataclass(frozen=True)
+class Demo:
+    """One specialization case study."""
+
+    name: str
+    func: Callable
+    #: names of the parameters designed to be semi-invariant
+    invariant_params: Tuple[str, ...]
+    make_calls: Callable[[str, int, random.Random], List[tuple]]
+
+
+def _filter_calls(variant: str, count: int, rng: random.Random) -> List[tuple]:
+    dominant_mode = 1 if variant == "train" else 1  # same hot mode across inputs
+    calls = []
+    for _ in range(count):
+        samples = [rng.randrange(256) for _ in range(256)]
+        mode = dominant_mode if rng.random() < 0.92 else rng.randrange(4)
+        gain = 3 if rng.random() < 0.95 else rng.randrange(8)
+        calls.append((samples, mode, gain))
+    return calls
+
+
+def _checksum_calls(variant: str, count: int, rng: random.Random) -> List[tuple]:
+    poly = 0xEDB8 if variant == "train" else 0xEDB8
+    calls = []
+    for _ in range(count):
+        data = [rng.randrange(256) for _ in range(64)]
+        p = poly if rng.random() < 0.97 else 0x1021
+        calls.append((data, p, 0xFFFF))
+    return calls
+
+
+def _render_calls(variant: str, count: int, rng: random.Random) -> List[tuple]:
+    calls = []
+    for _ in range(count):
+        values = [rng.randrange(10_000) for _ in range(48)]
+        width = 8 if rng.random() < 0.9 else rng.randrange(4, 12)
+        mode = 0 if rng.random() < 0.88 else rng.randrange(3)
+        calls.append((values, width, mode))
+    return calls
+
+
+DEMOS: List[Demo] = [
+    Demo("filter_signal", filter_signal, ("mode", "gain"), _filter_calls),
+    Demo("checksum_block", checksum_block, ("poly", "init"), _checksum_calls),
+    Demo("render_row", render_row, ("width", "mode"), _render_calls),
+]
+
+
+def demo_calls(demo: Demo, variant: str = "train", count: int = 300) -> List[tuple]:
+    """Deterministic call stream for one demo."""
+    rng = random.Random(f"{demo.name}/{variant}")
+    return demo.make_calls(variant, count, rng)

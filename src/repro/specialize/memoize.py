@@ -1,0 +1,208 @@
+"""Profile-guided memoization (Richardson [32], thesis §X).
+
+Richardson "suggests keeping a memoization cache of recently executed
+function results with their inputs".  Whether that pays depends on
+exactly what value profiling measures: the invariance of the
+function's *argument tuple*.  This module provides:
+
+* :class:`MemoCache` — a bounded memo cache with hit/miss statistics.
+* :func:`memoizability` — estimate a function's cache hit rate from a
+  value profile of its argument tuples (a TNV table over tuples).
+* :class:`AdaptiveMemoizer` — a decorator that profiles argument
+  tuples during a warmup phase and enables the cache only if the
+  profile predicts enough hits, mirroring
+  :class:`~repro.specialize.runtime.AdaptiveSpecializer`.
+
+Memoization is only sound for pure functions; purity is the caller's
+contract (as it was in Richardson's proposal).
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from repro.core.tnv import TNVTable
+
+
+class MemoCache:
+    """Bounded LRU memo cache with statistics."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Any]:
+        """(found, value); found updates recency."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True, self._entries[key]
+        self.misses += 1
+        return False, None
+
+    def insert(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass(frozen=True)
+class MemoizabilityEstimate:
+    """Profile-based prediction of memo-cache effectiveness."""
+
+    calls: int
+    #: fraction of calls covered by the top-N argument tuples
+    top_n_coverage: float
+    #: fraction covered by the single hottest tuple
+    top_1_coverage: float
+    #: predicted cache hit rate: top-N coverage minus each covered
+    #: tuple's first occurrence (which is always a compulsory miss).
+    #: Without this correction a warmup shorter than the table capacity
+    #: predicts 100% for streams that never repeat at all.
+    predicted_hit_rate: float = 0.0
+
+    def worth_memoizing(self, threshold: float = 0.5) -> bool:
+        return self.predicted_hit_rate >= threshold
+
+
+def memoizability(
+    func: Callable,
+    calls,
+    table_capacity: int = 32,
+) -> MemoizabilityEstimate:
+    """Profile ``func``'s argument tuples over ``calls``.
+
+    Uses a TNV table over whole argument tuples — the same machinery
+    the paper applies to single values, lifted to tuples.  Calls with
+    unhashable arguments can never be served from a cache, so they
+    count as guaranteed misses in the coverage estimate.
+    """
+    table = TNVTable(capacity=table_capacity, steady=table_capacity // 2, clear_interval=512)
+    count = 0
+    cacheable = 0
+    for args in calls:
+        count += 1
+        key = _tuple_key(args)
+        if key is None:
+            continue
+        cacheable += 1
+        table.record(key)
+    if count == 0:
+        return MemoizabilityEstimate(0, 0.0, 0.0, 0.0)
+    scale = cacheable / count
+    covered = sum(entry.count for entry in table.snapshot())
+    predicted = max(0, covered - len(table)) / count
+    return MemoizabilityEstimate(
+        calls=count,
+        top_n_coverage=table.estimated_invariance(table_capacity) * scale,
+        top_1_coverage=table.estimated_invariance(1) * scale,
+        predicted_hit_rate=predicted,
+    )
+
+
+def _tuple_key(args: tuple) -> Optional[Hashable]:
+    """Cache key for an argument tuple, or ``None`` if uncacheable.
+
+    An unhashable argument (list, dict, ...) makes the whole call
+    uncacheable: caching by type or identity could return a stale
+    result for a different value.
+    """
+    try:
+        hash(args)
+    except TypeError:
+        return None
+    return args
+
+
+class AdaptiveMemoizer:
+    """Self-deciding memoization wrapper.
+
+    Phase 1 (warmup): record argument tuples in a TNV table; the
+    function always executes.  Phase 2 (decision): if the table
+    predicts a hit rate of at least ``threshold``, install a
+    :class:`MemoCache`; otherwise stay pass-through forever.
+
+    Example::
+
+        @AdaptiveMemoizer(threshold=0.5)
+        def price(route, day):
+            ...
+    """
+
+    def __init__(
+        self,
+        warmup_calls: int = 200,
+        threshold: float = 0.5,
+        cache_capacity: int = 256,
+        table_capacity: int = 32,
+    ) -> None:
+        self.warmup_calls = warmup_calls
+        self.threshold = threshold
+        self.cache_capacity = cache_capacity
+        self.table_capacity = table_capacity
+
+    def __call__(self, func: Callable) -> "MemoizedFunction":
+        return MemoizedFunction(func, self)
+
+
+class MemoizedFunction:
+    """The wrapper installed by :class:`AdaptiveMemoizer`."""
+
+    def __init__(self, func: Callable, config: AdaptiveMemoizer) -> None:
+        self.func = func
+        self.config = config
+        self.table = TNVTable(
+            capacity=config.table_capacity,
+            steady=config.table_capacity // 2,
+            clear_interval=512,
+        )
+        self.calls = 0
+        self.decided = False
+        self.cache: Optional[MemoCache] = None
+        functools.update_wrapper(self, func)
+
+    def __call__(self, *args: Any) -> Any:
+        if self.cache is not None:
+            key = _tuple_key(args)
+            if key is None:  # unhashable arguments: never cached
+                return self.func(*args)
+            found, value = self.cache.lookup(key)
+            if found:
+                return value
+            value = self.func(*args)
+            self.cache.insert(key, value)
+            return value
+        if not self.decided:
+            self.calls += 1
+            key = _tuple_key(args)
+            if key is not None:
+                self.table.record(key)
+            if self.calls >= self.config.warmup_calls:
+                self.decided = True
+                covered = sum(entry.count for entry in self.table.snapshot())
+                # First occurrences are compulsory misses; uncacheable
+                # calls (not in the table) are guaranteed misses.
+                predicted = max(0, covered - len(self.table)) / self.calls
+                if predicted >= self.config.threshold:
+                    self.cache = MemoCache(self.config.cache_capacity)
+        return self.func(*args)
+
+    @property
+    def memoizing(self) -> bool:
+        return self.cache is not None

@@ -1,0 +1,213 @@
+"""Run-time dispatch and adaptive specialization.
+
+Implements the execution side of the thesis' Chapter X design: a
+*general* version of the code, one or more *specialized* versions
+conditioned on invariant parameter values, and a selection guard that
+routes each call.  :class:`AdaptiveSpecializer` closes the whole loop
+the thesis proposes — profile the parameters with TNV tables, detect a
+semi-invariant one, generate the specialized variant, and install the
+guard — with no user annotations, which is exactly the automation the
+paper argues value profiling enables over [2, 12, 15, 25, 26].
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import python_site
+from repro.errors import SpecializationError
+from repro.specialize.codegen import specialize_function
+
+
+@dataclass
+class _Variant:
+    """One specialized variant plus its guard bindings.
+
+    ``arg_checks`` and ``keep_positions`` are precomputed positional
+    forms of the guard so the hot dispatch path is a few tuple
+    compares, like the single compare-and-branch guard the thesis'
+    specialized Alpha code uses.
+    """
+
+    bindings: Dict[str, object]
+    func: Callable
+    arg_checks: Tuple[Tuple[int, object], ...] = ()
+    keep_positions: Tuple[int, ...] = ()
+    hits: int = 0
+
+
+class SpecializedFunction:
+    """Guarded dispatcher over a general function and its variants.
+
+    Calls whose named arguments match a variant's bindings run the
+    specialized code (with the bound arguments dropped); everything
+    else runs the general version.  Guard hit/miss counts are exposed
+    for the specialization experiments.
+    """
+
+    def __init__(self, func: Callable) -> None:
+        self.general = func
+        self.variants: List[_Variant] = []
+        self.guard_misses = 0
+        signature = inspect.signature(func)
+        self._param_names = [
+            p.name
+            for p in signature.parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        functools.update_wrapper(self, func)
+
+    def add_variant(self, bindings: Mapping[str, object]) -> Callable:
+        """Generate and install a specialized variant; returns it."""
+        specialized = specialize_function(self.general, bindings)
+        positions = {name: index for index, name in enumerate(self._param_names)}
+        arg_checks = tuple(
+            (positions[name], value) for name, value in bindings.items() if name in positions
+        )
+        keep = tuple(
+            index for index, name in enumerate(self._param_names) if name not in bindings
+        )
+        self.variants.append(_Variant(dict(bindings), specialized, arg_checks, keep))
+        return specialized
+
+    def _bind(self, args: Tuple, kwargs: Dict[str, Any]) -> Dict[str, Any]:
+        bound = dict(zip(self._param_names, args))
+        bound.update(kwargs)
+        return bound
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        if not kwargs:
+            # Hot path: purely positional call, guard by position.
+            count = len(args)
+            for variant in self.variants:
+                for position, value in variant.arg_checks:
+                    if position >= count or args[position] != value:
+                        break
+                else:
+                    variant.hits += 1
+                    return variant.func(*[args[i] for i in variant.keep_positions if i < count])
+            self.guard_misses += 1
+            return self.general(*args)
+        bound = self._bind(args, kwargs)
+        for variant in self.variants:
+            for name, value in variant.bindings.items():
+                if bound.get(name) != value:
+                    break
+            else:
+                variant.hits += 1
+                remaining = {k: v for k, v in bound.items() if k not in variant.bindings}
+                ordered = [remaining.pop(name) for name in self._param_names if name in remaining]
+                return variant.func(*ordered, **remaining)
+        self.guard_misses += 1
+        return self.general(*args, **kwargs)
+
+    @property
+    def guard_hits(self) -> int:
+        return sum(variant.hits for variant in self.variants)
+
+
+@dataclass
+class AdaptiveConfig:
+    """Knobs of the adaptive profile-then-specialize loop.
+
+    Attributes:
+        warmup_calls: calls profiled before the specialization decision.
+        min_invariance: TNV-estimated Inv-Top(1) required to specialize
+            a parameter.
+        max_variants: cap on generated variants (one binding each).
+        tnv: TNV table configuration used during warmup.
+    """
+
+    warmup_calls: int = 200
+    min_invariance: float = 0.80
+    max_variants: int = 1
+    tnv: TNVConfig = field(default_factory=lambda: TNVConfig(capacity=8, steady=4, clear_interval=64))
+
+
+class AdaptiveSpecializer:
+    """Self-specializing function wrapper (decorator).
+
+    Phase 1 (warmup): every call records each positional argument into
+    a TNV table.  Phase 2 (decision): parameters whose estimated
+    invariance clears ``min_invariance`` are bound to their top value
+    and a specialized variant is generated.  Phase 3 (steady state):
+    calls dispatch through the guard.
+
+    Example::
+
+        @AdaptiveSpecializer()
+        def render(width, mode):
+            ...
+
+        # after `warmup_calls` calls with mode=3 dominating, calls with
+        # mode == 3 run a constant-folded variant.
+    """
+
+    def __init__(self, config: Optional[AdaptiveConfig] = None) -> None:
+        self.config = config or AdaptiveConfig()
+
+    def __call__(self, func: Callable) -> "AdaptiveFunction":
+        return AdaptiveFunction(func, self.config)
+
+
+class AdaptiveFunction:
+    """The wrapper installed by :class:`AdaptiveSpecializer`."""
+
+    def __init__(self, func: Callable, config: AdaptiveConfig) -> None:
+        self.config = config
+        self.database = ProfileDatabase(config=config.tnv, exact=False, name=f"adaptive:{func.__name__}")
+        self.dispatcher = SpecializedFunction(func)
+        self.calls = 0
+        self.specialized = False
+        self._param_names = self.dispatcher._param_names
+        module = getattr(func, "__module__", "?") or "?"
+        self._sites = [
+            python_site(module, func.__name__, f"arg{i}:{name}")
+            for i, name in enumerate(self._param_names)
+        ]
+        functools.update_wrapper(self, func)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        if not self.specialized:
+            bound = dict(zip(self._param_names, args))
+            bound.update(kwargs)
+            for site, name in zip(self._sites, self._param_names):
+                if name in bound:
+                    try:
+                        self.database.record(site, bound[name])
+                    except TypeError:
+                        pass  # unhashable argument: not a candidate
+            self.calls += 1
+            if self.calls >= self.config.warmup_calls:
+                self._decide()
+        return self.dispatcher(*args, **kwargs)
+
+    def _decide(self) -> None:
+        """Pick the most invariant qualifying parameters and specialize."""
+        self.specialized = True  # one decision only, even if nothing qualifies
+        scored = []
+        for site, name in zip(self._sites, self._param_names):
+            if site not in self.database:
+                continue
+            profile = self.database.profile_for(site)
+            invariance = profile.tnv.estimated_invariance(1)
+            if invariance >= self.config.min_invariance:
+                scored.append((invariance, name, profile.tnv.top_value()))
+        scored.sort(reverse=True)
+        for invariance, name, value in scored[: self.config.max_variants]:
+            try:
+                self.dispatcher.add_variant({name: value})
+            except SpecializationError:
+                continue  # e.g. source unavailable: stay general
+
+    @property
+    def guard_hits(self) -> int:
+        return self.dispatcher.guard_hits
+
+    @property
+    def guard_misses(self) -> int:
+        return self.dispatcher.guard_misses

@@ -1,0 +1,53 @@
+"""SPEC95-analogue workload suite (see Table III.A.1 of the thesis).
+
+Eight VPA assembly programs, each mirroring the character of one SPEC95
+integer benchmark, with deterministic ``train``/``test`` inputs and a
+self-checking pure-Python reference implementation:
+
+==========  ==============  ==============================================
+name        SPEC analogue   program
+==========  ==============  ==============================================
+compress    129.compress    LZW compression, probing dictionary
+gcc         126.gcc         table-driven lexer + symbol interning
+go          099.go          19x19 board: captures + move scoring
+ijpeg       132.ijpeg       8x8 integer DCT + quantization
+li          130.li          stack-VM bytecode interpreter
+m88ksim     124.m88ksim     toy-CPU fetch/decode/execute simulator
+perl        134.perl        Boyer-Moore-Horspool text scanning
+vortex      147.vortex      hash-indexed in-memory object store
+==========  ==============  ==============================================
+"""
+
+from repro.workloads.harness import (
+    DEFAULT_TARGETS,
+    ProfiledRun,
+    profile_workload,
+    run_workload,
+    trace_workload,
+)
+from repro.workloads.registry import (
+    VARIANTS,
+    DataSet,
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    unregister,
+    workload_names,
+)
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "DataSet",
+    "ProfiledRun",
+    "VARIANTS",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "profile_workload",
+    "register",
+    "run_workload",
+    "unregister",
+    "trace_workload",
+    "workload_names",
+]

@@ -1,0 +1,218 @@
+"""``compress`` — LZW compressor (SPEC95 ``129.compress`` analogue).
+
+Reads a character stream (one word per byte) and performs LZW
+compression with a 4096-entry open-addressing dictionary, emitting each
+output code plus a final rolling checksum.  The interesting value
+streams mirror the real ``compress``: dictionary-probe loads (heavily
+biased toward "empty slot"), the slowly-advancing ``next_code``
+counter, and prefix codes that follow the input's letter statistics.
+
+Input format: ``N`` followed by ``N`` character codes in [0, 255].
+Output: every emitted LZW code, then ``checksum`` where
+``checksum = (checksum * 31 + code) & 0xFFFFFF`` over emitted codes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+_TABLE_SIZE = 4096
+_HASH_MULT = 2654435761
+_CHK_MASK = 0xFFFFFF
+
+_SOURCE = """
+.program compress
+.equ HMASK 4095
+.equ DICT_LIMIT 4096
+.data
+keys:  .space 4096
+codes: .space 4096
+chk:   .word 0
+inbuf: .space 32768
+.text
+.proc main nargs=0
+    la   r1, inbuf
+    call read_input       ; r1 = N; chars now in inbuf (like compress's
+    li  r19, 256          ; next_code    read buffer, so character
+    mov r20, r1           ; N            fetches are loads)
+    la  r22, inbuf        ; read cursor
+    beqz r20, empty
+    ld  r18, 0(r22)       ; w = first char
+    inc r22
+    dec r20
+mloop:
+    beqz r20, flush
+    ld  r9, 0(r22)        ; c = next char (English-letter distribution)
+    inc r22
+    dec r20
+    slli r21, r18, 8
+    or   r21, r21, r9
+    addi r21, r21, 1      ; key = ((w << 8) | c) + 1 (0 is "empty")
+    mov  r1, r21
+    call hash_probe       ; -> r1 = slot, r2 = found
+    beqz r2, miss
+    la   r12, codes       ; hit: w = codes[slot]
+    add  r12, r12, r1
+    ld   r18, 0(r12)
+    j mloop
+miss:
+    mov r7, r1            ; save slot across the emit call
+    mov r1, r18
+    call emit             ; emit(w)
+    li  r12, DICT_LIMIT
+    bge r19, r12, nofree  ; dictionary full: stop growing
+    la  r12, keys
+    add r12, r12, r7
+    st  r21, 0(r12)       ; keys[slot] = key
+    la  r12, codes
+    add r12, r12, r7
+    st  r19, 0(r12)       ; codes[slot] = next_code++
+    inc r19
+nofree:
+    mov r18, r9           ; w = c
+    j mloop
+flush:
+    mov r1, r18
+    call emit             ; emit final prefix
+empty:
+    la  r12, chk
+    ld  r1, 0(r12)
+    out r1
+    halt
+.endproc
+
+.proc read_input nargs=1
+    ; r1 = destination buffer; reads N then N chars; returns r1 = N
+    in  r10               ; N
+    mov r11, r1
+    mov r12, r10
+ri_loop:
+    beqz r12, ri_done
+    in  r13
+    st  r13, 0(r11)
+    inc r11
+    dec r12
+    j ri_loop
+ri_done:
+    mov r1, r10
+    ret
+.endproc
+
+.proc hash_probe nargs=1
+    ; r1 = key (biased by +1, never 0); returns r1 = slot, r2 = found
+    li   r10, 2654435761
+    mul  r10, r1, r10
+    srli r10, r10, 16
+    andi r10, r10, HMASK  ; h = hash(key)
+    la   r11, keys
+probe:
+    add  r12, r11, r10
+    ld   r13, 0(r12)
+    beqz r13, notfound
+    beq  r13, r1, found
+    addi r10, r10, 1      ; linear probing
+    andi r10, r10, HMASK
+    j probe
+found:
+    mov r1, r10
+    li  r2, 1
+    ret
+notfound:
+    mov r1, r10
+    li  r2, 0
+    ret
+.endproc
+
+.proc emit nargs=1
+    ; r1 = code: write it to the output stream, fold into the checksum
+    out r1
+    la   r14, chk
+    ld   r15, 0(r14)
+    muli r15, r15, 31
+    add  r15, r15, r1
+    li   r13, 0xFFFFFF
+    and  r15, r15, r13
+    st   r15, 0(r14)
+    ret
+.endproc
+"""
+
+# Letter frequencies roughly matching English text; compression ratio
+# (and dictionary behaviour) then resembles compressing prose.
+_ALPHABET = "etaoinshrdlucmfwypvbgkjqxz"
+_WEIGHTS = [12, 9, 8, 8, 7, 7, 6, 6, 6, 4, 4, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]
+
+
+def build_source() -> str:
+    return _SOURCE
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    """English-like character stream; ``test`` is smaller and skews
+    toward a slightly different letter mix (a different 'document')."""
+    base = 12_000 if variant == "train" else 9_000
+    n = max(16, int(base * scale))
+    weights = list(_WEIGHTS)
+    if variant == "test":
+        weights = weights[::-1]  # different letter statistics
+    letters = rng.choices(_ALPHABET, weights=weights, k=n)
+    chars: List[int] = []
+    for index, letter in enumerate(letters):
+        # Insert word breaks so dictionary strings stay realistic.
+        if index and rng.random() < 0.18:
+            chars.append(32)
+        chars.append(ord(letter))
+    chars = chars[:n]
+    return [len(chars)] + chars
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    """Pure-Python mirror of the VPA program (bit-for-bit)."""
+    stream = iter(values)
+    n = next(stream)
+    out: List[int] = []
+    chk = 0
+
+    def emit(code: int) -> None:
+        nonlocal chk
+        out.append(code)
+        chk = (chk * 31 + code) & _CHK_MASK
+
+    if n > 0:
+        keys = [0] * _TABLE_SIZE
+        codes = [0] * _TABLE_SIZE
+        w = next(stream)
+        next_code = 256
+        for _ in range(n - 1):
+            c = next(stream)
+            key = ((w << 8) | c) + 1
+            h = ((key * _HASH_MULT) >> 16) & (_TABLE_SIZE - 1)
+            while keys[h] != 0 and keys[h] != key:
+                h = (h + 1) & (_TABLE_SIZE - 1)
+            if keys[h] == key:
+                w = codes[h]
+            else:
+                emit(w)
+                if next_code < _TABLE_SIZE:
+                    keys[h] = key
+                    codes[h] = next_code
+                    next_code += 1
+                w = c
+        emit(w)
+    out.append(chk)
+    return out
+
+
+WORKLOAD = register(
+    Workload(
+        name="compress",
+        spec_analogue="129.compress",
+        description="LZW compression with a 4096-entry probing dictionary",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

@@ -1,0 +1,263 @@
+"""``gcc`` — compiler front end (SPEC95 ``126.gcc`` analogue).
+
+Tokenizes a stream of C-like source text: a 256-entry character-class
+table drives the scanner, identifiers are hashed and interned into an
+open-addressing symbol table, numbers are parsed to values, operators
+counted.  The value streams are the compiler-ish ones the paper
+highlights: character-class loads over a tiny set {0,1,2,3}, symbol-
+table probe loads dominated by a hot vocabulary, and scanner state
+that is highly semi-invariant.
+
+Character classes: 0 = whitespace, 1 = letter/underscore, 2 = digit,
+3 = operator (everything else).
+
+Input format: ``N`` then ``N`` character codes.
+Output: ``identifiers, new_symbols, number_sum, operators``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+_HASH_MASK = 0xFFFFF
+_SUM_MASK = 0xFFFFFF
+_SYMTAB_SIZE = 512
+
+#: Character class per byte value, embedded into the program's data.
+CHAR_CLASS: List[int] = []
+for code in range(256):
+    ch = chr(code)
+    if ch in " \t\n\r":
+        CHAR_CLASS.append(0)
+    elif ch.isalpha() or ch == "_":
+        CHAR_CLASS.append(1)
+    elif ch.isdigit():
+        CHAR_CLASS.append(2)
+    else:
+        CHAR_CLASS.append(3)
+
+
+def _words(values: Sequence[int], per_line: int = 16) -> str:
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start : start + per_line])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+def build_source() -> str:
+    return f"""
+.program gcc
+.equ SYMMASK 511
+.data
+cclass:
+{_words(CHAR_CLASS)}
+symtab: .space 512
+src:    .space 65536
+.text
+.proc main nargs=0
+    in r16             ; N = source length
+    la r10, src
+    mov r11, r16
+rd:
+    beqz r11, rd_done
+    in  r12
+    st  r12, 0(r10)
+    inc r10
+    dec r11
+    j rd
+rd_done:
+    li r17, 0          ; cursor
+    li r20, 0          ; identifiers seen
+    li r21, 0          ; new symbols interned
+    li r22, 0          ; sum of numeric literals
+    li r23, 0          ; operators
+lex:
+    bge r17, r16, done
+    la  r10, src
+    add r10, r10, r17
+    ld  r11, 0(r10)    ; character
+    la  r12, cclass
+    add r12, r12, r11
+    ld  r13, 0(r12)    ; class
+    beqz r13, l_space
+    seqi r7, r13, 1
+    bnez r7, l_ident
+    seqi r7, r13, 2
+    bnez r7, l_number
+    inc r23            ; operator
+l_space:
+    inc r17
+    j lex
+l_ident:
+    mov r1, r17
+    call lex_ident     ; r1 = end cursor, r2 = name hash
+    mov r17, r1
+    inc r20
+    mov r1, r2
+    call intern        ; r1 = 1 if newly interned
+    add r21, r21, r1
+    j lex
+l_number:
+    mov r1, r17
+    call lex_number    ; r1 = end cursor, r2 = value
+    mov r17, r1
+    add r22, r22, r2
+    li  r7, 0xFFFFFF
+    and r22, r22, r7
+    j lex
+done:
+    out r20
+    out r21
+    out r22
+    out r23
+    halt
+.endproc
+
+.proc lex_ident nargs=1
+    ; r1 = cursor -> r1 = cursor past the identifier, r2 = hash
+    li r2, 0
+li_loop:
+    bge r1, r16, li_done
+    la  r10, src
+    add r10, r10, r1
+    ld  r11, 0(r10)
+    la  r12, cclass
+    add r12, r12, r11
+    ld  r13, 0(r12)
+    seqi r7, r13, 1
+    bnez r7, li_take
+    seqi r7, r13, 2
+    bnez r7, li_take
+    j li_done
+li_take:
+    muli r2, r2, 131
+    add  r2, r2, r11
+    li   r7, 0xFFFFF
+    and  r2, r2, r7
+    inc  r1
+    j li_loop
+li_done:
+    ret
+.endproc
+
+.proc intern nargs=1
+    ; r1 = name hash -> r1 = 1 if the symbol was new
+    andi r10, r1, SYMMASK
+    addi r11, r1, 1    ; stored form; 0 marks an empty slot
+in_probe:
+    la  r12, symtab
+    add r12, r12, r10
+    ld  r13, 0(r12)
+    beqz r13, in_new
+    beq  r13, r11, in_old
+    addi r10, r10, 1
+    andi r10, r10, SYMMASK
+    j in_probe
+in_new:
+    st r11, 0(r12)
+    li r1, 1
+    ret
+in_old:
+    li r1, 0
+    ret
+.endproc
+
+.proc lex_number nargs=1
+    ; r1 = cursor -> r1 = cursor past the number, r2 = value
+    li r2, 0
+ln_loop:
+    bge r1, r16, ln_done
+    la  r10, src
+    add r10, r10, r1
+    ld  r11, 0(r10)
+    la  r12, cclass
+    add r12, r12, r11
+    ld  r13, 0(r12)
+    seqi r7, r13, 2
+    beqz r7, ln_done
+    muli r2, r2, 10
+    subi r11, r11, 48
+    add  r2, r2, r11
+    inc  r1
+    j ln_loop
+ln_done:
+    ret
+.endproc
+"""
+
+
+_VOCAB = [
+    "index", "count", "buffer", "length", "result", "node", "value", "total",
+    "offset", "state", "token", "symbol", "parse", "emit", "tree", "left",
+    "right", "next", "prev", "data", "size", "flag", "temp", "name",
+    "scope", "type", "expr", "stmt", "decl", "init", "loop", "cond",
+]
+_OPERATORS = "+-*/=<>(){};,&|"
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    """Token soup resembling C source; test uses a different vocabulary mix."""
+    base = 18_000 if variant == "train" else 13_000
+    target = max(64, int(base * scale))
+    vocab = _VOCAB if variant == "train" else _VOCAB[8:] + ["alpha", "beta", "gamma_x", "delta2"]
+    text: List[int] = []
+    while len(text) < target:
+        roll = rng.random()
+        if roll < 0.45:
+            word = rng.choice(vocab)
+            text.extend(ord(c) for c in word)
+        elif roll < 0.70:
+            text.extend(ord(c) for c in str(rng.randrange(100_000)))
+        elif roll < 0.85:
+            text.append(ord(rng.choice(_OPERATORS)))
+        else:
+            text.append(ord("\n" if rng.random() < 0.2 else " "))
+        text.append(ord(" "))
+    text = text[:target]
+    return [len(text)] + text
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    n = values[0]
+    text = list(values[1 : 1 + n])
+    identifiers = new_symbols = number_sum = operators = 0
+    seen_hashes: set = set()
+    i = 0
+    while i < n:
+        cls = CHAR_CLASS[text[i]]
+        if cls == 1:
+            name_hash = 0
+            while i < n and CHAR_CLASS[text[i]] in (1, 2):
+                name_hash = (name_hash * 131 + text[i]) & _HASH_MASK
+                i += 1
+            identifiers += 1
+            if name_hash not in seen_hashes:
+                seen_hashes.add(name_hash)
+                new_symbols += 1
+        elif cls == 2:
+            value = 0
+            while i < n and CHAR_CLASS[text[i]] == 2:
+                value = value * 10 + (text[i] - 48)
+                i += 1
+            number_sum = (number_sum + value) & _SUM_MASK
+        else:
+            if cls == 3:
+                operators += 1
+            i += 1
+    return [identifiers, new_symbols, number_sum, operators]
+
+
+WORKLOAD = register(
+    Workload(
+        name="gcc",
+        spec_analogue="126.gcc",
+        description="table-driven lexer with symbol-table interning",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

@@ -1,0 +1,460 @@
+"""``go`` — board-game move evaluator (SPEC95 ``099.go`` analogue).
+
+Maintains a 19x19 board and replays a stream of moves.  Each placed
+stone triggers the two computations that dominate real Go engines:
+
+* **capture search** — a flood-fill over each adjacent enemy group,
+  counting liberties with a generation-stamped visited array; groups
+  with no liberties are removed;
+* **move scoring** — classify the stone's four neighbours (empty /
+  friend / foe) into a heuristic score.
+
+Every 64 moves the whole board is rescanned to count stones.  Like
+the real ``go``, the dominant value streams are loads of board cells
+(values only {0, 1, 2}) and generation-stamp loads (semi-invariant
+within a flood).  Suicide moves are not special-cased: a placed group
+with zero liberties simply stays (both implementations agree).
+
+Input format: ``N`` then ``N`` moves as (position, color) pairs.
+Output: ``score, count_black, count_white, collisions, captures``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+_DIM = 19
+_SIZE = _DIM * _DIM
+_SCAN_INTERVAL = 64
+
+
+def _flood_neighbor_block(label: str) -> str:
+    """One neighbour probe of the flood fill (pos in r8, np in r11).
+
+    Empty neighbour: count a liberty unless libmark[np] already carries
+    this flood's generation.  Same-colour neighbour: push onto the
+    stack and group unless already visited this generation.
+    """
+    return f"""
+    la  r13, board
+    add r13, r13, r11
+    ld  r12, 0(r13)
+    bnez r12, {label}_stone
+    la  r13, libmark
+    add r13, r13, r11
+    ld  r14, 0(r13)
+    beq r14, r4, {label}_done
+    st  r4, 0(r13)
+    inc r2
+    j {label}_done
+{label}_stone:
+    bne r12, r3, {label}_done
+    la  r13, visited
+    add r13, r13, r11
+    ld  r14, 0(r13)
+    beq r14, r4, {label}_done
+    st  r4, 0(r13)
+    la  r13, stack
+    add r13, r13, r5
+    st  r11, 0(r13)
+    inc r5
+    la  r13, group
+    add r13, r13, r6
+    st  r11, 0(r13)
+    inc r6
+{label}_done:"""
+
+
+def _capture_neighbor_block(label: str, np_expr: str) -> str:
+    """One neighbour probe of the capture search (placed pos in r22)."""
+    return f"""
+{np_expr}
+    la  r20, board
+    add r20, r20, r21
+    ld  r20, 0(r20)
+    bne r20, r25, {label}_skip
+    mov r1, r21
+    call flood_check      ; r1 = group size, r2 = liberties
+    bnez r2, {label}_skip
+    li  r20, 0            ; captured: clear every group cell
+{label}_rm:
+    beq r20, r1, {label}_add
+    la  r21, group
+    add r21, r21, r20
+    ld  r2, 0(r21)
+    la  r21, board
+    add r21, r21, r2
+    st  r0, 0(r21)
+    inc r20
+    j {label}_rm
+{label}_add:
+    add r24, r24, r1
+{label}_skip:"""
+
+
+def build_source() -> str:
+    flood_blocks = "\n".join(
+        [
+            "    beqz r10, fcl_done\n    subi r11, r8, 1" + _flood_neighbor_block("fcl"),
+            "    li  r14, EDGE\n    bge r10, r14, fcr_done\n    addi r11, r8, 1"
+            + _flood_neighbor_block("fcr"),
+            "    beqz r9, fcu_done\n    subi r11, r8, DIM" + _flood_neighbor_block("fcu"),
+            "    li  r14, EDGE\n    bge r9, r14, fcd_done\n    addi r11, r8, DIM"
+            + _flood_neighbor_block("fcd"),
+        ]
+    )
+    capture_blocks = "\n".join(
+        [
+            _capture_neighbor_block(
+                "cnl", "    beqz r28, cnl_skip\n    subi r21, r22, 1"
+            ),
+            _capture_neighbor_block(
+                "cnr", "    li  r20, EDGE\n    bge r28, r20, cnr_skip\n    addi r21, r22, 1"
+            ),
+            _capture_neighbor_block(
+                "cnu", "    beqz r15, cnu_skip\n    subi r21, r22, DIM"
+            ),
+            _capture_neighbor_block(
+                "cnd", "    li  r20, EDGE\n    bge r15, r20, cnd_skip\n    addi r21, r22, DIM"
+            ),
+        ]
+    )
+    return f"""
+.program go
+.equ SIZE 361
+.equ DIM 19
+.equ EDGE 18
+.equ SCAN_INTERVAL 64
+.data
+board:   .space 361
+visited: .space 361
+libmark: .space 361
+stack:   .space 361
+group:   .space 361
+genctr:  .word 0
+capcell: .word 0
+.text
+.proc main nargs=0
+    in r16            ; N moves
+    li r17, 0         ; score
+    li r18, 0         ; collisions
+    li r19, 0         ; moves since last scan
+    li r20, 0         ; last black count
+    li r21, 0         ; last white count
+mloop:
+    beqz r16, done
+    dec r16
+    in r26            ; position
+    in r27            ; color
+    mov r1, r26
+    mov r2, r27
+    call place        ; r1 = placed?
+    bnez r1, placed
+    inc r18
+    j cont
+placed:
+    mov r1, r26
+    mov r2, r27
+    call capture_neighbors   ; r1 = stones captured by this move
+    la  r7, capcell
+    ld  r8, 0(r7)
+    add r8, r8, r1
+    st  r8, 0(r7)
+    mov r1, r26
+    mov r2, r27
+    call eval_neighbors
+    add r17, r17, r1
+cont:
+    inc r19
+    li  r7, SCAN_INTERVAL
+    blt r19, r7, mloop
+    li  r19, 0
+    call scan_board   ; r1 = black, r2 = white
+    mov r20, r1
+    mov r21, r2
+    j mloop
+done:
+    call scan_board
+    mov r20, r1
+    mov r21, r2
+    out r17
+    out r20
+    out r21
+    out r18
+    la  r7, capcell
+    ld  r8, 0(r7)
+    out r8
+    halt
+.endproc
+
+.proc place nargs=2
+    ; r1 = position, r2 = color -> r1 = 1 if the square was empty
+    la  r11, board
+    add r11, r11, r1
+    ld  r12, 0(r11)
+    beqz r12, pl_free
+    li  r1, 0
+    ret
+pl_free:
+    st  r2, 0(r11)
+    li  r1, 1
+    ret
+.endproc
+
+.proc flood_check nargs=1
+    ; r1 = a stone's cell.  Flood-fills its group with a fresh
+    ; generation stamp; returns r1 = group size, r2 = liberties.
+    ; The group's cells are left in the ``group`` array.
+    la  r13, genctr
+    ld  r4, 0(r13)
+    inc r4
+    st  r4, 0(r13)
+    la  r13, board
+    add r13, r13, r1
+    ld  r3, 0(r13)    ; group colour
+    la  r13, stack
+    st  r1, 0(r13)
+    li  r5, 1         ; stack depth
+    la  r13, visited
+    add r13, r13, r1
+    st  r4, 0(r13)
+    la  r13, group
+    st  r1, 0(r13)
+    li  r6, 1         ; group size
+    li  r2, 0         ; liberties
+fc_loop:
+    beqz r5, fc_done
+    dec r5
+    la  r13, stack
+    add r13, r13, r5
+    ld  r8, 0(r13)    ; pos
+    divi r9, r8, DIM
+    remi r10, r8, DIM
+{flood_blocks}
+    j fc_loop
+fc_done:
+    mov r1, r6
+    ret
+.endproc
+
+.proc capture_neighbors nargs=2
+    ; r1 = placed position, r2 = placed colour.
+    ; Removes every adjacent zero-liberty enemy group;
+    ; returns r1 = stones captured.
+    push lr
+    mov  r22, r1
+    mov  r23, r2
+    li   r24, 0       ; captured stones
+    li   r25, 3
+    sub  r25, r25, r23  ; opponent colour (3 - colour)
+    divi r15, r22, DIM  ; row
+    remi r28, r22, DIM  ; column
+{capture_blocks}
+    mov r1, r24
+    pop lr
+    ret
+.endproc
+
+.proc eval_neighbors nargs=2
+    ; r1 = position, r2 = color -> r1 = 3*friend + empty - 2*foe
+    push lr
+    mov  r5, r1
+    mov  r6, r2
+    divi r10, r5, DIM     ; row
+    remi r11, r5, DIM     ; column
+    li   r12, 0           ; friends
+    li   r13, 0           ; empties
+    li   r14, 0           ; foes
+    beqz r11, en_noleft
+    subi r1, r5, 1
+    call classify
+en_noleft:
+    li   r7, EDGE
+    bge  r11, r7, en_noright
+    addi r1, r5, 1
+    call classify
+en_noright:
+    beqz r10, en_noup
+    subi r1, r5, DIM
+    call classify
+en_noup:
+    li   r7, EDGE
+    bge  r10, r7, en_nodown
+    addi r1, r5, DIM
+    call classify
+en_nodown:
+    muli r1, r12, 3
+    add  r1, r1, r13
+    muli r7, r14, 2
+    sub  r1, r1, r7
+    pop  lr
+    ret
+.endproc
+
+.proc classify nargs=1
+    ; r1 = neighbour position; reads r6 = color; bumps r12/r13/r14
+    la  r3, board
+    add r3, r3, r1
+    ld  r4, 0(r3)
+    beqz r4, cl_empty
+    beq  r4, r6, cl_friend
+    inc r14
+    ret
+cl_friend:
+    inc r12
+    ret
+cl_empty:
+    inc r13
+    ret
+.endproc
+
+.proc scan_board nargs=0
+    ; -> r1 = number of 1-stones, r2 = number of 2-stones
+    la  r10, board
+    li  r11, SIZE
+    li  r1, 0
+    li  r2, 0
+sb_loop:
+    beqz r11, sb_done
+    ld  r12, 0(r10)
+    inc r10
+    dec r11
+    seqi r13, r12, 1
+    add  r1, r1, r13
+    seqi r13, r12, 2
+    add  r2, r2, r13
+    j sb_loop
+sb_done:
+    ret
+.endproc
+"""
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    """Random alternating moves; test plays a shorter, corner-biased game."""
+    base = 3_000 if variant == "train" else 2_200
+    n = max(8, int(base * scale))
+    values: List[int] = [n]
+    for index in range(n):
+        if variant == "test" and rng.random() < 0.5:
+            # Corner-biased opening style: a different value mix.
+            position = rng.randrange(_DIM // 2) * _DIM + rng.randrange(_DIM // 2)
+        else:
+            position = rng.randrange(_SIZE)
+        color = 1 + (index & 1)
+        values.extend((position, color))
+    return values
+
+
+def _neighbors(position: int) -> List[int]:
+    """Neighbour cells in the same order the assembly probes them."""
+    row, col = divmod(position, _DIM)
+    result = []
+    if col > 0:
+        result.append(position - 1)
+    if col < _DIM - 1:
+        result.append(position + 1)
+    if row > 0:
+        result.append(position - _DIM)
+    if row < _DIM - 1:
+        result.append(position + _DIM)
+    return result
+
+
+class _Flood:
+    """Generation-stamped flood fill mirroring the VPA implementation."""
+
+    def __init__(self) -> None:
+        self.visited = [0] * _SIZE
+        self.libmark = [0] * _SIZE
+        self.generation = 0
+
+    def check(self, board: List[int], start: int):
+        """Returns (group cells, liberty count) of ``start``'s group."""
+        self.generation += 1
+        gen = self.generation
+        color = board[start]
+        stack = [start]
+        self.visited[start] = gen
+        group = [start]
+        liberties = 0
+        while stack:
+            position = stack.pop()
+            for np in _neighbors(position):
+                value = board[np]
+                if value == 0:
+                    if self.libmark[np] != gen:
+                        self.libmark[np] = gen
+                        liberties += 1
+                elif value == color and self.visited[np] != gen:
+                    self.visited[np] = gen
+                    stack.append(np)
+                    group.append(np)
+        return group, liberties
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    stream = iter(values)
+    n = next(stream)
+    board = [0] * _SIZE
+    flood = _Flood()
+    score = 0
+    collisions = 0
+    captures = 0
+    since_scan = 0
+    black = white = 0
+
+    def scan() -> None:
+        nonlocal black, white
+        black = sum(1 for cell in board if cell == 1)
+        white = sum(1 for cell in board if cell == 2)
+
+    for _ in range(n):
+        position = next(stream)
+        color = next(stream)
+        if board[position] != 0:
+            collisions += 1
+        else:
+            board[position] = color
+            # Capture search over adjacent enemy groups, in probe order.
+            opponent = 3 - color
+            for np in _neighbors(position):
+                if board[np] != opponent:
+                    continue
+                group, liberties = flood.check(board, np)
+                if liberties == 0:
+                    for cell in group:
+                        board[cell] = 0
+                    captures += len(group)
+            # Score the move on the post-capture board.
+            friends = empties = foes = 0
+            for np in _neighbors(position):
+                cell = board[np]
+                if cell == 0:
+                    empties += 1
+                elif cell == color:
+                    friends += 1
+                else:
+                    foes += 1
+            score += 3 * friends + empties - 2 * foes
+        since_scan += 1
+        if since_scan >= _SCAN_INTERVAL:
+            since_scan = 0
+            scan()
+    scan()
+    return [score, black, white, collisions, captures]
+
+
+WORKLOAD = register(
+    Workload(
+        name="go",
+        spec_analogue="099.go",
+        description="19x19 board: capture search (flood fill) + move scoring",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

@@ -1,0 +1,125 @@
+"""High-level harness: run a workload under the value profiler.
+
+This is the equivalent of the paper's "instrument the binary with ATOM
+and run it on an input set" step, packaged as one call.  Every run
+verifies the program's output against the workload's pure-Python
+reference, so a profiling result can never silently come from a broken
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sampling import SamplingProfiler, SamplingPolicy
+from repro.core.sites import Site
+from repro.errors import WorkloadError
+from repro.isa.instrument import ProfileTarget, ValueProfiler, ValueTraceCollector
+from repro.isa.machine import Machine, RunResult
+from repro.workloads.registry import DataSet, Workload, get_workload
+
+DEFAULT_TARGETS = (ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS)
+
+
+@dataclass
+class ProfiledRun:
+    """Everything one instrumented execution produced."""
+
+    workload: Workload
+    dataset: DataSet
+    result: RunResult
+    database: ProfileDatabase
+    sampler: Optional[SamplingProfiler] = None
+
+    @property
+    def name(self) -> str:
+        return self.dataset.name
+
+
+def _verify(workload: Workload, dataset: DataSet, result: RunResult) -> None:
+    if list(result.output) != list(dataset.expected_output):
+        raise WorkloadError(
+            f"{dataset.name}: simulated output diverged from the reference "
+            f"implementation (got {list(result.output)[:8]}..., "
+            f"expected {list(dataset.expected_output)[:8]}...)"
+        )
+
+
+def profile_workload(
+    name: str,
+    variant: str = "train",
+    scale: float = 1.0,
+    targets: Iterable[ProfileTarget] = DEFAULT_TARGETS,
+    config: Optional[TNVConfig] = None,
+    exact: bool = True,
+    policy: Optional[SamplingPolicy] = None,
+    verify: bool = True,
+) -> ProfiledRun:
+    """Run one workload under the value profiler.
+
+    Args:
+        name: registered workload name.
+        variant: ``train`` or ``test`` input set.
+        scale: input-size multiplier (1.0 = the experiment default).
+        targets: which event families to profile.
+        config: TNV table knobs (defaults to the paper's 10/5/2000).
+        exact: also keep exact reference histograms per site.
+        policy: if given, profile through a sampling policy instead of
+            recording every execution; the returned ``sampler`` then
+            carries overhead statistics.
+        verify: check program output against the Python reference.
+    """
+    workload = get_workload(name)
+    dataset = workload.dataset(variant, scale=scale)
+    run_name = dataset.name
+
+    sampler: Optional[SamplingProfiler] = None
+    if policy is None:
+        database = ProfileDatabase(config=config, exact=exact, name=run_name)
+        recorder = database
+    else:
+        sampler = SamplingProfiler(policy, config=config, exact=exact, name=run_name)
+        database = sampler.database
+        recorder = sampler
+
+    observer = ValueProfiler(workload.program(), recorder, targets=targets)
+    machine = Machine(workload.program(), observer=observer)
+    machine.set_input(dataset.values)
+    result = machine.run()
+    if verify:
+        _verify(workload, dataset, result)
+    return ProfiledRun(workload, dataset, result, database, sampler)
+
+
+def run_workload(name: str, variant: str = "train", scale: float = 1.0, verify: bool = True) -> RunResult:
+    """Run a workload *without* instrumentation (for timing baselines)."""
+    workload = get_workload(name)
+    dataset = workload.dataset(variant, scale=scale)
+    machine = Machine(workload.program())
+    machine.set_input(dataset.values)
+    result = machine.run()
+    if verify:
+        _verify(workload, dataset, result)
+    return result
+
+
+def trace_workload(
+    name: str,
+    variant: str = "train",
+    scale: float = 1.0,
+    targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
+    max_per_site: Optional[int] = None,
+    verify: bool = True,
+) -> Dict[Site, List[int]]:
+    """Collect ordered per-site value traces (for the predictor suite)."""
+    workload = get_workload(name)
+    dataset = workload.dataset(variant, scale=scale)
+    collector = ValueTraceCollector(workload.program(), targets=targets, max_per_site=max_per_site)
+    machine = Machine(workload.program(), observer=collector)
+    machine.set_input(dataset.values)
+    result = machine.run()
+    if verify:
+        _verify(workload, dataset, result)
+    return collector.traces

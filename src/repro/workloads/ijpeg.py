@@ -1,0 +1,225 @@
+"""``ijpeg`` — 8x8 integer DCT + quantization (SPEC95 ``132.ijpeg`` analogue).
+
+Processes a stream of 8x8 pixel blocks: level shift, separable 2-D
+integer DCT (fixed-point cosine table, scale 128), then quantization by
+per-coefficient arithmetic shifts.  The characteristic value streams
+match the real JPEG coder: perfectly invariant coefficient/quant-table
+loads, multiply results dominated by small magnitudes, and quantized
+coefficients that are mostly zero (the paper's %Zeros metric shines
+here).
+
+Input format: ``B`` then ``B * 64`` pixel values in [0, 255].
+Output: ``checksum, zero_coefficients, blocks``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+_SCALE_SHIFT = 7  # cosine table entries are cos * 128
+
+#: Fixed-point 8-point DCT-II coefficients, C[u][i] = round(128 * c(u) * cos((2i+1)u*pi/16)).
+DCT_COEF: List[int] = []
+for u in range(8):
+    cu = math.sqrt(0.5) if u == 0 else 1.0
+    for i in range(8):
+        DCT_COEF.append(round(128 * cu * 0.5 * math.cos((2 * i + 1) * u * math.pi / 16)))
+
+#: Quantization shift per coefficient: coarser for higher frequencies.
+QUANT_SHIFT: List[int] = [min(6, 2 + (row + col) // 2) for row in range(8) for col in range(8)]
+
+
+def _words(values: Sequence[int], per_line: int = 8) -> str:
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start : start + per_line])
+        lines.append(f"    .word {chunk}")
+    return "\n".join(lines)
+
+
+def build_source() -> str:
+    return f"""
+.program ijpeg
+.data
+dctcoef:
+{_words(DCT_COEF)}
+qshift:
+{_words(QUANT_SHIFT)}
+blk: .space 64
+tmp: .space 64
+.text
+.proc main nargs=0
+    in  r16            ; number of blocks
+    li  r17, 0         ; checksum
+    li  r18, 0         ; zero coefficients
+    li  r19, 0         ; blocks processed
+bloop:
+    beqz r16, done
+    dec  r16
+    ; --- read one block with level shift (pixel - 128) ---
+    la  r10, blk
+    li  r11, 64
+read:
+    in   r12
+    subi r12, r12, 128
+    st   r12, 0(r10)
+    inc  r10
+    dec  r11
+    bnez r11, read
+    ; --- row DCT: blk rows -> tmp rows ---
+    li  r13, 0
+rowl:
+    slli r14, r13, 3
+    la   r1, blk
+    add  r1, r1, r14
+    la   r2, tmp
+    add  r2, r2, r14
+    li   r3, 1
+    li   r4, 1
+    mov  r22, r13
+    call dct1d
+    mov  r13, r22
+    inc  r13
+    li   r7, 8
+    blt  r13, r7, rowl
+    ; --- column DCT: tmp columns -> blk columns ---
+    li  r13, 0
+coll:
+    la   r1, tmp
+    add  r1, r1, r13
+    la   r2, blk
+    add  r2, r2, r13
+    li   r3, 8
+    li   r4, 8
+    mov  r22, r13
+    call dct1d
+    mov  r13, r22
+    inc  r13
+    li   r7, 8
+    blt  r13, r7, coll
+    ; --- quantize and accumulate ---
+    mov  r1, r17
+    call quantize      ; r1 = new checksum, r2 = zeros in this block
+    mov  r17, r1
+    add  r18, r18, r2
+    inc  r19
+    j bloop
+done:
+    out r17
+    out r18
+    out r19
+    halt
+.endproc
+
+.proc dct1d nargs=4
+    ; r1 = src base, r2 = dst base, r3 = src stride, r4 = dst stride
+    li r10, 0          ; u
+du_loop:
+    li   r11, 0        ; i
+    li   r12, 0        ; accumulator
+    slli r13, r10, 3
+    la   r14, dctcoef
+    add  r14, r14, r13 ; &C[u][0]
+    mov  r15, r1       ; src cursor
+di_loop:
+    ld   r8, 0(r15)
+    ld   r9, 0(r14)
+    mul  r8, r8, r9
+    add  r12, r12, r8
+    add  r15, r15, r3
+    inc  r14
+    inc  r11
+    li   r7, 8
+    blt  r11, r7, di_loop
+    srai r12, r12, 7   ; descale (table is cos * 128)
+    mul  r7, r10, r4
+    add  r7, r7, r2
+    st   r12, 0(r7)
+    inc  r10
+    li   r7, 8
+    blt  r10, r7, du_loop
+    ret
+.endproc
+
+.proc quantize nargs=1
+    ; r1 = checksum in -> r1 = checksum out, r2 = zero count
+    la  r10, blk
+    la  r11, qshift
+    li  r12, 64
+    li  r2, 0
+q_loop:
+    ld   r13, 0(r10)
+    ld   r14, 0(r11)
+    sra  r13, r13, r14
+    muli r1, r1, 17
+    add  r1, r1, r13
+    li   r7, 0xFFFFFF
+    and  r1, r1, r7
+    seqi r7, r13, 0
+    add  r2, r2, r7
+    inc  r10
+    inc  r11
+    dec  r12
+    bnez r12, q_loop
+    ret
+.endproc
+"""
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    """Smooth gradient blocks plus noise; test uses a busier image."""
+    base_blocks = 36 if variant == "train" else 24
+    blocks = max(2, int(base_blocks * scale))
+    noise = 12 if variant == "train" else 40
+    values: List[int] = [blocks]
+    for _ in range(blocks):
+        base = rng.randrange(40, 216)
+        gx = rng.randrange(-6, 7)
+        gy = rng.randrange(-6, 7)
+        for row in range(8):
+            for col in range(8):
+                pixel = base + gx * col + gy * row + rng.randrange(-noise, noise + 1)
+                values.append(max(0, min(255, pixel)))
+    return values
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    stream = iter(values)
+    blocks = next(stream)
+    checksum = 0
+    zeros = 0
+    for _ in range(blocks):
+        blk = [next(stream) - 128 for _ in range(64)]
+        tmp = [0] * 64
+        # Row DCT (blk -> tmp), mirroring dct1d with stride 1.
+        for row in range(8):
+            for u in range(8):
+                acc = sum(blk[row * 8 + i] * DCT_COEF[u * 8 + i] for i in range(8))
+                tmp[row * 8 + u] = acc >> _SCALE_SHIFT
+        # Column DCT (tmp -> blk), stride 8.
+        for col in range(8):
+            for u in range(8):
+                acc = sum(tmp[i * 8 + col] * DCT_COEF[u * 8 + i] for i in range(8))
+                blk[u * 8 + col] = acc >> _SCALE_SHIFT
+        for k in range(64):
+            q = blk[k] >> QUANT_SHIFT[k]
+            checksum = (checksum * 17 + q) & 0xFFFFFF
+            if q == 0:
+                zeros += 1
+    return [checksum, zeros, blocks]
+
+
+WORKLOAD = register(
+    Workload(
+        name="ijpeg",
+        spec_analogue="132.ijpeg",
+        description="8x8 integer DCT and quantization over image blocks",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

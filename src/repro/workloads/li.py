@@ -1,0 +1,318 @@
+"""``li`` — stack-VM interpreter (SPEC95 ``130.li`` analogue).
+
+The VPA program is a bytecode interpreter: it loads a stack-machine
+program from its input, then runs a fetch-decode-dispatch loop using a
+handler jump table (``jr`` through a table load — the same indirect-
+dispatch pattern as the Xlisp interpreter).  Its hallmark value
+streams: the opcode fetch load (few distinct values, heavily skewed),
+the handler-address load (semi-invariant), and variable-slot loads.
+
+Input format: ``L`` then ``L`` bytecode words.
+Output: whatever the interpreted program's OUT instructions produce.
+
+Bytecode opcodes (operand in the following word where noted)::
+
+    0 HALT    1 PUSH imm   2 ADD    3 SUB     4 MUL      5 LT
+    6 JMPZ t  7 JMP t      8 LOAD v 9 STORE v 10 OUT     11 DUP
+    12 AND
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+OP_HALT, OP_PUSH, OP_ADD, OP_SUB, OP_MUL, OP_LT = 0, 1, 2, 3, 4, 5
+OP_JMPZ, OP_JMP, OP_LOAD, OP_STORE, OP_OUT, OP_DUP, OP_AND = 6, 7, 8, 9, 10, 11, 12
+
+_SOURCE = """
+.program li
+.data
+handlers: .word h_halt, h_push, h_add, h_sub, h_mul, h_lt
+          .word h_jmpz, h_jmp, h_load, h_store, h_out, h_dup, h_and
+bc:    .space 512
+vars:  .space 16
+stack: .space 64
+.text
+.proc main nargs=0
+    la   r1, bc
+    call load_bytecode
+    la   r1, bc
+    la   r2, stack
+    call interp
+    halt
+.endproc
+
+.proc load_bytecode nargs=1
+    ; r1 = destination buffer (invariant parameter)
+    in  r10            ; bytecode length
+    mov r11, r1
+lb_loop:
+    beqz r10, lb_done
+    in  r12
+    st  r12, 0(r11)
+    inc r11
+    dec r10
+    j lb_loop
+lb_done:
+    ret
+.endproc
+
+.proc interp nargs=2
+    ; r1 = bytecode base, r2 = operand-stack base (both invariant)
+    mov r20, r1        ; bytecode base
+    li  r16, 0         ; vm pc
+    mov r18, r2        ; vm sp (next free slot, grows up)
+vm_loop:
+    mov r10, r20
+    add r10, r10, r16
+    ld  r11, 0(r10)    ; fetch opcode
+    inc r16
+    la  r12, handlers
+    add r12, r12, r11
+    ld  r13, 0(r12)    ; handler address (jump-table load)
+    jr  r13
+h_push:
+    mov r10, r20
+    add r10, r10, r16
+    ld  r11, 0(r10)    ; operand
+    inc r16
+    st  r11, 0(r18)
+    inc r18
+    j vm_loop
+h_add:
+    dec r18
+    ld  r11, 0(r18)
+    dec r18
+    ld  r12, 0(r18)
+    add r12, r12, r11
+    st  r12, 0(r18)
+    inc r18
+    j vm_loop
+h_sub:
+    dec r18
+    ld  r11, 0(r18)
+    dec r18
+    ld  r12, 0(r18)
+    sub r12, r12, r11
+    st  r12, 0(r18)
+    inc r18
+    j vm_loop
+h_mul:
+    dec r18
+    ld  r11, 0(r18)
+    dec r18
+    ld  r12, 0(r18)
+    mul r12, r12, r11
+    st  r12, 0(r18)
+    inc r18
+    j vm_loop
+h_lt:
+    dec r18
+    ld  r11, 0(r18)
+    dec r18
+    ld  r12, 0(r18)
+    slt r12, r12, r11
+    st  r12, 0(r18)
+    inc r18
+    j vm_loop
+h_and:
+    dec r18
+    ld  r11, 0(r18)
+    dec r18
+    ld  r12, 0(r18)
+    and r12, r12, r11
+    st  r12, 0(r18)
+    inc r18
+    j vm_loop
+h_jmpz:
+    mov r10, r20
+    add r10, r10, r16
+    ld  r11, 0(r10)    ; branch target
+    inc r16
+    dec r18
+    ld  r12, 0(r18)    ; condition
+    bnez r12, vm_loop
+    mov r16, r11
+    j vm_loop
+h_jmp:
+    mov r10, r20
+    add r10, r10, r16
+    ld  r11, 0(r10)
+    mov r16, r11
+    j vm_loop
+h_load:
+    mov r10, r20
+    add r10, r10, r16
+    ld  r11, 0(r10)    ; variable index
+    inc r16
+    la  r12, vars
+    add r12, r12, r11
+    ld  r13, 0(r12)
+    st  r13, 0(r18)
+    inc r18
+    j vm_loop
+h_store:
+    mov r10, r20
+    add r10, r10, r16
+    ld  r11, 0(r10)
+    inc r16
+    dec r18
+    ld  r13, 0(r18)
+    la  r12, vars
+    add r12, r12, r11
+    st  r13, 0(r12)
+    j vm_loop
+h_out:
+    dec r18
+    ld  r11, 0(r18)
+    out r11
+    j vm_loop
+h_dup:
+    subi r10, r18, 1
+    ld   r11, 0(r10)
+    st   r11, 0(r18)
+    inc  r18
+    j vm_loop
+h_halt:
+    ret
+.endproc
+"""
+
+
+def build_source() -> str:
+    return _SOURCE
+
+
+class _Asm:
+    """Tiny bytecode assembler with label backpatching."""
+
+    def __init__(self) -> None:
+        self.words: List[int] = []
+        self._patches: List[tuple] = []
+        self._labels: dict = {}
+
+    def emit(self, *words: int) -> None:
+        self.words.extend(words)
+
+    def label(self, name: str) -> None:
+        self._labels[name] = len(self.words)
+
+    def jump(self, op: int, target: str) -> None:
+        self.words.append(op)
+        self._patches.append((len(self.words), target))
+        self.words.append(-1)
+
+    def finish(self) -> List[int]:
+        for position, target in self._patches:
+            self.words[position] = self._labels[target]
+        return self.words
+
+
+def _build_program(fib_iters: int, sum_iters: int, mask: int) -> List[int]:
+    """Bytecode: iterative Fibonacci (masked) then a sum-of-squares loop."""
+    a = _Asm()
+    # vars: 0=i, 1=fa, 2=fb, 3=t, 4=sum, 5=j
+    a.emit(OP_PUSH, 0, OP_STORE, 1)
+    a.emit(OP_PUSH, 1, OP_STORE, 2)
+    a.emit(OP_PUSH, fib_iters, OP_STORE, 0)
+    a.label("fib")
+    a.emit(OP_LOAD, 0)
+    a.jump(OP_JMPZ, "fib_end")
+    a.emit(OP_LOAD, 1, OP_LOAD, 2, OP_ADD, OP_PUSH, mask, OP_AND, OP_STORE, 3)
+    a.emit(OP_LOAD, 2, OP_STORE, 1)
+    a.emit(OP_LOAD, 3, OP_STORE, 2)
+    a.emit(OP_LOAD, 0, OP_PUSH, 1, OP_SUB, OP_STORE, 0)
+    a.jump(OP_JMP, "fib")
+    a.label("fib_end")
+    a.emit(OP_LOAD, 1, OP_OUT)
+    a.emit(OP_PUSH, 0, OP_STORE, 4)
+    a.emit(OP_PUSH, sum_iters, OP_STORE, 5)
+    a.label("sum")
+    a.emit(OP_LOAD, 5)
+    a.jump(OP_JMPZ, "sum_end")
+    a.emit(OP_LOAD, 5, OP_DUP, OP_MUL, OP_LOAD, 4, OP_ADD, OP_PUSH, mask, OP_AND, OP_STORE, 4)
+    a.emit(OP_LOAD, 5, OP_PUSH, 1, OP_SUB, OP_STORE, 5)
+    a.jump(OP_JMP, "sum")
+    a.label("sum_end")
+    a.emit(OP_LOAD, 4, OP_OUT)
+    a.emit(OP_HALT)
+    return a.finish()
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    if variant == "train":
+        fib = max(4, int(1400 * scale)) + rng.randrange(8)
+        total = max(4, int(1400 * scale)) + rng.randrange(8)
+    else:
+        fib = max(4, int(900 * scale)) + rng.randrange(8)
+        total = max(4, int(700 * scale)) + rng.randrange(8)
+    program = _build_program(fib, total, 0xFFFFF)
+    return [len(program)] + program
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    """Python mirror of the VPA interpreter."""
+    length = values[0]
+    bc = list(values[1 : 1 + length])
+    vars_ = [0] * 16
+    stack: List[int] = []
+    out: List[int] = []
+    pc = 0
+    while True:
+        op = bc[pc]
+        pc += 1
+        if op == OP_HALT:
+            break
+        if op == OP_PUSH:
+            stack.append(bc[pc])
+            pc += 1
+        elif op == OP_ADD:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a + b)
+        elif op == OP_SUB:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a - b)
+        elif op == OP_MUL:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a * b)
+        elif op == OP_LT:
+            b, a = stack.pop(), stack.pop()
+            stack.append(1 if a < b else 0)
+        elif op == OP_AND:
+            b, a = stack.pop(), stack.pop()
+            stack.append(a & b)
+        elif op == OP_JMPZ:
+            target = bc[pc]
+            pc += 1
+            if stack.pop() == 0:
+                pc = target
+        elif op == OP_JMP:
+            pc = bc[pc]
+        elif op == OP_LOAD:
+            stack.append(vars_[bc[pc]])
+            pc += 1
+        elif op == OP_STORE:
+            vars_[bc[pc]] = stack.pop()
+            pc += 1
+        elif op == OP_OUT:
+            out.append(stack.pop())
+        elif op == OP_DUP:
+            stack.append(stack[-1])
+        else:  # pragma: no cover - generator never emits unknown ops
+            raise ValueError(f"bad opcode {op}")
+    return out
+
+
+WORKLOAD = register(
+    Workload(
+        name="li",
+        spec_analogue="130.li",
+        description="stack-VM bytecode interpreter with jump-table dispatch",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

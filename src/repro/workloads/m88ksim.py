@@ -1,0 +1,392 @@
+"""``m88ksim`` — CPU simulator (SPEC95 ``124.m88ksim`` analogue).
+
+The VPA program simulates a toy 8-register CPU ("M8"): it loads an M8
+machine-code program and data image from its input, then runs a
+fetch-decode-execute loop.  Decode is bit-field extraction — the
+paper's canonical semi-invariant value streams (opcode fields, register
+indices) — and the register file lives in memory, so register reads
+are loads with high value locality.
+
+M8 instruction word: ``op<<24 | rd<<20 | ra<<16 | rb<<12 | imm12``
+(imm12 is signed).  Ops::
+
+    0 HALT  1 LI rd,imm  2 ADD  3 SUB  4 ADDI rd,ra,imm
+    5 LD rd,imm(ra)  6 ST rd,imm(ra)  7 BEQ ra,rb,imm  8 BNE
+    9 OUT ra  10 MUL  11 SLT
+
+Input format: ``P`` + P program words, then ``D`` + D data words.
+Output: whatever the M8 program's OUT instructions produce.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+M_HALT, M_LI, M_ADD, M_SUB, M_ADDI, M_LD, M_ST, M_BEQ, M_BNE, M_OUT, M_MUL, M_SLT = range(12)
+
+
+def encode(op: int, rd: int = 0, ra: int = 0, rb: int = 0, imm: int = 0) -> int:
+    """Pack one M8 instruction word."""
+    return (op << 24) | (rd << 20) | (ra << 16) | (rb << 12) | (imm & 0xFFF)
+
+
+_SOURCE = """
+.program m88ksim
+.data
+m8prog: .space 512
+m8mem:  .space 256
+m8regs: .space 8
+.text
+.proc main nargs=0
+    call load_program
+    call load_data
+    la   r1, m8prog
+    call simulate
+    halt
+.endproc
+
+.proc load_program nargs=0
+    in  r10
+    la  r11, m8prog
+lp_loop:
+    beqz r10, lp_done
+    in  r12
+    st  r12, 0(r11)
+    inc r11
+    dec r10
+    j lp_loop
+lp_done:
+    ret
+.endproc
+
+.proc load_data nargs=0
+    in  r10
+    la  r11, m8mem
+ldd_loop:
+    beqz r10, ldd_done
+    in  r12
+    st  r12, 0(r11)
+    inc r11
+    dec r10
+    j ldd_loop
+ldd_done:
+    ret
+.endproc
+
+.proc decode nargs=1
+    ; r1 = instruction word -> r1 op, r2 rd, r3 ra, r4 rb, r5 imm (signed 12-bit)
+    srli r2, r1, 20
+    andi r2, r2, 15
+    srli r3, r1, 16
+    andi r3, r3, 15
+    srli r4, r1, 12
+    andi r4, r4, 15
+    andi r5, r1, 0xFFF
+    li   r7, 2048
+    blt  r5, r7, dec_pos
+    subi r5, r5, 4096
+dec_pos:
+    srli r1, r1, 24
+    andi r1, r1, 0xFF
+    ret
+.endproc
+
+.proc simulate nargs=1
+    ; r1 = M8 program base (invariant parameter)
+    push lr
+    mov r19, r1
+    li  r16, 0           ; M8 pc
+s_loop:
+    mov r10, r19
+    add r10, r10, r16
+    ld  r17, 0(r10)      ; fetch
+    inc r16
+    mov r1, r17
+    call decode          ; r1 op, r2 rd, r3 ra, r4 rb, r5 imm
+    la  r18, m8regs
+    beqz r1, s_halt
+    seqi r7, r1, 1
+    bnez r7, m_li
+    seqi r7, r1, 2
+    bnez r7, m_add
+    seqi r7, r1, 3
+    bnez r7, m_sub
+    seqi r7, r1, 4
+    bnez r7, m_addi
+    seqi r7, r1, 5
+    bnez r7, m_ld
+    seqi r7, r1, 6
+    bnez r7, m_st
+    seqi r7, r1, 7
+    bnez r7, m_beq
+    seqi r7, r1, 8
+    bnez r7, m_bne
+    seqi r7, r1, 9
+    bnez r7, m_out
+    seqi r7, r1, 10
+    bnez r7, m_mul
+    seqi r7, r1, 11
+    bnez r7, m_slt
+    j s_loop             ; unknown op: treated as nop
+m_li:
+    add r10, r18, r2
+    st  r5, 0(r10)
+    j s_loop
+m_add:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r10, r18, r4
+    ld  r12, 0(r10)
+    add r11, r11, r12
+    add r10, r18, r2
+    st  r11, 0(r10)
+    j s_loop
+m_sub:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r10, r18, r4
+    ld  r12, 0(r10)
+    sub r11, r11, r12
+    add r10, r18, r2
+    st  r11, 0(r10)
+    j s_loop
+m_addi:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r11, r11, r5
+    add r10, r18, r2
+    st  r11, 0(r10)
+    j s_loop
+m_ld:
+    add r10, r18, r3
+    ld  r11, 0(r10)      ; base register value
+    add r11, r11, r5
+    la  r12, m8mem
+    add r12, r12, r11
+    ld  r13, 0(r12)
+    add r10, r18, r2
+    st  r13, 0(r10)
+    j s_loop
+m_st:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r11, r11, r5
+    add r10, r18, r2
+    ld  r13, 0(r10)      ; value to store
+    la  r12, m8mem
+    add r12, r12, r11
+    st  r13, 0(r12)
+    j s_loop
+m_beq:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r10, r18, r4
+    ld  r12, 0(r10)
+    bne r11, r12, s_loop
+    mov r16, r5
+    j s_loop
+m_bne:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r10, r18, r4
+    ld  r12, 0(r10)
+    beq r11, r12, s_loop
+    mov r16, r5
+    j s_loop
+m_out:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    out r11
+    j s_loop
+m_mul:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r10, r18, r4
+    ld  r12, 0(r10)
+    mul r11, r11, r12
+    add r10, r18, r2
+    st  r11, 0(r10)
+    j s_loop
+m_slt:
+    add r10, r18, r3
+    ld  r11, 0(r10)
+    add r10, r18, r4
+    ld  r12, 0(r10)
+    slt r11, r11, r12
+    add r10, r18, r2
+    st  r11, 0(r10)
+    j s_loop
+s_halt:
+    pop lr
+    ret
+.endproc
+"""
+
+
+def build_source() -> str:
+    return _SOURCE
+
+
+class _M8Asm:
+    """Label-patching assembler for M8 machine code."""
+
+    def __init__(self) -> None:
+        self.words: List[int] = []
+        self._labels: dict = {}
+        self._patches: List[tuple] = []
+
+    def emit(self, op: int, rd: int = 0, ra: int = 0, rb: int = 0, imm: int = 0) -> None:
+        self.words.append(encode(op, rd, ra, rb, imm))
+
+    def branch(self, op: int, ra: int, rb: int, label: str) -> None:
+        self._patches.append((len(self.words), op, ra, rb, label))
+        self.words.append(0)
+
+    def label(self, name: str) -> None:
+        self._labels[name] = len(self.words)
+
+    def finish(self) -> List[int]:
+        for position, op, ra, rb, label in self._patches:
+            self.words[position] = encode(op, 0, ra, rb, self._labels[label])
+        return self.words
+
+
+def _build_m8_program(n: int, passes: int) -> List[int]:
+    """M8 code: array sum+max, then ``passes`` bubble passes, then a
+    position-weighted checksum.  Register r0 is kept zero by convention."""
+    a = _M8Asm()
+    a.emit(M_LI, rd=0, imm=0)
+    # Phase 1: sum and max of m8mem[0..n-1].
+    a.emit(M_LI, rd=1, imm=0)  # i
+    a.emit(M_LI, rd=2, imm=0)  # sum
+    a.emit(M_LI, rd=3, imm=n)
+    a.emit(M_LI, rd=6, imm=0)  # max
+    a.label("p1")
+    a.branch(M_BEQ, 1, 3, "p1_end")
+    a.emit(M_LD, rd=4, ra=1, imm=0)
+    a.emit(M_ADD, rd=2, ra=2, rb=4)
+    a.emit(M_SLT, rd=5, ra=6, rb=4)
+    a.branch(M_BEQ, 5, 0, "p1_skip")
+    a.emit(M_ADD, rd=6, ra=4, rb=0)
+    a.label("p1_skip")
+    a.emit(M_ADDI, rd=1, ra=1, imm=1)
+    a.branch(M_BEQ, 0, 0, "p1")
+    a.label("p1_end")
+    a.emit(M_OUT, ra=2)
+    a.emit(M_OUT, ra=6)
+    # Phase 2: bubble passes.
+    a.emit(M_LI, rd=1, imm=0)  # pass index
+    a.emit(M_LI, rd=3, imm=passes)
+    a.label("outer")
+    a.branch(M_BEQ, 1, 3, "sorted")
+    a.emit(M_LI, rd=2, imm=0)  # j
+    a.emit(M_LI, rd=5, imm=n - 1)
+    a.label("inner")
+    a.branch(M_BEQ, 2, 5, "inner_end")
+    a.emit(M_LD, rd=4, ra=2, imm=0)
+    a.emit(M_LD, rd=6, ra=2, imm=1)
+    a.emit(M_SLT, rd=7, ra=6, rb=4)
+    a.branch(M_BEQ, 7, 0, "noswap")
+    a.emit(M_ST, rd=6, ra=2, imm=0)
+    a.emit(M_ST, rd=4, ra=2, imm=1)
+    a.label("noswap")
+    a.emit(M_ADDI, rd=2, ra=2, imm=1)
+    a.branch(M_BEQ, 0, 0, "inner")
+    a.label("inner_end")
+    a.emit(M_ADDI, rd=1, ra=1, imm=1)
+    a.branch(M_BEQ, 0, 0, "outer")
+    a.label("sorted")
+    # Phase 3: position-weighted checksum.
+    a.emit(M_LI, rd=1, imm=0)
+    a.emit(M_LI, rd=2, imm=0)
+    a.emit(M_LI, rd=3, imm=n)
+    a.label("p3")
+    a.branch(M_BEQ, 1, 3, "p3_end")
+    a.emit(M_LD, rd=4, ra=1, imm=0)
+    a.emit(M_MUL, rd=4, ra=4, rb=1)
+    a.emit(M_ADD, rd=2, ra=2, rb=4)
+    a.emit(M_ADDI, rd=1, ra=1, imm=1)
+    a.branch(M_BEQ, 0, 0, "p3")
+    a.label("p3_end")
+    a.emit(M_OUT, ra=2)
+    a.emit(M_HALT)
+    return a.finish()
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    if variant == "train":
+        n = max(8, int(80 * scale))
+        passes = max(2, int(20 * scale))
+    else:
+        n = max(8, int(60 * scale))
+        passes = max(2, int(14 * scale))
+    program = _build_m8_program(n, passes)
+    data = [rng.randrange(1000) for _ in range(n)]
+    return [len(program)] + program + [len(data)] + data
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    """Python M8 simulator matching the VPA one bit-for-bit."""
+    cursor = 0
+    plen = values[cursor]
+    cursor += 1
+    prog = list(values[cursor : cursor + plen])
+    cursor += plen
+    dlen = values[cursor]
+    cursor += 1
+    mem = list(values[cursor : cursor + dlen]) + [0] * (256 - dlen)
+    regs = [0] * 8
+    out: List[int] = []
+    pc = 0
+    while True:
+        word = prog[pc]
+        pc += 1
+        op = (word >> 24) & 0xFF
+        rd = (word >> 20) & 15
+        ra = (word >> 16) & 15
+        rb = (word >> 12) & 15
+        imm = word & 0xFFF
+        if imm >= 2048:
+            imm -= 4096
+        if op == M_HALT:
+            break
+        if op == M_LI:
+            regs[rd] = imm
+        elif op == M_ADD:
+            regs[rd] = regs[ra] + regs[rb]
+        elif op == M_SUB:
+            regs[rd] = regs[ra] - regs[rb]
+        elif op == M_ADDI:
+            regs[rd] = regs[ra] + imm
+        elif op == M_LD:
+            regs[rd] = mem[regs[ra] + imm]
+        elif op == M_ST:
+            mem[regs[ra] + imm] = regs[rd]
+        elif op == M_BEQ:
+            if regs[ra] == regs[rb]:
+                pc = imm
+        elif op == M_BNE:
+            if regs[ra] != regs[rb]:
+                pc = imm
+        elif op == M_OUT:
+            out.append(regs[ra])
+        elif op == M_MUL:
+            regs[rd] = regs[ra] * regs[rb]
+        elif op == M_SLT:
+            regs[rd] = 1 if regs[ra] < regs[rb] else 0
+    return out
+
+
+WORKLOAD = register(
+    Workload(
+        name="m88ksim",
+        spec_analogue="124.m88ksim",
+        description="fetch-decode-execute simulator for a toy 8-register CPU",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

@@ -1,0 +1,223 @@
+"""``perl`` — text pattern matcher (SPEC95 ``134.perl`` analogue).
+
+Reads a pattern and a text, builds a Boyer-Moore-Horspool skip table
+and scans the text counting (overlapping) matches.  Like perl's regex
+engine, the hot value streams are character loads over a small
+alphabet and skip-table loads whose values collapse to a handful of
+distinct skips — ideal semi-invariant profiling targets.
+
+Register conventions inside this program (deliberate "globals in
+registers", common in hand-written assembly): ``r16`` = pattern
+length, ``r17`` = text length, ``r22`` = comparison counter.
+
+Input format: ``P`` + P pattern chars, then ``N`` + N text chars.
+Output: ``matches, position_hash, comparisons``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+_SOURCE = """
+.program perl
+.data
+pattern: .space 32
+skip:    .space 256
+text:    .space 65536
+.text
+.proc main nargs=0
+    in r16              ; P = pattern length
+    la r10, pattern
+    mov r11, r16
+rp:
+    beqz r11, rp_done
+    in  r12
+    st  r12, 0(r10)
+    inc r10
+    dec r11
+    j rp
+rp_done:
+    in r17              ; N = text length
+    la r10, text
+    mov r11, r17
+rt:
+    beqz r11, rt_done
+    in  r12
+    st  r12, 0(r10)
+    inc r10
+    dec r11
+    j rt
+rt_done:
+    call build_skip
+    call search         ; r1 matches, r2 hash, r3 comparisons
+    out r1
+    out r2
+    out r3
+    halt
+.endproc
+
+.proc build_skip nargs=0
+    ; skip[c] = P for every c, then skip[pat[i]] = P-1-i for i < P-1
+    la r10, skip
+    li r11, 256
+bs1:
+    st  r16, 0(r10)
+    inc r10
+    dec r11
+    bnez r11, bs1
+    li   r11, 0
+    subi r12, r16, 1
+bs2:
+    bge r11, r12, bs_done
+    la  r10, pattern
+    add r10, r10, r11
+    ld  r13, 0(r10)
+    la  r10, skip
+    add r10, r10, r13
+    sub r14, r12, r11
+    st  r14, 0(r10)
+    inc r11
+    j bs2
+bs_done:
+    ret
+.endproc
+
+.proc search nargs=0
+    push lr
+    li  r20, 0          ; matches
+    li  r21, 0          ; position hash
+    li  r22, 0          ; comparisons
+    li  r18, 0          ; pos
+    sub r19, r17, r16   ; last valid pos = N - P
+se_loop:
+    bgt r18, r19, se_done
+    mov r1, r18
+    mov r2, r16           ; pattern length: an invariant parameter
+    call match_at
+    beqz r1, se_miss
+    inc  r20
+    muli r21, r21, 31
+    add  r21, r21, r18
+    li   r7, 0xFFFFFF
+    and  r21, r21, r7
+    inc  r18
+    j se_loop
+se_miss:
+    add  r10, r18, r16  ; pos += skip[text[pos + P - 1]]
+    subi r10, r10, 1
+    la   r11, text
+    add  r11, r11, r10
+    ld   r12, 0(r11)
+    la   r11, skip
+    add  r11, r11, r12
+    ld   r13, 0(r11)
+    add  r18, r18, r13
+    j se_loop
+se_done:
+    mov r1, r20
+    mov r2, r21
+    mov r3, r22
+    pop lr
+    ret
+.endproc
+
+.proc match_at nargs=2
+    ; r1 = candidate position, r2 = pattern length; right-to-left
+    ; compare, bumps r22 per test
+    subi r10, r2, 1
+ma_loop:
+    inc r22
+    la  r11, pattern
+    add r11, r11, r10
+    ld  r12, 0(r11)
+    la  r11, text
+    add r11, r11, r1
+    add r11, r11, r10
+    ld  r13, 0(r11)
+    bne r12, r13, ma_no
+    beqz r10, ma_yes
+    dec r10
+    j ma_loop
+ma_no:
+    li r1, 0
+    ret
+ma_yes:
+    li r1, 1
+    ret
+.endproc
+"""
+
+_ALPHABET = "etaoinshrdlu "
+
+
+def build_source() -> str:
+    return _SOURCE
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    if variant == "train":
+        pattern = "there"
+        length = max(64, int(24_000 * scale))
+        embed_rate = 0.004
+    else:
+        pattern = "nation"
+        length = max(64, int(16_000 * scale))
+        embed_rate = 0.006
+    text: List[int] = []
+    while len(text) < length:
+        if rng.random() < embed_rate:
+            text.extend(ord(c) for c in pattern)
+        else:
+            text.append(ord(rng.choice(_ALPHABET)))
+    text = text[:length]
+    pat = [ord(c) for c in pattern]
+    return [len(pat)] + pat + [len(text)] + text
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    cursor = 0
+    plen = values[cursor]
+    cursor += 1
+    pattern = list(values[cursor : cursor + plen])
+    cursor += plen
+    n = values[cursor]
+    cursor += 1
+    text = list(values[cursor : cursor + n])
+
+    skip = [plen] * 256
+    for i in range(plen - 1):
+        skip[pattern[i]] = plen - 1 - i
+
+    matches = 0
+    position_hash = 0
+    comparisons = 0
+    pos = 0
+    while pos <= n - plen:
+        matched = True
+        for k in range(plen - 1, -1, -1):
+            comparisons += 1
+            if pattern[k] != text[pos + k]:
+                matched = False
+                break
+        if matched:
+            matches += 1
+            position_hash = (position_hash * 31 + pos) & 0xFFFFFF
+            pos += 1
+        else:
+            pos += skip[text[pos + plen - 1]]
+    return [matches, position_hash, comparisons]
+
+
+WORKLOAD = register(
+    Workload(
+        name="perl",
+        spec_analogue="134.perl",
+        description="Boyer-Moore-Horspool text scanning with a skip table",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

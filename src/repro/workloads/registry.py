@@ -1,0 +1,146 @@
+"""Workload registry.
+
+A *workload* bundles everything one benchmark program needs:
+
+* VPA assembly source (possibly generated, e.g. to embed cosine tables),
+* deterministic ``train`` and ``test`` input generators — the paper's
+  two SPEC data sets per program (Table III.A.1),
+* a pure-Python *reference implementation* that computes the expected
+  output stream, making every workload self-checking.
+
+The eight workloads mirror the character of the SPEC95 integer suite
+the paper profiles; see each module's docstring for the mapping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+#: Input variants, matching the paper's two data sets per benchmark.
+VARIANTS = ("train", "test")
+
+
+@dataclass(frozen=True)
+class DataSet:
+    """One concrete input for one workload."""
+
+    workload: str
+    variant: str
+    values: Sequence[int]
+    expected_output: Sequence[int]
+
+    @property
+    def name(self) -> str:
+        return f"{self.workload}.{self.variant}"
+
+
+@dataclass
+class Workload:
+    """One benchmark program plus its inputs and reference.
+
+    Attributes:
+        name: short name used everywhere in reports.
+        spec_analogue: which SPEC95 program this mirrors.
+        description: one-line summary of what the program does.
+        build_source: callable producing the VPA assembly text.
+        make_input: ``(variant, scale, rng) -> input values``.
+        reference: ``input values -> expected output stream``.
+    """
+
+    name: str
+    spec_analogue: str
+    description: str
+    build_source: Callable[[], str]
+    make_input: Callable[[str, float, random.Random], List[int]]
+    reference: Callable[[Sequence[int]], List[int]]
+    _program: Optional[Program] = field(default=None, repr=False)
+
+    def program(self) -> Program:
+        """Assemble (and cache) the workload's program."""
+        if self._program is None:
+            self._program = assemble(self.build_source(), name=self.name)
+        return self._program
+
+    def dataset(self, variant: str = "train", scale: float = 1.0) -> DataSet:
+        """Build the deterministic input + expected output for ``variant``.
+
+        ``scale`` grows or shrinks the input size; 1.0 is the default
+        experiment size.  Train and test use different seeds *and*
+        different sizes, like SPEC's train/test inputs.
+        """
+        if variant not in VARIANTS:
+            raise WorkloadError(f"{self.name}: unknown variant {variant!r} (use {VARIANTS})")
+        if scale <= 0:
+            raise WorkloadError(f"{self.name}: scale must be positive, got {scale}")
+        rng = random.Random(f"{self.name}/{variant}")
+        values = self.make_input(variant, scale, rng)
+        expected = self.reference(values)
+        return DataSet(self.name, variant, tuple(values), tuple(expected))
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add a workload to the global registry (import-time hook)."""
+    if workload.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def unregister(name: str) -> None:
+    """Remove a workload (primarily for tests registering temporaries)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise WorkloadError(f"unknown workload {name!r} (known: {known})") from None
+
+
+def all_workloads() -> List[Workload]:
+    """Every registered workload, in stable name order."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def workload_names() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+_LOADED = False
+
+
+def _ensure_loaded() -> None:
+    """Import the workload modules so they self-register.
+
+    Guarded by a flag, not by registry emptiness: importing a single
+    workload module directly registers that one workload, which must
+    not suppress loading the rest.
+    """
+    global _LOADED
+    if _LOADED:
+        return
+    _LOADED = True
+    from repro.workloads import (  # noqa: F401  (import for side effect)
+        compress,
+        gcc,
+        go,
+        ijpeg,
+        li,
+        m88ksim,
+        perl,
+        vortex,
+    )

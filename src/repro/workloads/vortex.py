@@ -1,0 +1,234 @@
+"""``vortex`` — in-memory database (SPEC95 ``147.vortex`` analogue).
+
+Runs a transaction stream against a hash-indexed object store: 256
+buckets of linked node chains bump-allocated from an arena.  The value
+streams mirror an OO database: pointer-chasing loads (node ``next``
+fields), key loads with a Zipf-skewed hot set, and bucket heads that
+stabilise once the hot keys are inserted.
+
+Node layout in the arena: ``key, val1, val2, next`` (4 words); arena
+offset 0 is reserved as the null pointer.
+
+Input format: ``N`` then ``N`` transactions as (op, key, arg) triples;
+op 1 = insert/upsert, 2 = lookup, 3 = update.
+Output: ``found, missing, checksum, nodes_allocated``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.workloads.registry import Workload, register
+
+_BUCKETS = 256
+_NODE_WORDS = 4
+_CHK_MASK = 0xFFFFFF
+
+_SOURCE = """
+.program vortex
+.equ BMASK 255
+.data
+buckets:  .space 256
+arenaptr: .word 4          ; offset 0 reserved as null
+arena:    .space 8192      ; 2048 nodes of 4 words
+.text
+.proc main nargs=0
+    in r16                 ; N transactions
+    li r20, 0              ; found
+    li r21, 0              ; missing
+    li r22, 0              ; checksum
+txn:
+    beqz r16, done
+    dec r16
+    in r9                  ; op
+    in r17                 ; key (r17/r18 survive the helper calls)
+    in r18                 ; arg
+    seqi r7, r9, 1
+    bnez r7, t_insert
+    seqi r7, r9, 2
+    bnez r7, t_lookup
+    ; --- op 3: update val2 += arg ---
+    mov r1, r17
+    call find              ; r1 = node offset or 0
+    beqz r1, t_miss
+    la  r12, arena
+    add r12, r12, r1
+    ld  r13, 2(r12)
+    add r13, r13, r18
+    st  r13, 2(r12)
+    inc r20
+    j txn
+t_insert:
+    mov r1, r17
+    call find
+    beqz r1, t_alloc
+    la  r12, arena         ; existing: val1 += arg
+    add r12, r12, r1
+    ld  r13, 1(r12)
+    add r13, r13, r18
+    st  r13, 1(r12)
+    j txn
+t_alloc:
+    mov r1, r17
+    mov r2, r18
+    call insert
+    j txn
+t_lookup:
+    mov r1, r17
+    call find
+    beqz r1, t_miss
+    la  r12, arena
+    add r12, r12, r1
+    ld  r13, 1(r12)        ; val1
+    muli r22, r22, 7
+    add  r22, r22, r13
+    li   r7, 0xFFFFFF
+    and  r22, r22, r7
+    inc  r20
+    j txn
+t_miss:
+    inc r21
+    j txn
+done:
+    out r20
+    out r21
+    out r22
+    la  r12, arenaptr
+    ld  r13, 0(r12)
+    subi r13, r13, 4
+    divi r13, r13, 4       ; nodes allocated
+    out r13
+    halt
+.endproc
+
+.proc hash nargs=1
+    ; r1 = key -> r1 = bucket index
+    muli r10, r1, 40503
+    srli r10, r10, 4
+    andi r1, r10, BMASK
+    ret
+.endproc
+
+.proc find nargs=1
+    ; r1 = key -> r1 = node offset in arena, or 0
+    push lr
+    mov  r15, r1           ; key
+    call hash
+    la  r10, buckets
+    add r10, r10, r1
+    ld  r11, 0(r10)        ; chain head
+f_loop:
+    beqz r11, f_out        ; null: not found (r11 is already 0)
+    la  r12, arena
+    add r12, r12, r11
+    ld  r13, 0(r12)        ; node key
+    beq r13, r15, f_out    ; hit: r11 is the offset
+    ld  r11, 3(r12)        ; next pointer (pointer chasing)
+    j f_loop
+f_out:
+    mov r1, r11
+    pop lr
+    ret
+.endproc
+
+.proc insert nargs=2
+    ; r1 = key, r2 = value: push a new node on the key's bucket chain
+    push lr
+    mov  r15, r1
+    mov  r14, r2
+    call hash              ; r1 = bucket
+    la  r10, buckets
+    add r10, r10, r1
+    ld  r11, 0(r10)        ; old head
+    la  r12, arenaptr
+    ld  r13, 0(r12)        ; new node offset
+    addi r8, r13, 4
+    st   r8, 0(r12)        ; bump the arena pointer
+    la   r12, arena
+    add  r12, r12, r13
+    st   r15, 0(r12)       ; key
+    st   r14, 1(r12)       ; val1
+    xor  r8, r15, r14
+    st   r8, 2(r12)        ; val2 = key ^ value
+    st   r11, 3(r12)       ; next = old head
+    st   r13, 0(r10)       ; bucket head = new node
+    pop lr
+    ret
+.endproc
+"""
+
+
+def build_source() -> str:
+    return _SOURCE
+
+
+def _zipf_key(rng: random.Random, hot: List[int], cold_space: int) -> int:
+    """80% of references hit a small hot set, the rest are uniform."""
+    if rng.random() < 0.8:
+        return hot[min(int(rng.expovariate(0.35)), len(hot) - 1)]
+    return rng.randrange(cold_space)
+
+
+def make_input(variant: str, scale: float, rng: random.Random) -> List[int]:
+    if variant == "train":
+        n = max(16, int(2_600 * scale))
+        hot = [rng.randrange(10_000) for _ in range(24)]
+    else:
+        n = max(16, int(1_900 * scale))
+        hot = [rng.randrange(10_000) for _ in range(40)]
+    values: List[int] = [n]
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.25:
+            op = 1
+        elif roll < 0.80:
+            op = 2
+        else:
+            op = 3
+        key = _zipf_key(rng, hot, 600)
+        arg = rng.randrange(1_000)
+        values.extend((op, key, arg))
+    return values
+
+
+def reference(values: Sequence[int]) -> List[int]:
+    stream = iter(values)
+    n = next(stream)
+    store: dict = {}  # key -> [val1, val2], insertion-ordered like the arena
+    found = missing = checksum = 0
+    for _ in range(n):
+        op = next(stream)
+        key = next(stream)
+        arg = next(stream)
+        node = store.get(key)
+        if op == 1:
+            if node is None:
+                store[key] = [arg, key ^ arg]
+            else:
+                node[0] += arg
+        elif op == 2:
+            if node is None:
+                missing += 1
+            else:
+                checksum = (checksum * 7 + node[0]) & _CHK_MASK
+                found += 1
+        else:
+            if node is None:
+                missing += 1
+            else:
+                node[1] += arg
+                found += 1
+    return [found, missing, checksum, len(store)]
+
+
+WORKLOAD = register(
+    Workload(
+        name="vortex",
+        spec_analogue="147.vortex",
+        description="hash-indexed object store with pointer-chasing lookups",
+        build_source=build_source,
+        make_input=make_input,
+        reference=reference,
+    )
+)

@@ -1,0 +1,118 @@
+"""Tests for profile diffing."""
+
+import pytest
+
+from repro.analysis.diff import diff_profiles
+from repro.core.profile import ProfileDatabase
+from repro.core.sites import SiteKind, load_site
+
+SITE_A = load_site("p", "f", 1)
+SITE_B = load_site("p", "f", 2)
+SITE_C = load_site("p", "g", 3)
+
+
+def db_with(name, recordings):
+    db = ProfileDatabase(name=name)
+    for site, values in recordings.items():
+        for value in values:
+            db.record(site, value)
+    return db
+
+
+class TestDiffStructure:
+    def test_common_and_exclusive_sites(self):
+        a = db_with("a", {SITE_A: [1] * 10, SITE_B: [2] * 10})
+        b = db_with("b", {SITE_A: [1] * 10, SITE_C: [3] * 10})
+        diff = diff_profiles(a, b)
+        assert [d.site for d in diff.common] == [SITE_A]
+        assert diff.only_in_a == [SITE_B]
+        assert diff.only_in_b == [SITE_C]
+
+    def test_kind_filter(self):
+        from repro.core.sites import memory_site
+
+        a = db_with("a", {SITE_A: [1], memory_site("p", 4): [9]})
+        b = db_with("b", {SITE_A: [1], memory_site("p", 4): [9]})
+        diff = diff_profiles(a, b, kind=SiteKind.LOAD)
+        assert len(diff.common) == 1
+
+    def test_min_executions_drops_cold_sites(self):
+        a = db_with("a", {SITE_A: [1], SITE_B: [1] * 100})
+        b = db_with("b", {SITE_A: [1], SITE_B: [1] * 100})
+        diff = diff_profiles(a, b, min_executions=10)
+        assert [d.site for d in diff.common] == [SITE_B]
+
+    def test_common_sorted_by_executions(self):
+        a = db_with("a", {SITE_A: [1] * 5, SITE_B: [1] * 50})
+        b = db_with("b", {SITE_A: [1] * 5, SITE_B: [1] * 50})
+        diff = diff_profiles(a, b)
+        assert diff.common[0].site == SITE_B
+
+
+class TestDriftDetection:
+    def test_identical_profiles_have_no_drift(self):
+        a = db_with("a", {SITE_A: [1, 1, 1, 2]})
+        b = db_with("b", {SITE_A: [1, 1, 1, 2]})
+        diff = diff_profiles(a, b)
+        assert diff.drifted == []
+        assert diff.stable_fraction == 1.0
+        assert diff.invariance_correlation() == 1.0
+
+    def test_invariance_drift_detected(self):
+        a = db_with("a", {SITE_A: [1] * 100})                 # inv 1.0
+        b = db_with("b", {SITE_A: [1] * 50 + list(range(50))})  # inv ~0.5
+        diff = diff_profiles(a, b, drift_threshold=0.1)
+        assert len(diff.drifted) == 1
+        assert diff.drifted[0].inv_delta < -0.1
+
+    def test_top_value_change_detected_even_if_invariance_stable(self):
+        a = db_with("a", {SITE_A: [7] * 100})
+        b = db_with("b", {SITE_A: [9] * 100})
+        diff = diff_profiles(a, b)
+        assert diff.drifted[0].top_value_changed
+        assert diff.drifted[0].inv_delta == pytest.approx(0.0)
+
+    def test_small_changes_below_threshold_are_stable(self):
+        a = db_with("a", {SITE_A: [1] * 95 + [2] * 5})
+        b = db_with("b", {SITE_A: [1] * 92 + [2] * 8})
+        diff = diff_profiles(a, b, drift_threshold=0.1)
+        assert diff.drifted == []
+
+    def test_stable_fraction_is_execution_weighted(self):
+        a = db_with("a", {SITE_A: [1] * 90, SITE_B: [5] * 10})
+        b = db_with("b", {SITE_A: [1] * 90, SITE_B: [6] * 10})  # B drifts
+        diff = diff_profiles(a, b)
+        assert diff.stable_fraction == pytest.approx(0.9)
+
+    def test_mean_abs_inv_delta(self):
+        a = db_with("a", {SITE_A: [1] * 100})
+        b = db_with("b", {SITE_A: [1] * 80 + list(range(100, 120))})
+        diff = diff_profiles(a, b)
+        assert diff.mean_abs_inv_delta() == pytest.approx(0.2, abs=0.01)
+
+
+class TestRendering:
+    def test_render_contains_summary(self):
+        a = db_with("train", {SITE_A: [1] * 10})
+        b = db_with("test", {SITE_A: [2] * 10})
+        text = diff_profiles(a, b).render()
+        assert "train" in text and "test" in text
+        assert "correlation" in text
+        assert "drifted sites" in text
+
+    def test_render_no_drift(self):
+        a = db_with("a", {SITE_A: [1] * 10})
+        b = db_with("b", {SITE_A: [1] * 10})
+        assert "no drifted sites" in diff_profiles(a, b).render()
+
+
+class TestOnRealWorkload:
+    def test_train_vs_test_is_stable(self):
+        from repro.isa.instrument import ProfileTarget
+        from repro.workloads import profile_workload
+
+        a = profile_workload("gcc", "train", scale=0.15, targets=(ProfileTarget.LOADS,))
+        b = profile_workload("gcc", "test", scale=0.15, targets=(ProfileTarget.LOADS,))
+        diff = diff_profiles(a.database, b.database, min_executions=20)
+        assert diff.invariance_correlation() > 0.9
+        assert diff.stable_fraction > 0.5

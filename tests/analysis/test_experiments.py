@@ -1,0 +1,226 @@
+"""Integration tests: every registered experiment runs and its headline
+claims hold at reduced scale.
+
+These are the "does the reproduction reproduce" tests.  Thresholds are
+deliberately loose — they assert the *shape* of each result (orderings,
+signs, correlations), not absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+
+SCALE = 0.15
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _shared_cache():
+    # Experiments memoize profiled runs per process; keep them for the
+    # module then release the memory.
+    yield
+    experiments.clear_caches()
+
+
+def run(experiment_id, scale=SCALE):
+    return experiments.run(experiment_id, scale=scale)
+
+
+class TestRegistry:
+    def test_twenty_two_experiments_registered(self):
+        assert len(experiments.all_experiments()) == 22
+
+    def test_unknown_id_raises(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            experiments.run("table-nonexistent")
+
+    def test_metadata_complete(self):
+        for exp in experiments.all_experiments():
+            assert exp.title and exp.paper_artifact and exp.claim
+
+
+class TestProfileExperiments:
+    def test_benchmarks_table(self):
+        result = run("table-benchmarks")
+        assert len(result.data) == 8
+        for entry in result.data.values():
+            assert entry["train"]["instructions"] > 0
+            assert entry["test"]["instructions"] > 0
+
+    def test_load_values_reasonable(self):
+        result = run("table-load-values")
+        average = result.data["average"]
+        # Headline claim: loads show substantial value locality.
+        assert average["Inv-All"] > 30.0
+        assert average["Inv-Top1"] > 10.0
+        assert 0 <= average["LVP"] <= 100
+
+    def test_all_instructions_reasonable(self):
+        result = run("table-all-instructions")
+        average = result.data["average"]
+        assert average["Inv-Top1"] > 15.0
+        assert average["%Zeros"] > 1.0  # zeros are a visible fraction
+
+    def test_insn_classes_ordering(self):
+        result = run("table-insn-classes")
+        # Compare/move classes are more invariant than multiplies.
+        assert result.data["compare"]["Inv-Top1"] > result.data["muldiv"]["Inv-Top1"]
+        assert result.data["move"]["Inv-Top1"] > result.data["muldiv"]["Inv-Top1"]
+
+    def test_top_procedures_concentration(self):
+        result = run("table-top-procedures")
+        for rows in result.data.values():
+            assert rows[0]["share"] >= rows[-1]["share"]
+
+    def test_train_vs_test_correlation(self):
+        result = run("table-train-vs-test")
+        # The Wall [38] claim: profiles transfer across inputs.
+        assert result.data["mean_correlation"] > 0.85
+
+    def test_invariance_distribution_bimodal_tendency(self):
+        result = run("fig-invariance-distribution")
+        buckets = result.data["all"]
+        shares = [b["share"] for b in buckets]
+        assert sum(shares) == pytest.approx(1.0, abs=1e-6)
+        # Ends hold more mass than the middle (weak bimodality test).
+        ends = shares[0] + shares[-1]
+        middle = shares[4] + shares[5]
+        assert ends > middle
+
+    def test_memory_locations_more_invariant_than_loads(self):
+        memory = run("table-memory-locations").data["average"]["Inv-Top1"]
+        loads = run("table-load-values").data["average"]["Inv-Top1"]
+        assert memory > loads * 0.8  # at least comparable
+
+    def test_basic_block_skew(self):
+        result = run("table-basic-blocks")
+        # Table IV.1's point: hot blocks dominate execution.
+        assert result.data["mean_top_10pct"] > 0.3
+        for name, entry in result.data.items():
+            if isinstance(entry, dict):
+                assert entry["top_50pct"] >= entry["top_10pct"]
+
+    def test_parameters_have_semi_invariant_mass(self):
+        result = run("table-parameters")
+        shares = [
+            entry["semi_invariant_share"]
+            for entry in result.data.values()
+            if isinstance(entry, dict) and "semi_invariant_share" in entry
+        ]
+        assert max(shares) > 0.2
+
+
+class TestSamplingExperiments:
+    def test_convergence_is_early(self):
+        result = run("fig-convergence")
+        assert result.data["mean_converged_fraction"] < 0.6
+
+    def test_sampling_tradeoff(self):
+        result = run("table-sampling-accuracy")
+        average = result.data["average"]
+        # More sampling -> tighter estimates.
+        assert average["periodic 1%"]["overhead"] < average["periodic 10%"]["overhead"]
+        assert average["periodic 1%"]["inv_error"] >= average["periodic 10%"]["inv_error"]
+        # All sampled estimates stay in a usable range.
+        assert average["convergent"]["inv_error"] < 0.2
+
+    def test_tnv_accuracy_clearing_beats_lfu_on_phased(self):
+        result = run("fig-tnv-accuracy")
+        phased = result.data["phased"]
+        lfu_error = phased["LFU (no clearing)"]["inv_error"]
+        best_clearing = min(
+            entry["inv_error"]
+            for label, entry in phased.items()
+            if label != "LFU (no clearing)"
+        )
+        assert best_clearing < lfu_error
+        # And on real (steady) traces everything is accurate.
+        for entry in result.data["real"].values():
+            assert entry["inv_error"] < 0.05
+
+
+class TestPredictorExperiments:
+    def test_predictor_ordering(self):
+        result = run("table-predictors")
+        averages = result.data["average"]
+        assert averages["stride"] > averages["lvp"]
+        assert averages["hybrid(stride+2level)"] >= averages["stride"] - 0.02
+        assert averages["hybrid(stride+2level)"] >= averages["2level"] - 0.02
+
+    def test_vht_aliasing_tradeoff(self):
+        result = run("table-vht-aliasing")
+        # Filtering cuts conflict evictions at every size...
+        for name, entry in result.data.items():
+            if isinstance(entry, dict) and "64" in entry:
+                assert entry["64"]["filtered_conflicts"] <= entry["64"]["unfiltered_conflicts"]
+        # ...and its hit-rate benefit is largest under aliasing pressure.
+        assert result.data["mean_gain_small_table"] > result.data["mean_gain_large_table"]
+
+    def test_filtering_improves_accuracy(self):
+        result = run("table-predictor-filtering")
+        averages = result.data["average"]
+        assert averages["filtered"] > averages["unfiltered"] + 0.2
+        assert averages["pressure"] < 0.9
+
+
+class TestApplicationExperiments:
+    def test_specialization_wins_on_designed_case(self):
+        result = run("table-specialization", scale=0.4)
+        filt = result.data["filter_signal"]
+        assert filt["bindings"], "profile failed to find the semi-invariant params"
+        assert filt["speedup_direct"] > 1.0
+        assert filt["guard_hit_rate"] > 0.5
+
+    def test_pyprof_finds_semi_invariant_sites(self):
+        result = run("table-pyprof", scale=0.4)
+        entry = result.data["perl.reference.ast"]
+        assert entry["sites"] >= 5
+        assert entry["semi_invariant_sites"], "no semi-invariant Python sites found"
+
+
+class TestExtensionExperiments:
+    def test_calling_context_never_hurts(self):
+        result = run("table-calling-context")
+        assert result.data["min_gain"] >= -1e-9
+        assert result.data["mean_gain"] >= 0.0
+        # ijpeg's dct1d strides split cleanly by call site.
+        assert result.data["ijpeg"]["gain"] > 0.1
+
+    def test_load_speculation_filter_flips_benefit(self):
+        result = run("table-load-speculation")
+        average = result.data["average"]
+        assert average["all"]["net_per_1k"] < 0
+        assert average["filtered"]["net_per_1k"] > average["all"]["net_per_1k"]
+        assert average["filtered"]["misspec"] < average["all"]["misspec"]
+
+    def test_isa_specialization_safe_and_profitable(self):
+        result = run("table-isa-specialization", scale=0.3)
+        assert result.data["all_outputs_identical"]
+        # ijpeg's per-call-site strides are the designed win; every
+        # other program must be left alone (no regression possible).
+        assert result.data["ijpeg"]["variants"] >= 1
+        assert result.data["ijpeg"]["reduction"] > 0
+        for name, entry in result.data.items():
+            if isinstance(entry, dict) and "reduction" in entry:
+                assert entry["reduction"] >= 0, name
+
+    def test_memoization_advisor_decides_correctly(self):
+        result = run("table-memoization", scale=0.4)
+        assert result.data["zipf-args"]["enabled"]
+        assert result.data["zipf-args"]["hit_rate"] > 0.5
+        assert not result.data["unique-args"]["enabled"]
+        assert not result.data["unhashable-args"]["enabled"]
+
+
+class TestResultRendering:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["table-load-values", "fig-invariance-distribution", "table-insn-classes"],
+    )
+    def test_text_nonempty(self, experiment_id):
+        result = run(experiment_id)
+        assert result.text.strip()
+        assert result.experiment == experiment_id

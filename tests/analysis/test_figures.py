@@ -1,0 +1,49 @@
+"""Tests for ASCII figures."""
+
+from repro.analysis.figures import bar_chart, series_plot
+
+
+class TestBarChart:
+    def test_labels_and_values_present(self):
+        chart = bar_chart({"alpha": 50.0, "beta": 100.0}, title="T", width=20)
+        assert "T" in chart
+        assert "alpha" in chart and "beta" in chart
+        assert "50.0%" in chart
+
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"a": 10.0, "b": 100.0}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_max_value_pins_scale(self):
+        chart = bar_chart({"a": 50.0}, width=10, max_value=100.0)
+        assert chart.count("#") == 5
+
+    def test_empty_data(self):
+        assert bar_chart({}, title="empty") == "empty"
+
+    def test_all_zero_values(self):
+        chart = bar_chart({"a": 0.0})
+        assert "#" not in chart
+
+
+class TestSeriesPlot:
+    def test_axes_annotated(self):
+        plot = series_plot({"s": [(0, 0.0), (1, 1.0)]}, x_label="t", y_label="v")
+        assert "t: 0 .. 1" in plot
+        assert "v: 0.000 .. 1.000" in plot
+
+    def test_legend_lists_series(self):
+        plot = series_plot({"one": [(0, 0)], "two": [(1, 1)]})
+        assert "one" in plot and "two" in plot
+
+    def test_markers_plotted(self):
+        plot = series_plot({"s": [(0, 0), (1, 1)]}, width=10, height=5)
+        assert "*" in plot
+
+    def test_empty(self):
+        assert series_plot({}, title="nothing") == "nothing"
+
+    def test_degenerate_single_point(self):
+        plot = series_plot({"s": [(5, 0.5)]})
+        assert "*" in plot

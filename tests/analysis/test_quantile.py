@@ -1,0 +1,79 @@
+"""Tests for invariance-bucket analysis."""
+
+import pytest
+
+from repro.analysis.quantile import cumulative_share, invariance_buckets, top_weighted
+from repro.core.metrics import SiteMetrics
+
+
+def metrics(executions, inv):
+    return SiteMetrics(executions, inv, inv, inv, 1, 0.0)
+
+
+class TestInvarianceBuckets:
+    def test_shares_sum_to_one(self):
+        rows = [metrics(10, 0.05), metrics(30, 0.55), metrics(60, 0.95)]
+        buckets = invariance_buckets(rows)
+        assert sum(b.share for b in buckets) == pytest.approx(1.0)
+
+    def test_bucket_assignment(self):
+        rows = [metrics(100, 0.05)]
+        buckets = invariance_buckets(rows)
+        assert buckets[0].sites == 1
+        assert buckets[0].share == pytest.approx(1.0)
+
+    def test_invariance_one_lands_in_top_bucket(self):
+        buckets = invariance_buckets([metrics(10, 1.0)])
+        assert buckets[-1].sites == 1
+
+    def test_execution_weighting(self):
+        rows = [metrics(90, 0.95), metrics(10, 0.05)]
+        buckets = invariance_buckets(rows)
+        assert buckets[-1].share == pytest.approx(0.9)
+
+    def test_custom_key(self):
+        rows = [
+            SiteMetrics(10, lvp=1.0, inv_top1=0.0, inv_top_n=0.0, distinct=1, pct_zeros=0.0)
+        ]
+        buckets = invariance_buckets(rows, key=lambda m: m.lvp)
+        assert buckets[-1].sites == 1
+
+    def test_bucket_labels(self):
+        buckets = invariance_buckets([metrics(1, 0.5)])
+        assert buckets[0].label == "0-10%"
+        assert buckets[-1].label == "90-100%"
+
+    def test_empty_rows(self):
+        buckets = invariance_buckets([])
+        assert all(b.share == 0.0 for b in buckets)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            invariance_buckets([], buckets=0)
+
+
+class TestTopWeighted:
+    def test_orders_by_executions(self):
+        rows = [("cold", metrics(1, 0.5)), ("hot", metrics(100, 0.5))]
+        ranked = top_weighted(rows, count=2)
+        assert ranked[0][0] == "hot"
+        assert ranked[0][2] == pytest.approx(100 / 101)
+
+    def test_count_limits(self):
+        rows = [(str(i), metrics(i + 1, 0.5)) for i in range(20)]
+        assert len(top_weighted(rows, count=5)) == 5
+
+
+class TestCumulativeShare:
+    def test_monotone_to_one(self):
+        rows = [metrics(50, 0.5), metrics(30, 0.5), metrics(20, 0.5)]
+        shares = cumulative_share(rows)
+        assert shares == pytest.approx([0.5, 0.8, 1.0])
+
+    def test_empty(self):
+        assert cumulative_share([]) == []
+
+    def test_skew_visible(self):
+        rows = [metrics(1000, 0.5)] + [metrics(1, 0.5)] * 10
+        shares = cumulative_share(rows)
+        assert shares[0] > 0.95

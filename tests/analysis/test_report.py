@@ -1,0 +1,94 @@
+"""Tests for the actionable value-profile report."""
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.core.profile import ProfileDatabase
+from repro.core.sites import SiteKind, load_site
+from repro.predictors.classify import InvarianceClass
+from repro.specialize.analysis import BenefitModel
+
+INVARIANT = load_site("p", "hot", 1)
+SEMI = load_site("p", "hot", 2)
+VARIANT = load_site("p", "cold", 3)
+
+
+def populated_db():
+    db = ProfileDatabase(name="test.run")
+    for _ in range(1000):
+        db.record(INVARIANT, 7)
+    for i in range(1000):
+        db.record(SEMI, 3 if i % 10 else i)
+    for i in range(500):
+        db.record(VARIANT, i)
+    return db
+
+
+class TestClassificationSection:
+    def test_shares_sum_to_one(self):
+        report = build_report(populated_db())
+        assert sum(report.classification.values()) == pytest.approx(1.0)
+
+    def test_classes_assigned_correctly(self):
+        report = build_report(populated_db())
+        assert report.classification[InvarianceClass.INVARIANT] == pytest.approx(0.4)
+        assert report.classification[InvarianceClass.SEMI_INVARIANT] == pytest.approx(0.4)
+        assert report.classification[InvarianceClass.VARIANT] == pytest.approx(0.2)
+
+
+class TestCandidates:
+    def test_candidates_ordered_by_expected_hits(self):
+        report = build_report(populated_db())
+        assert report.candidates
+        hits = [c.expected_hits for c in report.candidates]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_invariant_site_is_top_candidate(self):
+        report = build_report(populated_db())
+        assert report.candidates[0].site == INVARIANT
+        assert report.candidates[0].value == 7
+
+    def test_variant_site_not_a_candidate(self):
+        report = build_report(populated_db())
+        assert VARIANT not in {c.site for c in report.candidates}
+
+    def test_breakeven_in_rendered_output(self):
+        text = build_report(populated_db()).render()
+        assert "break-even" in text
+        assert "specialize" in text
+
+    def test_harsh_benefit_model_flags_below_breakeven(self):
+        harsh = BenefitModel(saving_per_call=0.001, guard_cost=0.5, specialization_cost=1e9)
+        text = build_report(populated_db(), benefit=harsh).render()
+        assert "below break-even" in text
+
+
+class TestRendering:
+    def test_sections_present(self):
+        text = build_report(populated_db()).render()
+        assert "Value profile report" in text
+        assert "Site classification" in text
+        assert "Hot-site concentration" in text
+        assert "Value-prediction suitability" in text
+
+    def test_empty_database(self):
+        report = build_report(ProfileDatabase(name="empty"))
+        text = report.render()
+        assert "0" in text
+        assert report.candidates == []
+        assert "none above the invariance floor" in text
+
+    def test_kind_filter(self):
+        db = populated_db()
+        report = build_report(db, kind=SiteKind.MEMORY)
+        assert report.candidates == []
+
+
+class TestOnRealWorkload:
+    def test_gcc_report(self):
+        from repro.workloads import profile_workload
+
+        run = profile_workload("gcc", scale=0.15)
+        report = build_report(run.database)
+        assert report.candidates, "gcc should offer specialization candidates"
+        assert report.classification[InvarianceClass.SEMI_INVARIANT] > 0.2

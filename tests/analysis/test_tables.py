@@ -1,0 +1,65 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import METRICS_COLUMNS, Table, metrics_row, percentage
+from repro.core.metrics import SiteMetrics
+
+
+class TestTable:
+    def test_basic_render(self):
+        table = Table(("name", "value"), title="T")
+        table.add_row("a", 1)
+        text = table.render()
+        assert "T" in text
+        assert "name" in text
+        assert "a" in text
+
+    def test_column_alignment(self):
+        table = Table(("name", "value"))
+        table.add_row("a", 1)
+        table.add_row("long-name", 100)
+        lines = table.render().splitlines()
+        # numeric column right-aligned: "1" ends where "100" ends
+        assert lines[-2].rstrip().endswith("1")
+        assert lines[-1].rstrip().endswith("100")
+
+    def test_float_precision(self):
+        table = Table(("v",), precision=3)
+        table.add_row(1.23456)
+        assert "1.235" in table.render()
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_separator(self):
+        table = Table(("a",))
+        table.add_row(1)
+        table.add_separator()
+        table.add_row(2)
+        lines = table.render().splitlines()
+        assert any(set(line) == {"-"} for line in lines[2:])
+
+    def test_str_equals_render(self):
+        table = Table(("a",))
+        table.add_row(1)
+        assert str(table) == table.render()
+
+
+class TestHelpers:
+    def test_percentage(self):
+        assert percentage(0.5) == 50.0
+
+    def test_metrics_row_shape(self):
+        metrics = SiteMetrics(10, 0.1, 0.2, 0.3, 4, 0.5)
+        row = metrics_row("prog", metrics)
+        assert len(row) == len(METRICS_COLUMNS)
+        assert row[0] == "prog"
+        assert row[2] == pytest.approx(10.0)  # LVP%
+
+    def test_metrics_row_millions(self):
+        metrics = SiteMetrics(2_500_000, 0, 0, 0, 0, 0)
+        row = metrics_row("prog", metrics)
+        assert row[1] == "2.5M"

@@ -1,0 +1,90 @@
+"""Tests for convergence detection and convergence curves."""
+
+import pytest
+
+from repro.core.convergence import (
+    ConvergenceConfig,
+    ConvergenceDetector,
+    ConvergencePoint,
+    convergence_curve,
+)
+
+
+class TestDetector:
+    def test_starts_unconverged(self):
+        assert not ConvergenceDetector().converged
+
+    def test_converges_after_patience_stable_checkpoints(self):
+        detector = ConvergenceDetector(ConvergenceConfig(delta=0.05, patience=2))
+        assert not detector.observe(0.50)
+        assert not detector.observe(0.51)  # streak 1
+        assert detector.observe(0.52)  # streak 2 -> converged
+
+    def test_unstable_estimates_reset_streak(self):
+        detector = ConvergenceDetector(ConvergenceConfig(delta=0.01, patience=2))
+        detector.observe(0.5)
+        detector.observe(0.505)  # stable
+        detector.observe(0.9)  # jump resets
+        detector.observe(0.905)
+        assert not detector.converged
+        assert detector.observe(0.906)
+
+    def test_drift_after_convergence_resets(self):
+        config = ConvergenceConfig(delta=0.05, patience=1, reset_delta=0.1)
+        detector = ConvergenceDetector(config)
+        detector.observe(0.5)
+        assert detector.observe(0.5)
+        assert detector.converged_estimate == pytest.approx(0.5)
+        assert not detector.observe(0.8)  # drift beyond reset_delta
+        assert detector.converged_estimate is None
+
+    def test_small_drift_keeps_convergence(self):
+        config = ConvergenceConfig(delta=0.05, patience=1, reset_delta=0.1)
+        detector = ConvergenceDetector(config)
+        detector.observe(0.5)
+        detector.observe(0.5)
+        assert detector.observe(0.55)  # within reset_delta
+
+    def test_history_records_every_observation(self):
+        detector = ConvergenceDetector()
+        for estimate in (0.1, 0.2, 0.3):
+            detector.observe(estimate)
+        assert detector.history == [0.1, 0.2, 0.3]
+
+    def test_manual_reset(self):
+        detector = ConvergenceDetector(ConvergenceConfig(patience=1))
+        detector.observe(0.4)
+        detector.observe(0.4)
+        assert detector.converged
+        detector.reset()
+        assert not detector.converged
+
+
+class TestConvergenceCurve:
+    def test_final_point_covers_whole_stream(self):
+        points = convergence_curve([1, 1, 2, 1, 1], checkpoint=2)
+        assert points[-1].executions == 5
+
+    def test_exact_attached_to_every_point(self):
+        points = convergence_curve([1] * 10 + [2] * 10, checkpoint=5)
+        final = points[-1].estimate
+        assert all(p.exact == pytest.approx(final) for p in points)
+
+    def test_constant_stream_error_is_zero_everywhere(self):
+        points = convergence_curve([7] * 20, checkpoint=4)
+        assert all(p.error == pytest.approx(0.0) for p in points)
+
+    def test_estimates_converge_toward_final(self):
+        # A stream that settles: early noise then constant.
+        stream = [1, 2, 3, 4, 5] + [9] * 195
+        points = convergence_curve(stream, checkpoint=10)
+        assert points[-1].error == 0.0
+        assert points[0].error >= points[-1].error
+
+    def test_checkpoint_spacing(self):
+        points = convergence_curve(range(100), checkpoint=25)
+        assert [p.executions for p in points] == [25, 50, 75, 100]
+
+    def test_point_error_property(self):
+        point = ConvergencePoint(executions=10, estimate=0.6, exact=0.5)
+        assert point.error == pytest.approx(0.1)

@@ -1,0 +1,180 @@
+"""Tests for SiteProfile and ProfileDatabase."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import ProfileDatabase, SiteProfile, TNVConfig
+from repro.core.sites import SiteKind, instruction_site, load_site, memory_site
+from repro.errors import ProfileError
+
+SITE_A = load_site("prog", "main", 1)
+SITE_B = load_site("prog", "main", 2)
+SITE_C = instruction_site("prog", "helper", 3, "add")
+
+
+def make_profile(values, exact=True):
+    profile = SiteProfile(SITE_A, TNVConfig(), exact=exact)
+    for value in values:
+        profile.record(value)
+    return profile
+
+
+class TestSiteProfile:
+    def test_metrics_prefer_exact(self):
+        profile = make_profile([1, 1, 2])
+        assert profile.metrics().inv_top1 == pytest.approx(2 / 3)
+
+    def test_tnv_only_mode(self):
+        profile = make_profile([1, 1, 2], exact=False)
+        assert profile.exact is None
+        metrics = profile.metrics()
+        assert metrics.inv_top1 == pytest.approx(2 / 3)
+        assert metrics.executions == 3
+
+    def test_lvp_tracked_without_exact(self):
+        profile = make_profile([5, 5, 5, 1], exact=False)
+        assert profile.lvp() == pytest.approx(2 / 3)
+
+    def test_pct_zeros(self):
+        profile = make_profile([0, 1, 0, 1])
+        assert profile.pct_zeros() == pytest.approx(0.5)
+
+    def test_merge_requires_same_site(self):
+        a = SiteProfile(SITE_A, TNVConfig())
+        b = SiteProfile(SITE_B, TNVConfig())
+        with pytest.raises(ProfileError):
+            a.merge(b)
+
+    def test_merge_combines(self):
+        a = make_profile([1, 1])
+        b = make_profile([2])
+        a.merge(b)
+        assert a.executions == 3
+        assert a.metrics().distinct == 2
+
+    def test_tnv_metrics_report_estimates(self):
+        profile = make_profile([1] * 10)
+        assert profile.tnv_metrics().inv_top1 == 1.0
+
+
+class TestProfileDatabase:
+    def test_record_creates_sites(self):
+        db = ProfileDatabase()
+        db.record(SITE_A, 1)
+        db.record(SITE_B, 2)
+        assert len(db) == 2
+        assert SITE_A in db
+
+    def test_profile_for_unknown_raises(self):
+        with pytest.raises(ProfileError):
+            ProfileDatabase().profile_for(SITE_A)
+
+    def test_sites_filter_by_kind(self):
+        db = ProfileDatabase()
+        db.record(SITE_A, 1)
+        db.record(SITE_C, 2)
+        assert db.sites(SiteKind.LOAD) == [SITE_A]
+        assert db.sites(SiteKind.INSTRUCTION) == [SITE_C]
+        assert len(db.sites()) == 2
+
+    def test_profiles_predicate(self):
+        db = ProfileDatabase()
+        db.record(SITE_A, 1)
+        db.record(SITE_B, 1)
+        main_only = db.profiles(predicate=lambda s: s.label == "1")
+        assert [p.site for p in main_only] == [SITE_A]
+
+    def test_total_executions(self):
+        db = ProfileDatabase()
+        for _ in range(5):
+            db.record(SITE_A, 1)
+        db.record(SITE_C, 1)
+        assert db.total_executions() == 6
+        assert db.total_executions(SiteKind.LOAD) == 5
+
+    def test_metrics_by_site_sorted_hottest_first(self):
+        db = ProfileDatabase()
+        db.record(SITE_B, 1)
+        for _ in range(3):
+            db.record(SITE_A, 1)
+        rows = db.metrics_by_site(SiteKind.LOAD)
+        assert rows[0][0] == SITE_A
+
+    def test_summary_weights_by_executions(self):
+        db = ProfileDatabase()
+        for _ in range(90):
+            db.record(SITE_A, 7)  # fully invariant
+        for value in range(10):
+            db.record(SITE_B, value)  # fully variant
+        summary = db.summary(SiteKind.LOAD)
+        assert summary.inv_top1 == pytest.approx(0.9 * 1.0 + 0.1 * 0.1)
+
+    def test_summary_by_procedure(self):
+        db = ProfileDatabase()
+        db.record(SITE_A, 1)
+        db.record(SITE_C, 2)
+        grouped = db.summary_by_procedure()
+        assert set(grouped) == {"main", "helper"}
+
+    def test_summary_by_opcode(self):
+        db = ProfileDatabase()
+        db.record(SITE_C, 2)
+        assert "add" in db.summary_by_opcode()
+
+    def test_merge_databases(self):
+        a, b = ProfileDatabase(), ProfileDatabase()
+        a.record(SITE_A, 1)
+        b.record(SITE_A, 1)
+        b.record(SITE_B, 2)
+        a.merge(b)
+        assert a.profile_for(SITE_A).executions == 2
+        assert SITE_B in a
+
+    def test_iteration(self):
+        db = ProfileDatabase()
+        db.record(SITE_A, 1)
+        assert [p.site for p in db] == [SITE_A]
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_headline_numbers(self):
+        db = ProfileDatabase(name="run1")
+        for value in [1, 1, 1, 0, 2]:
+            db.record(SITE_A, value)
+        for value in [4, 4]:
+            db.record(memory_site("prog", 8), value)
+        clone = ProfileDatabase.from_json(db.to_json())
+        assert clone.name == "run1"
+        assert len(clone) == 2
+        original = db.profile_for(SITE_A)
+        restored = clone.profile_for(SITE_A)
+        assert restored.executions == original.executions
+        assert restored.lvp() == pytest.approx(original.lvp())
+        assert restored.pct_zeros() == pytest.approx(original.pct_zeros())
+        assert restored.tnv.top_value() == original.tnv.top_value()
+
+    def test_restored_database_is_tnv_only(self):
+        db = ProfileDatabase()
+        db.record(SITE_A, 1)
+        clone = ProfileDatabase.from_json(db.to_json())
+        assert clone.profile_for(SITE_A).exact is None
+
+    def test_config_roundtrip(self):
+        db = ProfileDatabase(config=TNVConfig(capacity=6, steady=2, clear_interval=77))
+        db.record(SITE_A, 1)
+        clone = ProfileDatabase.from_json(db.to_json())
+        assert clone.config.capacity == 6
+        assert clone.config.clear_interval == 77
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=200))
+def test_property_database_summary_matches_single_site_metrics(values):
+    db = ProfileDatabase()
+    for value in values:
+        db.record(SITE_A, value)
+    summary = db.summary(SiteKind.LOAD)
+    direct = db.profile_for(SITE_A).metrics()
+    assert summary.inv_top1 == pytest.approx(direct.inv_top1)
+    assert summary.executions == direct.executions

@@ -1,0 +1,216 @@
+"""Tests for sampling policies and the sampling profiler."""
+
+import pytest
+
+from repro.core.convergence import ConvergenceConfig
+from repro.core.sampling import (
+    ConvergentSampling,
+    FullSampling,
+    PeriodicSampling,
+    SamplingProfiler,
+)
+from repro.core.sites import load_site
+
+SITE = load_site("prog", "main", 1)
+OTHER = load_site("prog", "main", 2)
+
+
+class TestFullSampling:
+    def test_always_samples(self):
+        policy = FullSampling()
+        assert all(policy.should_sample(SITE) for _ in range(100))
+
+    def test_fresh_returns_new_instance(self):
+        policy = FullSampling()
+        assert policy.fresh() is not policy
+
+
+class TestPeriodicSampling:
+    def test_duty_cycle(self):
+        policy = PeriodicSampling(burst=2, interval=10)
+        decisions = [policy.should_sample(SITE) for _ in range(100)]
+        assert sum(decisions) == 20
+
+    def test_burst_comes_first(self):
+        policy = PeriodicSampling(burst=3, interval=6)
+        assert [policy.should_sample(SITE) for _ in range(6)] == [
+            True, True, True, False, False, False,
+        ]
+
+    def test_state_is_per_site(self):
+        policy = PeriodicSampling(burst=1, interval=2)
+        assert policy.should_sample(SITE)
+        assert policy.should_sample(OTHER)  # OTHER starts its own burst
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PeriodicSampling(burst=0, interval=10)
+        with pytest.raises(ValueError):
+            PeriodicSampling(burst=10, interval=5)
+
+    def test_fresh_copies_parameters(self):
+        policy = PeriodicSampling(burst=5, interval=50)
+        clone = policy.fresh()
+        assert clone.burst == 5 and clone.interval == 50
+
+
+class TestConvergentSampling:
+    def test_backs_off_after_convergence(self):
+        policy = ConvergentSampling(
+            burst=10,
+            base_skip=10,
+            max_skip=1000,
+            convergence=ConvergenceConfig(delta=0.05, patience=1),
+        )
+        # Drive the policy directly: bursts of 10, checkpoint each burst
+        # with a stable estimate.
+        sampled_before = 0
+        for _ in range(20):
+            if policy.should_sample(SITE):
+                sampled_before += 1
+        policy.checkpoint(SITE, 0.5)
+        policy.checkpoint(SITE, 0.5)  # stable twice -> converged
+        state = policy._state[SITE]
+        assert state.skip_interval > 10
+
+    def test_drift_resets_interval(self):
+        policy = ConvergentSampling(
+            burst=5,
+            base_skip=10,
+            max_skip=1000,
+            convergence=ConvergenceConfig(delta=0.02, patience=1, reset_delta=0.05),
+        )
+        policy.should_sample(SITE)
+        policy.checkpoint(SITE, 0.5)
+        policy.checkpoint(SITE, 0.5)  # converged; interval doubled
+        assert policy._state[SITE].skip_interval == 20
+        policy.checkpoint(SITE, 0.9)  # drift: detector resets
+        assert policy._state[SITE].skip_interval == 10
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ConvergentSampling(burst=0)
+        with pytest.raises(ValueError):
+            ConvergentSampling(max_skip=1)
+
+    def test_fresh_preserves_configuration(self):
+        policy = ConvergentSampling(burst=7, base_skip=70, max_skip=700, backoff=3.0)
+        clone = policy.fresh()
+        assert (clone.burst, clone.base_skip, clone.max_skip, clone.backoff) == (7, 70, 700, 3.0)
+
+
+class TestSamplingProfiler:
+    def test_full_sampling_records_everything(self):
+        profiler = SamplingProfiler(FullSampling())
+        for value in range(50):
+            profiler.record(SITE, value)
+        assert profiler.seen() == 50
+        assert profiler.profiled() == 50
+        assert profiler.overhead() == 1.0
+
+    def test_periodic_overhead(self):
+        profiler = SamplingProfiler(PeriodicSampling(burst=10, interval=100))
+        for value in range(1000):
+            profiler.record(SITE, value)
+        assert profiler.overhead() == pytest.approx(0.1)
+        assert profiler.database.profile_for(SITE).executions == 100
+
+    def test_per_site_counts(self):
+        profiler = SamplingProfiler(PeriodicSampling(burst=1, interval=2))
+        for _ in range(10):
+            profiler.record(SITE, 1)
+        for _ in range(4):
+            profiler.record(OTHER, 2)
+        assert profiler.seen(SITE) == 10
+        assert profiler.profiled(SITE) == 5
+        assert profiler.seen(OTHER) == 4
+
+    def test_empty_profiler_overhead_zero(self):
+        assert SamplingProfiler(FullSampling()).overhead() == 0.0
+
+    def test_checkpoint_cadence_follows_policy_burst(self):
+        policy = ConvergentSampling(burst=25, base_skip=75)
+        profiler = SamplingProfiler(policy)
+        assert profiler.checkpoint_every == 25
+
+    def test_sampled_estimate_tracks_truth_for_stationary_stream(self):
+        # For an i.i.d.-ish stream, a 10% sample's invariance estimate
+        # should land near the true 50%.
+        profiler = SamplingProfiler(PeriodicSampling(burst=10, interval=100))
+        for index in range(10_000):
+            profiler.record(SITE, index % 2)
+        estimate = profiler.database.profile_for(SITE).metrics().inv_top1
+        assert estimate == pytest.approx(0.5, abs=0.05)
+
+    def test_convergent_profiler_cheaper_than_periodic_on_long_stable_stream(self):
+        convergent = SamplingProfiler(
+            ConvergentSampling(
+                burst=50,
+                base_skip=450,
+                max_skip=100_000,
+                convergence=ConvergenceConfig(delta=0.02, patience=2),
+            )
+        )
+        periodic = SamplingProfiler(PeriodicSampling(burst=50, interval=500))
+        for index in range(100_000):
+            value = 1 if index % 10 else 0
+            convergent.record(SITE, value)
+            periodic.record(SITE, value)
+        assert convergent.overhead() < periodic.overhead()
+        estimate = convergent.database.profile_for(SITE).metrics().inv_top1
+        assert estimate == pytest.approx(0.9, abs=0.05)
+
+
+class TestRandomSampling:
+    def test_rate_respected_statistically(self):
+        from repro.core.sampling import RandomSampling
+
+        policy = RandomSampling(rate=0.2, seed=42)
+        decisions = [policy.should_sample(SITE) for _ in range(10_000)]
+        assert sum(decisions) == pytest.approx(2_000, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        from repro.core.sampling import RandomSampling
+
+        a = RandomSampling(rate=0.5, seed=7)
+        b = RandomSampling(rate=0.5, seed=7)
+        assert [a.should_sample(SITE) for _ in range(100)] == [
+            b.should_sample(SITE) for _ in range(100)
+        ]
+
+    def test_fresh_resets_stream(self):
+        from repro.core.sampling import RandomSampling
+
+        policy = RandomSampling(rate=0.5, seed=7)
+        first = [policy.should_sample(SITE) for _ in range(50)]
+        clone = policy.fresh()
+        assert [clone.should_sample(SITE) for _ in range(50)] == first
+
+    def test_rejects_bad_rate(self):
+        from repro.core.sampling import RandomSampling
+
+        with pytest.raises(ValueError):
+            RandomSampling(rate=0.0)
+        with pytest.raises(ValueError):
+            RandomSampling(rate=1.5)
+
+    def test_random_sampling_degrades_lvp_but_not_invariance(self):
+        """The thesis' CPI question: random sampling breaks the
+        consecutive pairs LVP is defined over."""
+        from repro.core.sampling import RandomSampling
+
+        # Each distinct value appears exactly twice in a row:
+        # 0 0 1 1 2 2 ...  True LVP is 0.5 (every second adjacent pair
+        # repeats), but two *randomly sampled* executions almost never
+        # come from the same pair.
+        stream = [i // 2 for i in range(20_000)]
+        random_profiler = SamplingProfiler(RandomSampling(rate=0.1, seed=3))
+        periodic_profiler = SamplingProfiler(PeriodicSampling(burst=100, interval=1000))
+        for value in stream:
+            random_profiler.record(SITE, value)
+            periodic_profiler.record(SITE, value)
+        true_lvp = 0.5
+        random_lvp = random_profiler.database.profile_for(SITE).lvp()
+        periodic_lvp = periodic_profiler.database.profile_for(SITE).lvp()
+        assert abs(periodic_lvp - true_lvp) < 0.05  # bursts keep adjacency
+        assert random_lvp < 0.15  # badly biased toward zero

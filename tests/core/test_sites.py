@@ -1,0 +1,80 @@
+"""Tests for profile-site identity."""
+
+from repro.core.sites import (
+    Site,
+    SiteKind,
+    instruction_site,
+    load_site,
+    memory_site,
+    parameter_site,
+    python_site,
+)
+
+
+class TestSiteIdentity:
+    def test_equal_sites_hash_equal(self):
+        a = instruction_site("p", "main", 4, "add")
+        b = instruction_site("p", "main", 4, "add")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_opcode_not_part_of_identity(self):
+        # Two descriptions of the same pc compare equal even if opcode
+        # metadata differs (identity is where, not what).
+        a = instruction_site("p", "main", 4, "add")
+        b = instruction_site("p", "main", 4, "sub")
+        assert a == b
+
+    def test_different_pc_different_site(self):
+        assert instruction_site("p", "main", 4, "add") != instruction_site("p", "main", 5, "add")
+
+    def test_kind_distinguishes(self):
+        load = load_site("p", "main", 4)
+        insn = instruction_site("p", "main", 4, "ld")
+        assert load != insn
+
+    def test_sites_are_sortable(self):
+        sites = [memory_site("p", 2), memory_site("p", 1), load_site("p", "m", 0)]
+        assert sorted(sites)  # no TypeError
+
+    def test_usable_as_dict_key(self):
+        d = {parameter_site("p", "f", 0): 1}
+        assert d[parameter_site("p", "f", 0)] == 1
+
+
+class TestConstructors:
+    def test_instruction_site_fields(self):
+        site = instruction_site("prog", "proc", 12, "add")
+        assert site.kind is SiteKind.INSTRUCTION
+        assert site.label == "12"
+        assert site.opcode == "add"
+
+    def test_load_site_kind(self):
+        assert load_site("p", "f", 3).kind is SiteKind.LOAD
+
+    def test_memory_site_hex_label(self):
+        assert memory_site("p", 255).label == "0xff"
+
+    def test_parameter_site_label(self):
+        assert parameter_site("p", "f", 2).label == "arg2"
+
+    def test_python_site(self):
+        site = python_site("mod", "func", "x")
+        assert site.kind is SiteKind.PYTHON
+        assert site.procedure == "func"
+
+
+class TestNaming:
+    def test_qualified_name(self):
+        site = instruction_site("prog", "main", 7, "ld")
+        assert site.qualified_name() == "prog:main+7"
+
+    def test_qualified_name_without_procedure(self):
+        site = memory_site("prog", 16)
+        assert site.qualified_name() == "prog+0x10"
+
+    def test_str_includes_kind(self):
+        assert "load" in str(load_site("p", "f", 1))
+
+    def test_kind_str(self):
+        assert str(SiteKind.MEMORY) == "memory"

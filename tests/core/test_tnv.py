@@ -1,0 +1,250 @@
+"""Unit and property tests for the TNV table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import ValueStreamStats
+from repro.core.tnv import TNVEntry, TNVTable
+from repro.errors import ProfileError
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        table = TNVTable()
+        assert table.capacity == 10
+        assert table.steady == 5
+        assert table.clear_interval == 2000
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ProfileError):
+            TNVTable(capacity=0)
+
+    def test_rejects_steady_equal_capacity(self):
+        with pytest.raises(ProfileError):
+            TNVTable(capacity=4, steady=4)
+
+    def test_rejects_negative_steady(self):
+        with pytest.raises(ProfileError):
+            TNVTable(capacity=4, steady=-1)
+
+    def test_rejects_zero_clear_interval(self):
+        with pytest.raises(ProfileError):
+            TNVTable(clear_interval=0)
+
+    def test_clearing_can_be_disabled(self):
+        table = TNVTable(clear_interval=None)
+        table.record_many(range(100))
+        assert table.clears == 0
+
+
+class TestRecording:
+    def test_single_value(self):
+        table = TNVTable()
+        table.record(42)
+        assert table.total == 1
+        assert table.count_of(42) == 1
+        assert table.top_value() == 42
+
+    def test_counts_accumulate(self):
+        table = TNVTable()
+        table.record_many([7, 7, 7, 3])
+        assert table.count_of(7) == 3
+        assert table.count_of(3) == 1
+
+    def test_full_table_drops_new_values(self):
+        table = TNVTable(capacity=2, steady=1, clear_interval=None)
+        table.record_many(["a", "b", "c"])
+        assert "c" not in table
+        assert len(table) == 2
+
+    def test_resident_value_still_counted_when_full(self):
+        table = TNVTable(capacity=2, steady=1, clear_interval=None)
+        table.record_many(["a", "b", "a"])
+        assert table.count_of("a") == 2
+
+    def test_total_counts_dropped_values(self):
+        table = TNVTable(capacity=1, steady=0, clear_interval=None)
+        table.record_many([1, 2, 3, 4])
+        assert table.total == 4
+
+    def test_contains(self):
+        table = TNVTable()
+        table.record(5)
+        assert 5 in table
+        assert 6 not in table
+
+
+class TestClearing:
+    def test_clear_interval_triggers(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=10)
+        table.record_many(range(10))
+        assert table.clears == 1
+
+    def test_clear_keeps_steady_part(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=None)
+        table.record_many(["hot"] * 10 + ["warm"] * 5 + ["cold1", "cold2"])
+        table.clear_bottom()
+        assert table.count_of("hot") == 10
+        assert table.count_of("warm") == 5
+        assert "cold1" not in table
+        assert "cold2" not in table
+
+    def test_clear_reopens_slots_for_new_hot_values(self):
+        # The design point: a phased trace where the late hot value
+        # could never enter a full LFU table.
+        lfu = TNVTable(capacity=4, steady=2, clear_interval=None)
+        clearing = TNVTable(capacity=4, steady=2, clear_interval=8)
+        phase1 = [1, 2, 3, 4] * 3  # fills both tables
+        phase2 = [99] * 40  # the eventual top value
+        for value in phase1 + phase2:
+            lfu.record(value)
+            clearing.record(value)
+        assert lfu.top_value() != 99  # locked out
+        assert clearing.top_value() == 99  # admitted after a clear
+
+    def test_clear_on_small_table_is_noop(self):
+        table = TNVTable(capacity=10, steady=5, clear_interval=None)
+        table.record_many([1, 2])
+        table.clear_bottom()
+        assert table.count_of(1) == 1
+        assert table.count_of(2) == 1
+
+
+class TestTop:
+    def test_top_orders_by_count(self):
+        table = TNVTable()
+        table.record_many([1, 2, 2, 3, 3, 3])
+        assert [entry.value for entry in table.top(3)] == [3, 2, 1]
+
+    def test_top_is_deterministic_on_ties(self):
+        table = TNVTable()
+        table.record_many([5, 9])
+        first = table.top(2)
+        for _ in range(5):
+            assert table.top(2) == first
+
+    def test_top_k_limits(self):
+        table = TNVTable()
+        table.record_many(range(8))
+        assert len(table.top(3)) == 3
+
+    def test_top_value_empty(self):
+        assert TNVTable().top_value() is None
+
+    def test_entries_are_tnventry(self):
+        table = TNVTable()
+        table.record(1)
+        assert table.top(1) == [TNVEntry(1, 1)]
+
+
+class TestEstimatedInvariance:
+    def test_empty_is_zero(self):
+        assert TNVTable().estimated_invariance() == 0.0
+
+    def test_constant_stream_is_one(self):
+        table = TNVTable()
+        table.record_many([4] * 100)
+        assert table.estimated_invariance(1) == 1.0
+
+    def test_uniform_stream(self):
+        table = TNVTable(capacity=10, steady=5, clear_interval=None)
+        table.record_many([1, 2] * 50)
+        assert table.estimated_invariance(1) == pytest.approx(0.5)
+        assert table.estimated_invariance(2) == pytest.approx(1.0)
+
+    def test_estimate_is_lower_bound_after_clearing(self):
+        # Cleared counts are lost, so the estimate can only undershoot.
+        table = TNVTable(capacity=4, steady=1, clear_interval=5)
+        values = [1, 2, 3, 4, 5] * 20
+        table.record_many(values)
+        exact = ValueStreamStats()
+        exact.record_many(values)
+        assert table.estimated_invariance(1) <= exact.invariance(1) + 1e-9
+
+    def test_never_exceeds_one(self):
+        table = TNVTable(capacity=2, steady=1, clear_interval=3)
+        table.record_many([1] * 1000)
+        assert table.estimated_invariance(10) <= 1.0
+
+
+class TestMergeAndSerialize:
+    def test_merge_sums_counts(self):
+        a, b = TNVTable(), TNVTable()
+        a.record_many([1, 1, 2])
+        b.record_many([1, 3])
+        a.merge(b)
+        assert a.count_of(1) == 3
+        assert a.count_of(3) == 1
+        assert a.total == 5
+
+    def test_merge_respects_capacity(self):
+        a = TNVTable(capacity=2, steady=1, clear_interval=None)
+        b = TNVTable(capacity=2, steady=1, clear_interval=None)
+        a.record_many([1, 1, 2])
+        b.record_many([3, 3, 3])
+        a.merge(b)
+        assert len(a) <= 2
+        assert a.top_value() == 3
+
+    def test_roundtrip(self):
+        table = TNVTable(capacity=6, steady=3, clear_interval=100)
+        table.record_many([1, 2, 2, 3, 3, 3])
+        clone = TNVTable.from_dict(table.to_dict())
+        assert clone.capacity == 6
+        assert clone.total == table.total
+        assert clone.top(6) == table.top(6)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=-50, max_value=50), max_size=500))
+def test_property_total_equals_stream_length(values):
+    table = TNVTable(capacity=5, steady=2, clear_interval=17)
+    table.record_many(values)
+    assert table.total == len(values)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=500))
+def test_property_resident_counts_never_exceed_true_counts(values):
+    table = TNVTable(capacity=4, steady=2, clear_interval=13)
+    exact = ValueStreamStats()
+    for value in values:
+        table.record(value)
+        exact.record(value)
+    for entry in table.snapshot():
+        assert entry.count <= exact.histogram[entry.value]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=400),
+    st.integers(min_value=1, max_value=9),
+)
+def test_property_estimate_monotone_in_k(values, k):
+    table = TNVTable()
+    table.record_many(values)
+    assert table.estimated_invariance(k) <= table.estimated_invariance(k + 1) + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=300))
+def test_property_len_bounded_by_capacity(values):
+    table = TNVTable(capacity=7, steady=3, clear_interval=11)
+    table.record_many(values)
+    assert len(table) <= 7
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=300))
+def test_property_dominant_value_always_found(values):
+    """If one value is an absolute majority, every configuration finds it."""
+    dominant = 7777
+    stream = []
+    for value in values:
+        stream.append(dominant)
+        stream.append(dominant)
+        stream.append(value)
+    table = TNVTable(capacity=3, steady=1, clear_interval=5)
+    table.record_many(stream)
+    assert table.top_value() == dominant

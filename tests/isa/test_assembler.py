@@ -1,0 +1,267 @@
+"""Tests for the VPA assembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+
+
+def asm(body: str, data: str = "") -> str:
+    """Wrap a code body in a minimal program skeleton."""
+    sections = ""
+    if data:
+        sections += f".data\n{data}\n"
+    return f"{sections}.text\n.proc main nargs=0\n{body}\nhalt\n.endproc\n"
+
+
+class TestBasics:
+    def test_empty_main(self):
+        program = assemble(asm(""))
+        assert program.instructions[-1].opcode == "halt"
+        assert "main" in program.procedures
+
+    def test_program_name_directive(self):
+        program = assemble(".program myprog\n" + asm("nop"))
+        assert program.name == "myprog"
+
+    def test_explicit_name_overrides(self):
+        program = assemble(".program inner\n" + asm("nop"), name="outer")
+        assert program.name == "outer"
+
+    def test_comments_stripped(self):
+        program = assemble(asm("nop ; comment\nnop # another"))
+        assert [i.opcode for i in program.instructions[:2]] == ["nop", "nop"]
+
+    def test_entry_is_main(self):
+        source = """
+.text
+.proc helper nargs=0
+    nop
+    ret
+.endproc
+.proc main nargs=0
+    halt
+.endproc
+"""
+        program = assemble(source)
+        assert program.entry == program.procedures["main"].start
+
+
+class TestOperands:
+    def test_register_aliases(self):
+        program = assemble(asm("mov sp, lr\nmov r1, zero"))
+        mov = program.instructions[0]
+        assert mov.rd == 29 and mov.ra == 31
+        assert program.instructions[1].ra == 0
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble(asm("li r1, 0xFF\nli r2, -7"))
+        assert program.instructions[0].imm == 255
+        assert program.instructions[1].imm == -7
+
+    def test_equ_constants(self):
+        program = assemble(".equ SIZE 64\n" + asm("li r1, SIZE\naddi r2, r1, SIZE"))
+        assert program.instructions[0].imm == 64
+        assert program.instructions[1].imm == 64
+
+    def test_memory_operand(self):
+        program = assemble(asm("ld r1, 4(r2)\nst r3, -2(r4)"))
+        ld = program.instructions[0]
+        assert (ld.rd, ld.imm, ld.ra) == (1, 4, 2)
+        st = program.instructions[1]
+        assert (st.rd, st.imm, st.ra) == (3, -2, 4)
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(asm("mov r99, r1"))
+
+    def test_bad_integer_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(asm("li r1, banana"))
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(asm("add r1, r2"))
+
+    def test_error_carries_line_number(self):
+        source = ".text\n.proc main nargs=0\n    nop\n    frobnicate r1\n.endproc\n"
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        assert "line 4" in str(excinfo.value)
+
+
+class TestLabels:
+    def test_forward_branch(self):
+        program = assemble(asm("beq r1, r2, done\nnop\ndone:\nnop"))
+        assert program.instructions[0].target == 2
+
+    def test_backward_jump(self):
+        program = assemble(asm("top:\nnop\nj top"))
+        assert program.instructions[1].target == 0
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(asm("j nowhere"))
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(asm("dup:\nnop\ndup:\nnop"))
+
+    def test_label_and_instruction_on_one_line(self):
+        program = assemble(asm("here: nop\nj here"))
+        assert program.instructions[1].target == 0
+
+
+class TestData:
+    def test_word_values(self):
+        program = assemble(asm("nop", data="vals: .word 1, 2, 3"))
+        assert program.data_image[:3] == [1, 2, 3]
+
+    def test_space_reserves_zeroed_words(self):
+        program = assemble(asm("nop", data="buf: .space 5\ntail: .word 9"))
+        assert program.data_image == [0, 0, 0, 0, 0, 9]
+        assert program.data_symbols["tail"] == 5
+
+    def test_la_resolves_data_symbol(self):
+        program = assemble(asm("la r1, buf", data="pad: .word 1, 2\nbuf: .word 3"))
+        assert program.instructions[0].imm == 2
+
+    def test_word_can_reference_code_label(self):
+        source = """
+.data
+handlers: .word entry
+.text
+.proc main nargs=0
+entry:
+    halt
+.endproc
+"""
+        program = assemble(source)
+        assert program.data_image[0] == program.labels["entry"]
+
+    def test_word_can_reference_data_symbol(self):
+        program = assemble(asm("nop", data="a: .word 1\nptr: .word a"))
+        assert program.data_image[1] == 0
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.word 1\n")
+
+    def test_equ_in_word(self):
+        program = assemble(".equ X 42\n" + asm("nop", data="v: .word X"))
+        assert program.data_image[0] == 42
+
+
+class TestProcedures:
+    def test_nargs_recorded(self):
+        source = """
+.text
+.proc main nargs=0
+    halt
+.endproc
+.proc f nargs=3
+    ret
+.endproc
+"""
+        program = assemble(source)
+        assert program.procedures["f"].nargs == 3
+
+    def test_unclosed_proc_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.proc main nargs=0\nnop\n")
+
+    def test_nested_proc_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.proc a nargs=0\n.proc b nargs=0\n.endproc\n.endproc\n")
+
+    def test_endproc_without_proc_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.endproc\n")
+
+    def test_instructions_tagged_with_procedure(self):
+        source = """
+.text
+.proc main nargs=0
+    nop
+    halt
+.endproc
+.proc f nargs=0
+    ret
+.endproc
+"""
+        program = assemble(source)
+        assert program.instructions[0].procedure == "main"
+        assert program.instructions[2].procedure == "f"
+
+    def test_unknown_proc_attribute_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.proc main wibble=2\n.endproc\n")
+
+
+class TestPseudoInstructions:
+    def test_ret_expands_to_jr_lr(self):
+        program = assemble(asm("ret"))
+        inst = program.instructions[0]
+        assert inst.opcode == "jr" and inst.rd == 31
+
+    def test_call_expands_to_jal(self):
+        source = """
+.text
+.proc main nargs=0
+    call f
+    halt
+.endproc
+.proc f nargs=0
+    ret
+.endproc
+"""
+        program = assemble(source)
+        assert program.instructions[0].opcode == "jal"
+        assert program.instructions[0].target == program.procedures["f"].start
+
+    def test_push_pop_expand_to_two_instructions(self):
+        program = assemble(asm("push r5\npop r5"))
+        opcodes = [i.opcode for i in program.instructions[:4]]
+        assert opcodes == ["subi", "st", "ld", "addi"]
+
+    def test_push_keeps_labels_correct(self):
+        # A label after a pseudo must account for its expansion size.
+        program = assemble(asm("push r1\ntarget:\nnop\nj target"))
+        assert program.instructions[3].target == 2
+
+    def test_beqz_bnez(self):
+        program = assemble(asm("beqz r3, out\nbnez r4, out\nout:\nnop"))
+        beq, bne = program.instructions[:2]
+        assert beq.opcode == "beq" and beq.rb == 0
+        assert bne.opcode == "bne" and bne.rb == 0
+
+    def test_inc_dec(self):
+        program = assemble(asm("inc r9\ndec r9"))
+        inc, dec = program.instructions[:2]
+        assert (inc.opcode, inc.imm) == ("addi", 1)
+        assert (dec.opcode, dec.imm) == ("subi", 1)
+
+
+class TestDisassembly:
+    def test_render_roundtrip_reassembles(self):
+        source = asm(
+            "li r1, 5\nadd r2, r1, r1\nld r3, 2(r2)\nslt r4, r3, r2\nout r4",
+            data="t: .word 1, 2, 3, 4",
+        )
+        program = assemble(source)
+        listing = program.disassemble()
+        assert "main:" in listing
+        assert "li r1, 5" in listing
+
+    def test_pc_assigned_sequentially(self):
+        program = assemble(asm("nop\nnop\nnop"))
+        assert [i.pc for i in program.instructions] == list(range(len(program.instructions)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+def test_property_li_preserves_immediate(value):
+    program = assemble(asm(f"li r1, {value}"))
+    assert program.instructions[0].imm == value

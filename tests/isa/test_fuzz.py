@@ -1,0 +1,161 @@
+"""Property/fuzz tests: random structured VPA programs.
+
+A generator builds random but well-formed programs (straight-line
+arithmetic, bounded counted loops, procedure calls, table accesses) and
+the properties assert machine-level invariants that must hold for *any*
+program: termination within budget, ``r0`` pinned to zero, memory
+bounds respected, deterministic re-execution, observer transparency,
+and specializer semantic preservation under arbitrary bindings.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import ProfileDatabase
+from repro.isa.assembler import assemble
+from repro.isa.instrument import ProfileTarget, ValueProfiler
+from repro.isa.machine import Machine, run_program
+from repro.isa.optimize import specialize_procedure, written_registers_transitive
+
+# Registers the generator uses for scratch computation (avoids r0, the
+# argument registers used for helper calls, sp and lr).
+_SCRATCH = list(range(8, 26))
+
+
+def _random_program(seed: int) -> str:
+    """A random but always-terminating, always-in-bounds program."""
+    rng = random.Random(seed)
+    lines = [
+        ".program fuzz",
+        ".data",
+        "table: .space 64",
+        ".text",
+        ".proc main nargs=0",
+        "    la r26, table",
+    ]
+    # random initialisation
+    for reg in _SCRATCH:
+        lines.append(f"    li r{reg}, {rng.randint(-1000, 1000)}")
+
+    binary_ops = ["add", "sub", "mul", "and", "or", "xor", "slt", "seq", "sne", "sll", "srl", "sra"]
+    immediate_ops = ["addi", "subi", "muli", "andi", "ori", "xori", "slti", "seqi", "snei"]
+
+    def random_statements(count: int, loop_depth: int) -> None:
+        for _ in range(count):
+            choice = rng.random()
+            rd = rng.choice(_SCRATCH)
+            ra = rng.choice(_SCRATCH)
+            rb = rng.choice(_SCRATCH)
+            if choice < 0.45:
+                op = rng.choice(binary_ops)
+                if op in ("sll", "srl", "sra"):
+                    # keep shift amounts sane via a masked temp
+                    lines.append(f"    andi r27, r{rb}, 15")
+                    lines.append(f"    {op} r{rd}, r{ra}, r27")
+                else:
+                    lines.append(f"    {op} r{rd}, r{ra}, r{rb}")
+            elif choice < 0.70:
+                op = rng.choice(immediate_ops)
+                imm = rng.randint(-64, 64)
+                if op in ("slli", "srli", "srai"):
+                    imm = rng.randint(0, 16)
+                lines.append(f"    {op} r{rd}, r{ra}, {imm}")
+            elif choice < 0.85:
+                offset = rng.randint(0, 63)
+                if rng.random() < 0.5:
+                    lines.append(f"    st r{rd}, {offset}(r26)")
+                else:
+                    lines.append(f"    ld r{rd}, {offset}(r26)")
+            elif choice < 0.95 and loop_depth == 0:
+                # bounded counted loop
+                label = f"loop_{len(lines)}"
+                iterations = rng.randint(1, 8)
+                lines.append(f"    li r28, {iterations}")
+                lines.append(f"{label}:")
+                random_statements(rng.randint(1, 3), loop_depth + 1)
+                lines.append("    subi r28, r28, 1")
+                lines.append(f"    bnez r28, {label}")
+            else:
+                lines.append(f"    mov r1, r{ra}")
+                lines.append(f"    li r2, {rng.randint(-8, 8)}")
+                lines.append("    call helper")
+                lines.append(f"    mov r{rd}, r1")
+
+    random_statements(rng.randint(4, 12), 0)
+    lines.append(f"    out r{rng.choice(_SCRATCH)}")
+    lines.append("    halt")
+    lines.append(".endproc")
+    lines.append(".proc helper nargs=2")
+    lines.append(f"    muli r1, r1, {rng.randint(-4, 4)}")
+    lines.append("    add r1, r1, r2")  # r2 is read-only: bindable
+    lines.append(f"    addi r1, r1, {rng.randint(-9, 9)}")
+    lines.append("    ret")
+    lines.append(".endproc")
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fuzz_program_terminates_and_respects_invariants(seed):
+    program = assemble(_random_program(seed))
+    machine = Machine(program)
+    result = machine.run(max_instructions=200_000)
+    assert result.halted
+    assert machine.registers[0] == 0
+    assert len(result.output) == 1
+    assert result.cycles >= result.instructions_executed
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fuzz_execution_is_deterministic(seed):
+    program = assemble(_random_program(seed))
+    first = run_program(program, max_instructions=200_000)
+    second = run_program(program, max_instructions=200_000)
+    assert first.output == second.output
+    assert first.instructions_executed == second.instructions_executed
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_fuzz_observer_is_transparent(seed):
+    program = assemble(_random_program(seed))
+    plain = run_program(program, max_instructions=200_000)
+    db = ProfileDatabase()
+    observed = run_program(
+        program,
+        observer=ValueProfiler(program, db, targets=list(ProfileTarget)),
+        max_instructions=200_000,
+    )
+    assert plain.output == observed.output
+    assert plain.cycles == observed.cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=-100, max_value=100),
+)
+def test_fuzz_specializer_preserves_semantics(seed, bound_value):
+    """Specializing helper's argument on ANY value — matching the real
+    calls or not — must never change program output (the guard falls
+    back when the binding doesn't hold)."""
+    program = assemble(_random_program(seed))
+    helper = program.procedures["helper"]
+    assert 2 not in written_registers_transitive(program, helper)
+    specialized, _ = specialize_procedure(program, "helper", {2: bound_value})
+    from repro.isa.optimize import patch_call_site
+
+    call_pcs = [
+        inst.pc
+        for inst in specialized.instructions
+        if inst.opcode == "jal" and inst.target == helper.start
+    ]
+    for pc in call_pcs:
+        patch_call_site(specialized, pc, "helper__spec")
+    base = run_program(program, max_instructions=400_000)
+    spec = run_program(specialized, max_instructions=400_000)
+    assert spec.output == base.output

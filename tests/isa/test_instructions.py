@@ -1,0 +1,90 @@
+"""Tests for ISA metadata and instruction rendering."""
+
+from repro.isa.instructions import (
+    Format,
+    InsnClass,
+    Instruction,
+    OPCODES,
+    opcode_info,
+    to_signed64,
+)
+
+
+class TestOpcodeTable:
+    def test_loads_define_registers(self):
+        assert OPCODES["ld"].defines_register
+        assert OPCODES["ld"].is_load
+
+    def test_stores_do_not_define(self):
+        assert not OPCODES["st"].defines_register
+        assert OPCODES["st"].is_store
+
+    def test_branches_flagged(self):
+        for mnemonic in ("beq", "bne", "blt", "bge", "ble", "bgt", "j", "jal", "jr", "jalr"):
+            assert OPCODES[mnemonic].is_branch, mnemonic
+
+    def test_every_class_represented(self):
+        classes = {info.insn_class for info in OPCODES.values()}
+        assert classes == set(InsnClass)
+
+    def test_defining_instructions_have_destination_formats(self):
+        # Every register-defining opcode must encode a destination.
+        for info in OPCODES.values():
+            if info.defines_register:
+                assert info.fmt in (
+                    Format.RRR,
+                    Format.RRI,
+                    Format.RI,
+                    Format.RL,
+                    Format.RR,
+                    Format.R,
+                    Format.MEM,
+                ), info.mnemonic
+
+    def test_opcode_info_lookup(self):
+        assert opcode_info("add") is OPCODES["add"]
+        assert opcode_info("nosuch") is None
+
+    def test_all_opcodes_documented(self):
+        assert all(info.description for info in OPCODES.values())
+
+
+class TestToSigned64:
+    def test_identity_in_range(self):
+        assert to_signed64(5) == 5
+        assert to_signed64(-5) == -5
+
+    def test_wraps_positive_overflow(self):
+        assert to_signed64(2**63) == -(2**63)
+
+    def test_wraps_negative_overflow(self):
+        assert to_signed64(-(2**63) - 1) == 2**63 - 1
+
+    def test_masks_high_bits(self):
+        assert to_signed64(2**64 + 7) == 7
+
+    def test_extremes(self):
+        assert to_signed64(2**63 - 1) == 2**63 - 1
+        assert to_signed64(-(2**63)) == -(2**63)
+
+
+class TestRendering:
+    def test_rrr(self):
+        inst = Instruction("add", rd=1, ra=2, rb=3)
+        assert inst.render() == "add r1, r2, r3"
+
+    def test_rri(self):
+        assert Instruction("addi", rd=1, ra=2, imm=-4).render() == "addi r1, r2, -4"
+
+    def test_mem(self):
+        assert Instruction("ld", rd=1, ra=2, imm=8).render() == "ld r1, 8(r2)"
+
+    def test_branch_shows_target(self):
+        assert Instruction("beq", ra=1, rb=2, target=9).render() == "beq r1, r2, @9"
+
+    def test_bare(self):
+        assert Instruction("halt").render() == "halt"
+
+    def test_str_includes_pc(self):
+        inst = Instruction("nop", pc=12)
+        assert "12" in str(inst)

@@ -1,0 +1,199 @@
+"""Tests for ISA-level code specialization."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.isa.assembler import assemble
+from repro.isa.machine import run_program
+from repro.isa.optimize import (
+    patch_call_site,
+    specialize_procedure,
+    written_registers,
+)
+
+SOURCE = """
+.program opt
+.text
+.proc main nargs=0
+    in  r1              ; x
+    li  r2, 4           ; scale (the "invariant" argument)
+    call transform
+    out r1
+    in  r1
+    li  r2, 3
+    call transform
+    out r1
+    halt
+.endproc
+.proc transform nargs=2
+    ; r1 = x, r2 = scale: returns x*scale + scale - 1, with a
+    ; scale-dependent branch
+    mul r10, r1, r2
+    li  r11, 1
+    sub r12, r2, r11
+    add r1, r10, r12
+    blt r2, r11, neg
+    ret
+neg:
+    li r1, 0
+    ret
+.endproc
+"""
+
+
+def build():
+    return assemble(SOURCE, name="opt")
+
+
+class TestWrittenRegisters:
+    def test_transform_writes(self):
+        program = build()
+        written = written_registers(program, program.procedures["transform"])
+        assert {1, 10, 11, 12} <= written
+        assert 2 not in written
+
+    def test_jalr_destination_counts(self):
+        source = """
+.text
+.proc main nargs=0
+    halt
+.endproc
+.proc f nargs=0
+    jalr r9, r1
+    ret
+.endproc
+"""
+        program = assemble(source)
+        assert 9 in written_registers(program, program.procedures["f"])
+
+
+class TestSpecializeProcedure:
+    def test_variant_appended(self):
+        program = build()
+        specialized, report = specialize_procedure(program, "transform", {2: 4})
+        assert "transform__spec" in specialized.procedures
+        assert report.entry == len(program.instructions)
+        assert len(specialized.instructions) > len(program.instructions)
+
+    def test_original_program_untouched(self):
+        program = build()
+        before = [inst.render() for inst in program.instructions]
+        specialize_procedure(program, "transform", {2: 4})
+        assert [inst.render() for inst in program.instructions] == before
+
+    def test_rewrites_happen(self):
+        program = build()
+        _, report = specialize_procedure(program, "transform", {2: 4})
+        # mul x*4 -> slli (strength reduction); sub 4-1 -> folds;
+        # blt 4<1 -> branch fold to nop.
+        assert report.strength_reductions >= 1
+        assert report.folds >= 1
+        assert report.branch_folds >= 1
+        assert report.cycle_gain > 0
+
+    def test_binding_written_register_rejected(self):
+        program = build()
+        with pytest.raises(MachineError):
+            specialize_procedure(program, "transform", {1: 5})
+
+    def test_binding_r0_rejected(self):
+        program = build()
+        with pytest.raises(MachineError):
+            specialize_procedure(program, "transform", {0: 0})
+
+    def test_empty_bindings_rejected(self):
+        program = build()
+        with pytest.raises(MachineError):
+            specialize_procedure(program, "transform", {})
+
+    def test_unknown_procedure_rejected(self):
+        program = build()
+        with pytest.raises(MachineError):
+            specialize_procedure(program, "nothere", {2: 4})
+
+    def test_duplicate_variant_rejected(self):
+        program = build()
+        specialized, _ = specialize_procedure(program, "transform", {2: 4})
+        with pytest.raises(MachineError):
+            specialize_procedure(specialized, "transform", {2: 4})
+
+
+class TestSemanticsPreserved:
+    def _outputs(self, program, inputs):
+        return run_program(program, input_values=inputs).output
+
+    def test_matching_guard_produces_same_results(self):
+        program = build()
+        specialized, _ = specialize_procedure(program, "transform", {2: 4})
+        call_pc = next(
+            inst.pc
+            for inst in specialized.instructions
+            if inst.opcode == "jal"
+            and inst.target == specialized.procedures["transform"].start
+        )
+        patch_call_site(specialized, call_pc, "transform__spec")
+        for inputs in ([7, 9], [0, 0], [-5, 100]):
+            assert self._outputs(specialized, inputs) == self._outputs(program, inputs)
+
+    def test_guard_falls_back_on_mismatch(self):
+        # Patch the SECOND call site (which passes scale=3, not the
+        # bound 4): the guard must route every call to the general code.
+        program = build()
+        specialized, _ = specialize_procedure(program, "transform", {2: 4})
+        call_pcs = [
+            inst.pc
+            for inst in specialized.instructions
+            if inst.opcode == "jal"
+            and inst.target == specialized.procedures["transform"].start
+        ]
+        patch_call_site(specialized, call_pcs[1], "transform__spec")
+        for inputs in ([3, 11], [1, 1]):
+            assert self._outputs(specialized, inputs) == self._outputs(program, inputs)
+
+    def test_whole_workload_bit_identical(self):
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("ijpeg")
+        dataset = workload.dataset("train", scale=0.1)
+        program = workload.program()
+        specialized, _ = specialize_procedure(program, "dct1d", {3: 1, 4: 1}, "dct1d__rows")
+        specialized, _ = specialize_procedure(specialized, "dct1d", {3: 8, 4: 8}, "dct1d__cols")
+        call_pcs = [
+            inst.pc
+            for inst in specialized.instructions[: len(program.instructions)]
+            if inst.opcode == "jal"
+            and inst.target == specialized.procedures["dct1d"].start
+        ]
+        patch_call_site(specialized, call_pcs[0], "dct1d__rows")
+        patch_call_site(specialized, call_pcs[1], "dct1d__cols")
+        base = run_program(program, input_values=dataset.values)
+        spec = run_program(specialized, input_values=dataset.values)
+        assert spec.output == base.output
+        assert spec.cycles < base.cycles  # strength-reduced muls
+
+    def test_specialized_variant_costs_fewer_cycles_per_call(self):
+        program = build()
+        specialized, report = specialize_procedure(program, "transform", {2: 4})
+        assert report.cycle_gain >= 3  # mul(4) -> slli(1) alone saves 3
+
+
+class TestPatchCallSite:
+    def test_patch_rejects_non_call(self):
+        program = build()
+        specialized, _ = specialize_procedure(program, "transform", {2: 4})
+        with pytest.raises(MachineError):
+            patch_call_site(specialized, 0, "transform__spec")  # 'in', not jal
+
+    def test_patch_rejects_unknown_variant(self):
+        program = build()
+        specialized, _ = specialize_procedure(program, "transform", {2: 4})
+        call_pc = next(
+            inst.pc for inst in specialized.instructions if inst.opcode == "jal"
+        )
+        with pytest.raises(MachineError):
+            patch_call_site(specialized, call_pc, "missing")
+
+    def test_patch_out_of_range(self):
+        program = build()
+        with pytest.raises(MachineError):
+            patch_call_site(program, 10_000, "transform")

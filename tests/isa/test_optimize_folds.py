@@ -1,0 +1,159 @@
+"""Fine-grained tests of the binary specializer's rewrite rules."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import run_program
+from repro.isa.optimize import patch_call_site, specialize_procedure
+
+
+def specialize_body(body: str, bindings, nargs=2, call_setup="li r2, 0\nli r3, 0"):
+    """Wrap ``body`` in a callee, specialize it, return variant opcodes
+    and a checker that compares outputs on the patched program."""
+    source = f"""
+.text
+.proc main nargs=0
+    in r1
+    {call_setup}
+    call callee
+    out r1
+    halt
+.endproc
+.proc callee nargs={nargs}
+{body}
+    ret
+.endproc
+"""
+    program = assemble(source)
+    specialized, report = specialize_procedure(program, "callee", bindings)
+    variant = specialized.procedures["callee__spec"]
+    rendered = [
+        specialized.instructions[pc].render() for pc in range(variant.start, variant.end)
+    ]
+    return program, specialized, report, rendered
+
+
+class TestImmediateForms:
+    def test_add_with_known_rhs_becomes_addi(self):
+        _, _, report, rendered = specialize_body(
+            "    add r1, r1, r2", {2: 9}
+        )
+        assert any(r == "addi r1, r1, 9" for r in rendered)
+        assert report.folds >= 1
+
+    def test_add_with_known_lhs_commutes(self):
+        _, _, _, rendered = specialize_body("    add r1, r2, r1", {2: 9})
+        assert any(r == "addi r1, r1, 9" for r in rendered)
+
+    def test_sub_with_known_rhs_becomes_subi(self):
+        _, _, _, rendered = specialize_body("    sub r1, r1, r2", {2: 4})
+        assert any(r == "subi r1, r1, 4" for r in rendered)
+
+    def test_sub_with_known_lhs_not_rewritten(self):
+        # No reverse-subtract immediate form exists; must stay RRR.
+        _, _, _, rendered = specialize_body("    sub r1, r2, r1", {2: 4})
+        assert any(r.startswith("sub r1, r2, r1") for r in rendered)
+
+    def test_shift_with_known_amount(self):
+        _, _, _, rendered = specialize_body("    sll r1, r1, r2", {2: 3})
+        assert any(r == "slli r1, r1, 3" for r in rendered)
+
+    def test_compare_with_known_rhs(self):
+        _, _, _, rendered = specialize_body("    slt r1, r1, r2", {2: 100})
+        assert any(r == "slti r1, r1, 100" for r in rendered)
+
+
+class TestStrengthReduction:
+    def test_mul_by_one_becomes_mov(self):
+        _, _, report, rendered = specialize_body("    mul r1, r1, r2", {2: 1})
+        assert any(r == "mov r1, r1" for r in rendered)
+        assert report.strength_reductions == 1
+
+    def test_mul_by_zero_becomes_li(self):
+        _, _, _, rendered = specialize_body("    mul r1, r1, r2", {2: 0})
+        assert any(r == "li r1, 0" for r in rendered)
+
+    def test_mul_by_power_of_two_becomes_shift(self):
+        _, _, _, rendered = specialize_body("    mul r1, r1, r2", {2: 16})
+        assert any(r == "slli r1, r1, 4" for r in rendered)
+
+    def test_mul_by_other_constant_becomes_muli(self):
+        _, _, _, rendered = specialize_body("    mul r1, r1, r2", {2: 7})
+        assert any(r == "muli r1, r1, 7" for r in rendered)
+
+    def test_known_lhs_multiply_commutes(self):
+        _, _, _, rendered = specialize_body("    mul r1, r2, r1", {2: 8})
+        assert any(r == "slli r1, r1, 3" for r in rendered)
+
+
+class TestFullConstantFolding:
+    def test_rri_on_constant_folds_to_li(self):
+        _, _, _, rendered = specialize_body("    addi r1, r2, 5", {2: 10})
+        assert any(r == "li r1, 15" for r in rendered)
+
+    def test_rrr_both_known_folds(self):
+        _, _, _, rendered = specialize_body("    add r1, r2, r3", {2: 10, 3: 20})
+        assert any(r == "li r1, 30" for r in rendered)
+
+    def test_mov_of_constant_folds(self):
+        _, _, _, rendered = specialize_body("    mov r1, r2", {2: 77})
+        assert any(r == "li r1, 77" for r in rendered)
+
+    def test_division_by_zero_binding_not_folded(self):
+        # divi by bound zero must keep the runtime fault, not crash the
+        # specializer or silently produce a value.
+        program, specialized, report, rendered = specialize_body(
+            "    div r1, r1, r2", {2: 0}
+        )
+        assert any(r.startswith("div r1, r1, r2") for r in rendered)
+
+    def test_local_constant_propagation_cascades(self):
+        # li r9, 4 inside the body becomes a local constant; the
+        # following add with the bound register then fully folds.
+        body = """    li r9, 4
+    add r1, r9, r2"""
+        _, _, _, rendered = specialize_body(body, {2: 6})
+        assert any(r == "li r1, 10" for r in rendered)
+
+    def test_local_constants_reset_at_block_boundaries(self):
+        # After a label that is a branch target, the r9 constant from
+        # before must NOT be trusted (another path may reach it).
+        body = """    li r9, 4
+    beqz r1, skip
+    li r9, 5
+skip:
+    add r1, r9, r2"""
+        program, specialized, report, rendered = specialize_body(body, {2: 6})
+        # The add must not fold to a constant (r9 is 4 or 5 here).
+        assert not any(r in ("li r1, 10", "li r1, 11") for r in rendered)
+        # Semantics check on both paths:
+        call_pc = next(i.pc for i in specialized.instructions if i.opcode == "jal")
+        patch_call_site(specialized, call_pc, "callee__spec")
+        for x in (0, 7):
+            base = run_program(program, input_values=[x])
+            spec = run_program(specialized, input_values=[x])
+            assert base.output == spec.output
+
+
+class TestGuardLayout:
+    def test_multi_binding_guard_checks_all(self):
+        program, specialized, _, _ = specialize_body(
+            "    add r1, r2, r3", {2: 1, 3: 2}, call_setup="li r2, 1\nli r3, 2"
+        )
+        variant = specialized.procedures["callee__spec"]
+        guard_ops = [
+            specialized.instructions[pc].opcode
+            for pc in range(variant.start, variant.start + 8)
+        ]
+        assert guard_ops.count("snei") == 2
+        assert guard_ops.count("bne") == 2
+
+    def test_guard_mismatch_produces_general_result(self):
+        program, specialized, _, _ = specialize_body(
+            "    add r1, r1, r2", {2: 999}, call_setup="li r2, 5\nli r3, 0"
+        )
+        call_pc = next(i.pc for i in specialized.instructions if i.opcode == "jal")
+        patch_call_site(specialized, call_pc, "callee__spec")
+        base = run_program(program, input_values=[10])
+        spec = run_program(specialized, input_values=[10])
+        assert base.output == spec.output == [15]

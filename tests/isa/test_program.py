@@ -1,0 +1,98 @@
+"""Tests for Program structure: procedures, basic blocks, queries."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.isa.assembler import assemble
+
+SOURCE = """
+.data
+v: .word 1, 2
+.text
+.proc main nargs=0
+    la r1, v
+    ld r2, 0(r1)
+    beqz r2, skip
+    addi r2, r2, 1
+skip:
+    call f
+    out r2
+    halt
+.endproc
+.proc f nargs=1
+    st r1, 1(r0)
+    ret
+.endproc
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SOURCE, name="p")
+
+
+class TestProcedures:
+    def test_procedure_at(self, program):
+        main = program.procedures["main"]
+        assert program.procedure_at(main.start).name == "main"
+        assert program.procedure_at(main.end - 1).name == "main"
+
+    def test_procedure_at_outside(self, program):
+        assert program.procedure_at(10_000) is None
+
+    def test_contains(self, program):
+        f = program.procedures["f"]
+        assert f.start in f
+        assert f.end not in f
+
+    def test_size(self, program):
+        f = program.procedures["f"]
+        assert f.size == f.end - f.start
+
+    def test_procedure_of_label_unknown_raises(self, program):
+        with pytest.raises(MachineError):
+            program.procedure_of_label("nope")
+
+
+class TestBasicBlocks:
+    def test_blocks_partition_code(self, program):
+        blocks = program.basic_blocks()
+        covered = sorted((b.start, b.end) for b in blocks)
+        # Contiguous, non-overlapping, covering every pc.
+        position = 0
+        for start, end in covered:
+            assert start == position
+            position = end
+        assert position == len(program)
+
+    def test_branch_targets_start_blocks(self, program):
+        blocks = program.basic_blocks()
+        skip_pc = program.labels["skip"]
+        assert any(b.start == skip_pc for b in blocks)
+
+    def test_blocks_know_their_procedure(self, program):
+        blocks = program.basic_blocks()
+        f = program.procedures["f"]
+        f_blocks = [b for b in blocks if b.start >= f.start and b.end <= f.end]
+        assert f_blocks and all(b.procedure == "f" for b in f_blocks)
+
+    def test_empty_program(self):
+        empty = assemble(".text\n")
+        assert empty.basic_blocks() == []
+
+
+class TestStaticCounts:
+    def test_static_load_count(self, program):
+        assert program.static_load_count() == 1
+
+    def test_static_defining_count(self, program):
+        # la, ld, addi, and st's companions... count defining opcodes directly
+        expected = sum(1 for inst in program.instructions if inst.info.defines_register)
+        assert program.static_defining_count() == expected
+
+    def test_len(self, program):
+        assert len(program) == len(program.instructions)
+
+    def test_disassemble_mentions_all_procedures(self, program):
+        listing = program.disassemble()
+        assert "main:" in listing and "f:" in listing

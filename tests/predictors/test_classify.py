@@ -1,0 +1,90 @@
+"""Tests for profile-guided predictability classification."""
+
+import pytest
+
+from repro.core.metrics import SiteMetrics
+from repro.core.sites import load_site
+from repro.predictors.classify import (
+    ClassifierConfig,
+    InvarianceClass,
+    class_histogram,
+    classify,
+    classify_all,
+    invariance_filter,
+    lvp_filter,
+    predictable_classes,
+)
+
+
+def metrics(inv=0.5, lvp=0.5, executions=100):
+    return SiteMetrics(
+        executions=executions,
+        lvp=lvp,
+        inv_top1=inv,
+        inv_top_n=min(1.0, inv + 0.2),
+        distinct=3,
+        pct_zeros=0.0,
+    )
+
+
+class TestClassify:
+    def test_invariant(self):
+        assert classify(metrics(inv=0.99)) is InvarianceClass.INVARIANT
+
+    def test_semi_invariant(self):
+        assert classify(metrics(inv=0.6)) is InvarianceClass.SEMI_INVARIANT
+
+    def test_variant(self):
+        assert classify(metrics(inv=0.1)) is InvarianceClass.VARIANT
+
+    def test_boundaries_inclusive(self):
+        config = ClassifierConfig(invariant_threshold=0.9, semi_invariant_threshold=0.5)
+        assert classify(metrics(inv=0.9), config) is InvarianceClass.INVARIANT
+        assert classify(metrics(inv=0.5), config) is InvarianceClass.SEMI_INVARIANT
+
+    def test_classify_all(self):
+        rows = [
+            (load_site("p", "m", 1), metrics(inv=0.99)),
+            (load_site("p", "m", 2), metrics(inv=0.1)),
+        ]
+        classes = classify_all(rows)
+        assert list(classes.values()) == [
+            InvarianceClass.INVARIANT,
+            InvarianceClass.VARIANT,
+        ]
+
+
+class TestHistogram:
+    def test_weighted_shares(self):
+        site_a = load_site("p", "m", 1)
+        site_b = load_site("p", "m", 2)
+        classes = {site_a: InvarianceClass.INVARIANT, site_b: InvarianceClass.VARIANT}
+        weights = {site_a: 90, site_b: 10}
+        histogram = class_histogram(classes, weights)
+        assert histogram[InvarianceClass.INVARIANT] == pytest.approx(0.9)
+        assert histogram[InvarianceClass.SEMI_INVARIANT] == 0.0
+
+    def test_empty(self):
+        histogram = class_histogram({}, {})
+        assert all(share == 0.0 for share in histogram.values())
+
+
+class TestFilters:
+    def test_lvp_filter(self):
+        accept = lvp_filter(0.7)
+        site = load_site("p", "m", 1)
+        assert accept(site, metrics(lvp=0.8))
+        assert not accept(site, metrics(lvp=0.6))
+
+    def test_invariance_filter(self):
+        accept = invariance_filter(0.5)
+        site = load_site("p", "m", 1)
+        assert accept(site, metrics(inv=0.5))
+        assert not accept(site, metrics(inv=0.49))
+
+    def test_predictable_classes_filter(self):
+        accept = predictable_classes([InvarianceClass.INVARIANT, InvarianceClass.SEMI_INVARIANT])
+        site = load_site("p", "m", 1)
+        assert accept(site, metrics(inv=0.99))
+        assert accept(site, metrics(inv=0.6))
+        assert not accept(site, metrics(inv=0.2))

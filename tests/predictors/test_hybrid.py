@@ -1,0 +1,65 @@
+"""Tests for hybrid predictors."""
+
+import pytest
+
+from repro.predictors.base import run_trace
+from repro.predictors.hybrid import (
+    HybridPredictor,
+    lvp_stride_hybrid,
+    stride_2level_hybrid,
+)
+from repro.predictors.last_value import LastValuePredictor
+from repro.predictors.stride import StridePredictor
+
+
+class TestHybrid:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            HybridPredictor([])
+
+    def test_name_derived_from_components(self):
+        hybrid = HybridPredictor([LastValuePredictor(), StridePredictor()])
+        assert hybrid.name == "hybrid(lvp+stride)"
+
+    def test_explicit_name(self):
+        hybrid = HybridPredictor([LastValuePredictor()], name="mine")
+        assert hybrid.name == "mine"
+
+    def test_tracks_best_component_on_stride_stream(self):
+        trace = list(range(0, 400, 4))
+        hybrid_stats = run_trace(lvp_stride_hybrid(), trace)
+        stride_stats = run_trace(StridePredictor(), trace)
+        assert hybrid_stats.hits >= stride_stats.hits - 5
+
+    def test_tracks_best_component_on_constant_stream(self):
+        trace = [9] * 200
+        stats = run_trace(lvp_stride_hybrid(), trace)
+        assert stats.accuracy > 0.95
+
+    def test_hybrid_at_least_matches_weaker_component_on_mixed_stream(self):
+        # Phase 1 favors LVP (constant), phase 2 favors stride.
+        trace = [5] * 100 + list(range(0, 400, 4))
+        hybrid_stats = run_trace(lvp_stride_hybrid(), trace)
+        lvp_stats = run_trace(LastValuePredictor(), trace)
+        assert hybrid_stats.hits >= lvp_stats.hits - 10
+
+    def test_stride_2level_factory(self):
+        stats = run_trace(stride_2level_hybrid(), [1, 2] * 100)
+        # 2-level learns the alternation; the hybrid must exploit it.
+        assert stats.accuracy > 0.5
+
+    def test_counters_saturate(self):
+        hybrid = HybridPredictor([LastValuePredictor()], counter_max=3)
+        for _ in range(10):
+            hybrid.predict()
+            hybrid.update(1)
+        assert hybrid._counters[0] <= 3
+
+    def test_update_feeds_all_components(self):
+        lvp = LastValuePredictor()
+        stride = StridePredictor()
+        hybrid = HybridPredictor([lvp, stride])
+        hybrid.predict()
+        hybrid.update(42)
+        assert lvp.predict() == 42
+        assert stride.predict() == 42

@@ -1,0 +1,141 @@
+"""Tests for AST-level instrumentation of Python functions."""
+
+import pytest
+
+from repro.core.profile import ProfileDatabase
+from repro.core.sites import SiteKind
+from repro.errors import ProfileError
+from repro.pyprof.ast_instrument import instrument_function
+
+
+def simple(x):
+    y = x + 1
+    return y * 2
+
+
+def with_loop(n):
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+
+
+def with_branches(flag):
+    if flag:
+        result = 1
+    else:
+        result = 2
+    return result
+
+
+def with_annotation(x):
+    y: int = x * 3
+    return y
+
+
+def with_nested(x):
+    def inner(v):
+        return v + 1
+
+    y = inner(x)
+    return y
+
+
+def unhashable_assign(n):
+    data = [0] * n
+    return len(data)
+
+
+class TestBehaviourPreserved:
+    @pytest.mark.parametrize(
+        "func,args",
+        [
+            (simple, (5,)),
+            (with_loop, (10,)),
+            (with_branches, (True,)),
+            (with_branches, (False,)),
+            (with_annotation, (4,)),
+            (with_nested, (7,)),
+            (unhashable_assign, (3,)),
+        ],
+    )
+    def test_results_identical(self, func, args):
+        clone = instrument_function(func)
+        assert clone(*args) == func(*args)
+
+    def test_wrapped_reference_kept(self):
+        clone = instrument_function(simple)
+        assert clone.__wrapped__ is simple
+
+
+class TestRecording:
+    def test_assignments_recorded(self):
+        clone = instrument_function(simple)
+        clone(5)
+        labels = {site.label for site in clone.__vp_database__.sites()}
+        assert "y" in labels and "return" in labels
+
+    def test_loop_variable_recorded(self):
+        clone = instrument_function(with_loop)
+        clone(5)
+        db = clone.__vp_database__
+        site = next(s for s in db.sites() if s.label == "i")
+        assert db.profile_for(site).executions == 5
+
+    def test_augassign_recorded(self):
+        clone = instrument_function(with_loop)
+        clone(4)
+        db = clone.__vp_database__
+        site = next(s for s in db.sites() if s.label == "total")
+        # one initial assignment + one probe per loop iteration
+        assert db.profile_for(site).executions == 5
+
+    def test_return_values_profiled(self):
+        clone = instrument_function(simple)
+        for _ in range(10):
+            clone(1)
+        db = clone.__vp_database__
+        site = next(s for s in db.sites() if s.label == "return")
+        assert db.profile_for(site).metrics().inv_top1 == 1.0
+
+    def test_sites_are_python_kind(self):
+        clone = instrument_function(simple)
+        clone(1)
+        assert all(s.kind is SiteKind.PYTHON for s in clone.__vp_database__.sites())
+
+    def test_unhashable_values_recorded_by_type(self):
+        clone = instrument_function(unhashable_assign)
+        clone(3)
+        db = clone.__vp_database__
+        site = next(s for s in db.sites() if s.label == "data")
+        assert db.profile_for(site).tnv.top_value() == "<list>"
+
+    def test_shared_database(self):
+        db = ProfileDatabase(name="shared")
+        a = instrument_function(simple, database=db)
+        b = instrument_function(with_loop, database=db)
+        a(1)
+        b(3)
+        functions = {site.procedure for site in db.sites()}
+        assert {"simple", "with_loop"} <= functions
+
+    def test_nested_function_not_instrumented(self):
+        clone = instrument_function(with_nested)
+        clone(1)
+        labels = {site.label for site in clone.__vp_database__.sites()}
+        assert "v" not in labels  # inner() body untouched
+
+
+class TestErrors:
+    def test_closure_rejected(self):
+        captured = 5
+
+        def closure(x):
+            return x + captured
+
+        with pytest.raises(ProfileError):
+            instrument_function(closure)
+
+    def test_builtin_rejected(self):
+        with pytest.raises(ProfileError):
+            instrument_function(len)

@@ -1,0 +1,142 @@
+"""Tests for memory-location profiling wrappers."""
+
+import pytest
+
+from repro.core.profile import ProfileDatabase
+from repro.core.sites import SiteKind
+from repro.pyprof.memprof import ProfiledDict, ProfiledList, profile_attributes
+
+
+class TestProfiledDict:
+    def test_behaves_like_dict(self):
+        d = ProfiledDict({"a": 1})
+        d["b"] = 2
+        assert d == {"a": 1, "b": 2}
+
+    def test_stores_recorded_per_key(self):
+        d = ProfiledDict(name="cfg")
+        for _ in range(5):
+            d["mode"] = 3
+        d["other"] = 1
+        sites = d.database.sites(SiteKind.MEMORY)
+        assert len(sites) == 2
+        mode_site = next(s for s in sites if s.label == "'mode'")
+        assert d.database.profile_for(mode_site).executions == 5
+
+    def test_invariance_of_stable_key(self):
+        d = ProfiledDict()
+        for i in range(20):
+            d["k"] = 7 if i < 18 else 9
+        site = d.database.sites(SiteKind.MEMORY)[0]
+        assert d.database.profile_for(site).metrics().inv_top1 == pytest.approx(0.9)
+
+    def test_update_profiles_stores(self):
+        d = ProfiledDict()
+        d.update({"x": 1, "y": 2})
+        assert len(d.database.sites(SiteKind.MEMORY)) == 2
+
+    def test_setdefault_profiles_only_new(self):
+        d = ProfiledDict()
+        d.setdefault("k", 1)
+        d.setdefault("k", 2)  # existing: no store
+        site = d.database.sites(SiteKind.MEMORY)[0]
+        assert d.database.profile_for(site).executions == 1
+
+    def test_constructor_items_not_profiled(self):
+        d = ProfiledDict({"seed": 1})
+        assert len(d.database) == 0
+
+    def test_shared_database(self):
+        db = ProfileDatabase()
+        d1 = ProfiledDict(name="a", database=db)
+        d2 = ProfiledDict(name="b", database=db)
+        d1["k"] = 1
+        d2["k"] = 2
+        assert len(db.sites(SiteKind.MEMORY)) == 2
+
+    def test_unhashable_values_recorded_by_type(self):
+        d = ProfiledDict()
+        d["k"] = [1, 2]
+        site = d.database.sites(SiteKind.MEMORY)[0]
+        assert d.database.profile_for(site).tnv.top_value() == "<list>"
+
+
+class TestProfiledList:
+    def test_behaves_like_list(self):
+        values = ProfiledList([1, 2, 3])
+        values[1] = 9
+        assert list(values) == [1, 9, 3]
+
+    def test_stores_recorded_per_index(self):
+        values = ProfiledList([0, 0, 0])
+        values[0] = 5
+        values[0] = 5
+        values[2] = 1
+        sites = values.database.sites(SiteKind.MEMORY)
+        assert {s.label for s in sites} == {"0", "2"}
+
+    def test_negative_index_normalized(self):
+        values = ProfiledList([0, 0, 0])
+        values[-1] = 7
+        site = values.database.sites(SiteKind.MEMORY)[0]
+        assert site.label == "2"
+
+    def test_slice_assignment_not_profiled_but_works(self):
+        values = ProfiledList([1, 2, 3, 4])
+        values[1:3] = [9, 9]
+        assert list(values) == [1, 9, 9, 4]
+        assert len(values.database) == 0
+
+    def test_append_not_a_store(self):
+        values = ProfiledList()
+        values.append(1)
+        assert len(values.database) == 0
+
+
+class TestProfileAttributes:
+    def test_attribute_stores_recorded(self):
+        @profile_attributes()
+        class Point:
+            def __init__(self, x, y):
+                self.x = x
+                self.y = y
+
+        for i in range(10):
+            Point(5, i)
+        db = Point.__vp_database__
+        x_site = next(s for s in db.sites() if s.label == "x")
+        y_site = next(s for s in db.sites() if s.label == "y")
+        assert db.profile_for(x_site).metrics().inv_top1 == 1.0
+        assert db.profile_for(y_site).metrics().inv_top1 < 0.5
+
+    def test_attributes_shared_across_instances(self):
+        @profile_attributes()
+        class Counter:
+            def __init__(self):
+                self.n = 0
+
+        a, b = Counter(), Counter()
+        a.n = 1
+        b.n = 1
+        db = Counter.__vp_database__
+        site = db.sites()[0]
+        assert db.profile_for(site).executions == 4  # 2 inits + 2 stores
+
+    def test_instances_still_work(self):
+        @profile_attributes()
+        class Box:
+            def __init__(self, v):
+                self.v = v
+
+        box = Box(3)
+        box.v = 4
+        assert box.v == 4
+
+    def test_custom_name(self):
+        @profile_attributes(name="custom")
+        class Thing:
+            def __init__(self):
+                self.a = 1
+
+        Thing()
+        assert Thing.__vp_database__.sites()[0].program == "custom"

@@ -1,0 +1,85 @@
+"""Tests for the call-level Python profiler."""
+
+import pytest
+
+from repro.core.sites import SiteKind
+from repro.pyprof.tracer import FunctionProfiler, profile_calls
+
+
+def target_function(a, b):
+    return a + b
+
+
+def varied(a):
+    return a % 3
+
+
+class TestProfileCalls:
+    def test_arguments_and_return_profiled(self):
+        db = profile_calls(target_function, [(1, 2), (1, 3)])
+        labels = {site.label for site in db.sites()}
+        assert labels == {"arg0:a", "arg1:b", "return"}
+
+    def test_invariance_of_constant_argument(self):
+        db = profile_calls(target_function, [(7, i) for i in range(10)])
+        site = next(s for s in db.sites() if s.label == "arg0:a")
+        assert db.profile_for(site).metrics().inv_top1 == 1.0
+
+    def test_return_distribution(self):
+        db = profile_calls(varied, [(i,) for i in range(30)])
+        site = next(s for s in db.sites() if s.label == "return")
+        metrics = db.profile_for(site).metrics()
+        assert metrics.distinct == 3
+        assert metrics.inv_top1 == pytest.approx(1 / 3, abs=0.05)
+
+    def test_unhashable_arguments_profiled_by_type(self):
+        db = profile_calls(len, [([1, 2],)]) if False else profile_calls(
+            target_function, [([1], [2])]
+        )
+        site = next(s for s in db.sites() if s.label == "arg0:a")
+        assert db.profile_for(site).tnv.top_value() == "<list>"
+
+    def test_sites_python_kind(self):
+        db = profile_calls(target_function, [(1, 2)])
+        assert all(site.kind is SiteKind.PYTHON for site in db.sites())
+
+
+class TestFunctionProfiler:
+    def test_context_manager_profiles_matching_functions(self):
+        profiler = FunctionProfiler(match=lambda name: name.endswith("target_function"))
+        with profiler:
+            for i in range(5):
+                target_function(3, i)
+            varied(1)  # filtered out
+        functions = {site.procedure for site in profiler.database.sites()}
+        assert functions == {"target_function"}
+
+    def test_records_argument_values(self):
+        profiler = FunctionProfiler(match=lambda name: name.endswith("target_function"))
+        with profiler:
+            target_function(9, 1)
+            target_function(9, 2)
+        site = next(
+            s for s in profiler.database.sites() if s.label == "arg0:a"
+        )
+        assert profiler.database.profile_for(site).tnv.top_value() == 9
+
+    def test_return_values_recorded(self):
+        profiler = FunctionProfiler(match=lambda name: name.endswith("varied"))
+        with profiler:
+            varied(4)
+        labels = {site.label for site in profiler.database.sites()}
+        assert "return" in labels
+
+    def test_stop_is_idempotent(self):
+        profiler = FunctionProfiler()
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+
+    def test_nothing_recorded_outside_context(self):
+        profiler = FunctionProfiler(match=lambda name: name.endswith("varied"))
+        with profiler:
+            pass
+        varied(1)
+        assert len(profiler.database) == 0

@@ -1,0 +1,174 @@
+"""Tests for specialized-code generation."""
+
+import pytest
+
+from repro.errors import SpecializationError
+from repro.specialize.codegen import specialize_function
+
+GLOBAL_TABLE = {"a": 1, "b": 2}
+
+
+def arith(x, k):
+    return x * k + k - 1
+
+
+def branchy(x, mode):
+    if mode == 0:
+        return x + 1
+    elif mode == 1:
+        return x * 2
+    else:
+        return x - 1
+
+
+def loopy(values, mode):
+    total = 0
+    for value in values:
+        if mode == 1:
+            total += value
+        else:
+            total -= value
+    return total
+
+
+def boolean(x, strict):
+    if strict and x > 0:
+        return 1
+    return 0
+
+
+def with_default(x, factor=2):
+    return x * factor
+
+
+def uses_global(x, key):
+    return GLOBAL_TABLE[key] + x
+
+
+def ternary(x, mode):
+    return (x + 1) if mode == 1 else (x - 1)
+
+
+def while_guarded(x, enabled):
+    while enabled:
+        return x * 10
+    return x
+
+
+def nonliteral(x, table):
+    return table[x % len(table)]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("x", [-3, 0, 5, 100])
+    def test_arith(self, x):
+        spec = specialize_function(arith, {"k": 7})
+        assert spec(x) == arith(x, 7)
+
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_branchy_any_binding(self, mode):
+        spec = specialize_function(branchy, {"mode": mode})
+        for x in range(-2, 3):
+            assert spec(x) == branchy(x, mode)
+
+    def test_loopy(self):
+        spec = specialize_function(loopy, {"mode": 1})
+        assert spec([1, 2, 3]) == loopy([1, 2, 3], 1)
+
+    def test_boolean_folding(self):
+        spec = specialize_function(boolean, {"strict": False})
+        assert spec(5) == boolean(5, False)
+
+    def test_default_arguments_kept(self):
+        spec = specialize_function(with_default, {"x": 10})
+        assert spec() == with_default(10)
+        assert spec(factor=3) == with_default(10, 3)
+
+    def test_global_access_preserved(self):
+        spec = specialize_function(uses_global, {"key": "b"})
+        assert spec(10) == uses_global(10, "b")
+
+    def test_ternary_pruned(self):
+        spec = specialize_function(ternary, {"mode": 1})
+        assert spec(10) == 11
+        assert spec.__vp_pruned__ >= 1
+
+    def test_while_false_removed(self):
+        spec = specialize_function(while_guarded, {"enabled": False})
+        assert spec(4) == 4
+        assert spec.__vp_pruned__ >= 1
+
+    def test_nonliteral_binding_via_injected_constant(self):
+        table = (10, 20, 30)
+        spec = specialize_function(nonliteral, {"table": table})
+        assert spec(4) == nonliteral(4, table)
+
+
+class TestFoldingStatistics:
+    def test_branch_pruning_counted(self):
+        spec = specialize_function(branchy, {"mode": 1})
+        assert spec.__vp_pruned__ >= 1
+
+    def test_constant_folds_counted(self):
+        def masked(x, bits):
+            mask = (1 << bits) - 1
+            return x & mask
+
+        spec = specialize_function(masked, {"bits": 8})
+        assert spec.__vp_folds__ >= 2  # 1 << 8, then 256 - 1
+        assert spec(0x1234) == 0x34
+
+    def test_no_bindings_rejected(self):
+        with pytest.raises(SpecializationError):
+            specialize_function(arith, {})
+
+
+class TestSignature:
+    def test_bound_parameter_removed(self):
+        spec = specialize_function(arith, {"k": 7})
+        import inspect
+
+        assert list(inspect.signature(spec, follow_wrapped=False).parameters) == ["x"]
+
+    def test_name_suffixed(self):
+        spec = specialize_function(arith, {"k": 7})
+        assert spec.__name__ == "arith__spec"
+
+
+class TestErrors:
+    def test_unknown_parameter(self):
+        with pytest.raises(SpecializationError):
+            specialize_function(arith, {"nope": 1})
+
+    def test_closure_rejected(self):
+        captured = 3
+
+        def closed(x):
+            return x + captured
+
+        with pytest.raises(SpecializationError):
+            specialize_function(closed, {"x": 1})
+
+    def test_builtin_rejected(self):
+        with pytest.raises(SpecializationError):
+            specialize_function(len, {"obj": []})
+
+
+class TestSafety:
+    def test_division_by_zero_not_folded_away(self):
+        def divides(x, d):
+            if d != 0:
+                return x // d
+            return 0
+
+        spec = specialize_function(divides, {"d": 0})
+        assert spec(10) == 0
+
+    def test_huge_power_not_folded(self):
+        def power(x, e):
+            base = 2 ** e
+            return x + base
+
+        # Should not hang or overflow at specialization time.
+        spec = specialize_function(power, {"e": 10})
+        assert spec(1) == 1 + 2**10

@@ -1,0 +1,99 @@
+"""Fine-grained tests of the Python specializer's folding rules."""
+
+import pytest
+
+from repro.specialize.codegen import specialize_function
+
+
+def with_or(x, flag):
+    if flag or x > 100:
+        return 1
+    return 0
+
+
+def with_compare_chain(x, low, high):
+    if low < high < 100:
+        return x
+    return -x
+
+
+def shadowing(x, mode):
+    def mode(v):  # noqa: F811 - deliberately shadows the parameter
+        return v + 1
+
+    return mode(x)
+
+
+def nested_no_shadow(x, mode):
+    def bump(v):
+        return v + mode
+
+    return bump(x)
+
+
+def unary(x, negate):
+    if negate:
+        return -x
+    return +x
+
+
+def tuple_binding(x, dims):
+    return x * dims[0] + dims[1]
+
+
+class TestBooleanFolding:
+    def test_or_with_true_constant_prunes(self):
+        spec = specialize_function(with_or, {"flag": True})
+        assert spec(0) == 1
+        assert spec.__vp_pruned__ >= 1
+
+    def test_or_with_false_constant_keeps_other_test(self):
+        spec = specialize_function(with_or, {"flag": False})
+        assert spec(200) == 1
+        assert spec(0) == 0
+
+
+class TestCompareChains:
+    def test_fully_constant_chain_folds(self):
+        spec = specialize_function(with_compare_chain, {"low": 1, "high": 50})
+        assert spec(9) == 9
+        assert spec.__vp_pruned__ >= 1
+
+    def test_false_chain(self):
+        spec = specialize_function(with_compare_chain, {"low": 60, "high": 50})
+        assert spec(9) == -9
+
+
+class TestNestedFunctions:
+    def test_shadowing_nested_def_refused(self):
+        # The body rebinds `mode` (a nested def of the same name);
+        # substituting it as a constant would produce wrong code, so
+        # the specializer must refuse.
+        from repro.errors import SpecializationError
+
+        with pytest.raises(SpecializationError):
+            specialize_function(shadowing, {"mode": 99})
+
+    def test_nonshadowing_nested_def_uses_constant(self):
+        spec = specialize_function(nested_no_shadow, {"mode": 10})
+        assert spec(5) == nested_no_shadow(5, 10) == 15
+
+
+class TestUnary:
+    def test_constant_not_folds(self):
+        spec = specialize_function(unary, {"negate": True})
+        assert spec(3) == -3
+        assert spec.__vp_pruned__ >= 1
+
+
+class TestNonScalarBindings:
+    def test_tuple_constant_substituted(self):
+        spec = specialize_function(tuple_binding, {"dims": (3, 4)})
+        assert spec(10) == tuple_binding(10, (3, 4)) == 34
+
+    def test_tuple_subscript_folds(self):
+        # dims[0] on a constant tuple folds via literal_eval-compatible
+        # paths or stays correct if unfolded; semantics either way.
+        spec = specialize_function(tuple_binding, {"dims": (3, 4)})
+        for x in range(-3, 4):
+            assert spec(x) == tuple_binding(x, (3, 4))

@@ -1,0 +1,67 @@
+"""Tests for the specialization demo workloads."""
+
+import pytest
+
+from repro.specialize.codegen import specialize_function
+from repro.specialize.demos import DEMOS, checksum_block, demo_calls, filter_signal, render_row
+
+
+class TestDemoFunctions:
+    def test_filter_signal_modes(self):
+        samples = [1, 2, 3]
+        assert filter_signal(samples, 0, 2) == 12
+        assert filter_signal(samples, 1, 8) == (8 >> 2) + (16 >> 2) + (24 >> 2)
+        assert filter_signal(samples, 2, 2) == 1 + 0 + 1
+        assert filter_signal(samples, 3, 2) == (1 ^ 2) + (2 ^ 2) + (3 ^ 2)
+
+    def test_checksum_deterministic(self):
+        assert checksum_block([1, 2, 3], 0xEDB8, 0xFFFF) == checksum_block(
+            [1, 2, 3], 0xEDB8, 0xFFFF
+        )
+
+    def test_checksum_sensitive_to_poly(self):
+        assert checksum_block([1, 2, 3], 0xEDB8, 0) != checksum_block([1, 2, 3], 0x1021, 0)
+
+    def test_render_row_modes(self):
+        assert render_row([1], 4, 0) == "   1"
+        assert render_row([1], 4, 1) == "1   "
+        assert render_row([1], 4, 2) == " 1  "
+
+
+class TestCallStreams:
+    @pytest.mark.parametrize("demo", DEMOS, ids=lambda d: d.name)
+    def test_deterministic(self, demo):
+        assert demo_calls(demo, "train", 20) == demo_calls(demo, "train", 20)
+
+    @pytest.mark.parametrize("demo", DEMOS, ids=lambda d: d.name)
+    def test_invariant_params_actually_semi_invariant(self, demo):
+        from collections import Counter
+        import inspect
+
+        calls = demo_calls(demo, "train", 200)
+        names = list(inspect.signature(demo.func).parameters)
+        for param in demo.invariant_params:
+            index = names.index(param)
+            counts = Counter(call[index] for call in calls)
+            top_share = counts.most_common(1)[0][1] / len(calls)
+            assert top_share >= 0.75, f"{demo.name}.{param} not semi-invariant"
+
+    @pytest.mark.parametrize("demo", DEMOS, ids=lambda d: d.name)
+    def test_specialization_preserves_semantics(self, demo):
+        import inspect
+
+        calls = demo_calls(demo, "test", 30)
+        names = list(inspect.signature(demo.func).parameters)
+        # Bind every declared-invariant parameter to its most common value.
+        from collections import Counter
+
+        bindings = {}
+        for param in demo.invariant_params:
+            index = names.index(param)
+            bindings[param] = Counter(c[index] for c in calls).most_common(1)[0][0]
+        spec = specialize_function(demo.func, bindings)
+        for call in calls:
+            bound = dict(zip(names, call))
+            if all(bound[k] == v for k, v in bindings.items()):
+                stripped = [v for k, v in bound.items() if k not in bindings]
+                assert spec(*stripped) == demo.func(*call)

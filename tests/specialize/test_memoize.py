@@ -1,0 +1,129 @@
+"""Tests for profile-guided memoization."""
+
+import pytest
+
+from repro.specialize.memoize import (
+    AdaptiveMemoizer,
+    MemoCache,
+    MemoizabilityEstimate,
+    memoizability,
+)
+
+
+def square(x, y):
+    return x * x + y
+
+
+class TestMemoCache:
+    def test_miss_then_hit(self):
+        cache = MemoCache()
+        found, _ = cache.lookup(("a",))
+        assert not found
+        cache.insert(("a",), 1)
+        found, value = cache.lookup(("a",))
+        assert found and value == 1
+
+    def test_capacity_evicts_lru(self):
+        cache = MemoCache(capacity=2)
+        cache.insert(1, "one")
+        cache.insert(2, "two")
+        cache.lookup(1)  # 1 becomes most recent
+        cache.insert(3, "three")  # evicts 2
+        assert cache.lookup(2) == (False, None)
+        assert cache.lookup(1) == (True, "one")
+
+    def test_hit_rate(self):
+        cache = MemoCache()
+        cache.insert("k", 0)
+        cache.lookup("k")
+        cache.lookup("other")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MemoCache(capacity=0)
+
+    def test_len(self):
+        cache = MemoCache()
+        cache.insert(1, 1)
+        assert len(cache) == 1
+
+
+class TestMemoizability:
+    def test_repeating_stream_predicts_high(self):
+        calls = [(1, 2)] * 90 + [(i, 0) for i in range(10)]
+        estimate = memoizability(square, calls)
+        assert estimate.predicted_hit_rate > 0.8
+        assert estimate.worth_memoizing()
+
+    def test_unique_stream_predicts_zero(self):
+        calls = [(i, i) for i in range(100)]
+        estimate = memoizability(square, calls)
+        assert estimate.predicted_hit_rate == 0.0
+        assert not estimate.worth_memoizing()
+
+    def test_first_occurrences_count_as_misses(self):
+        # 10 distinct tuples each appearing twice: hit rate is at most 0.5.
+        calls = [(i, 0) for i in range(10)] * 2
+        estimate = memoizability(square, calls)
+        assert estimate.predicted_hit_rate == pytest.approx(0.5)
+
+    def test_unhashable_calls_are_guaranteed_misses(self):
+        calls = [([1], 2)] * 50 + [(3, 4)] * 50
+
+        def f(a, b):
+            return b
+
+        estimate = memoizability(f, calls)
+        assert estimate.predicted_hit_rate <= 0.5
+
+    def test_empty_stream(self):
+        estimate = memoizability(square, [])
+        assert estimate.calls == 0
+        assert not estimate.worth_memoizing()
+
+
+class TestAdaptiveMemoizer:
+    def test_enables_on_repeating_stream(self):
+        memo = AdaptiveMemoizer(warmup_calls=50, threshold=0.5)(square)
+        for _ in range(100):
+            assert memo(3, 4) == square(3, 4)
+        assert memo.memoizing
+        assert memo.cache.hits > 0
+
+    def test_declines_on_unique_stream(self):
+        memo = AdaptiveMemoizer(warmup_calls=50, threshold=0.5)(square)
+        for i in range(100):
+            assert memo(i, i) == square(i, i)
+        assert not memo.memoizing
+
+    def test_results_always_correct(self):
+        memo = AdaptiveMemoizer(warmup_calls=10)(square)
+        for i in range(200):
+            x = i % 3
+            assert memo(x, 1) == square(x, 1)
+
+    def test_unhashable_args_bypass_cache(self):
+        def head(items, default):
+            return items[0] if items else default
+
+        memo = AdaptiveMemoizer(warmup_calls=5, threshold=0.0)(square)
+        # Force-enable path cannot break unhashable calls.
+        wrapped = AdaptiveMemoizer(warmup_calls=5, threshold=0.0)(head)
+        for i in range(20):
+            assert wrapped([i], -1) == i  # distinct lists, correct results
+
+    def test_stale_results_impossible(self):
+        # Same shape as the bug class this guards against: two different
+        # unhashable arguments must not alias in the cache.
+        def total(items):
+            return sum(items)
+
+        memo = AdaptiveMemoizer(warmup_calls=2, threshold=0.0)(total)
+        assert memo([1, 2]) == 3
+        assert memo([1, 2]) == 3
+        assert memo([5]) == 5
+
+    def test_wrapper_metadata(self):
+        memo = AdaptiveMemoizer()(square)
+        assert memo.__name__ == "square"

@@ -1,0 +1,176 @@
+"""Tests for guarded dispatch and adaptive specialization."""
+
+import pytest
+
+from repro.specialize.analysis import BenefitModel, SpecializationCandidate, find_candidates
+from repro.specialize.runtime import (
+    AdaptiveConfig,
+    AdaptiveSpecializer,
+    SpecializedFunction,
+)
+
+
+def shape(x, mode):
+    if mode == 1:
+        return x * 2
+    if mode == 2:
+        return x + 100
+    return -x
+
+
+def keyword_target(a, b, c):
+    return a * 100 + b * 10 + c
+
+
+class TestSpecializedFunction:
+    def test_dispatches_to_variant_on_guard_hit(self):
+        sf = SpecializedFunction(shape)
+        sf.add_variant({"mode": 1})
+        assert sf(10, 1) == 20
+        assert sf.guard_hits == 1
+        assert sf.guard_misses == 0
+
+    def test_falls_back_on_guard_miss(self):
+        sf = SpecializedFunction(shape)
+        sf.add_variant({"mode": 1})
+        assert sf(10, 2) == 110
+        assert sf.guard_misses == 1
+
+    def test_equivalence_over_mixed_stream(self):
+        sf = SpecializedFunction(shape)
+        sf.add_variant({"mode": 1})
+        for x in range(20):
+            for mode in (0, 1, 2):
+                assert sf(x, mode) == shape(x, mode)
+
+    def test_multiple_variants_first_match_wins(self):
+        sf = SpecializedFunction(shape)
+        sf.add_variant({"mode": 1})
+        sf.add_variant({"mode": 2})
+        assert sf(1, 2) == 101
+        assert sf.variants[1].hits == 1
+
+    def test_keyword_calls_dispatch(self):
+        sf = SpecializedFunction(keyword_target)
+        sf.add_variant({"b": 5})
+        assert sf(1, b=5, c=2) == keyword_target(1, 5, 2)
+        assert sf.guard_hits == 1
+
+    def test_keyword_miss(self):
+        sf = SpecializedFunction(keyword_target)
+        sf.add_variant({"b": 5})
+        assert sf(1, b=6, c=2) == keyword_target(1, 6, 2)
+        assert sf.guard_misses == 1
+
+    def test_wrapper_metadata(self):
+        sf = SpecializedFunction(shape)
+        assert sf.__name__ == "shape"
+
+    def test_no_variants_always_general(self):
+        sf = SpecializedFunction(shape)
+        assert sf(3, 1) == 6
+        assert sf.guard_misses == 1
+
+
+class TestAdaptiveSpecializer:
+    def test_specializes_after_warmup(self):
+        @AdaptiveSpecializer(AdaptiveConfig(warmup_calls=50, min_invariance=0.8))
+        def hot(x, mode):
+            if mode == 3:
+                return x + 3
+            return x - mode
+
+        for i in range(200):
+            assert hot(i, 3) == i + 3
+        assert hot.specialized
+        assert len(hot.dispatcher.variants) == 1
+        assert hot.dispatcher.variants[0].bindings == {"mode": 3}
+        assert hot.guard_hits > 0
+
+    def test_does_not_specialize_variant_parameters(self):
+        @AdaptiveSpecializer(AdaptiveConfig(warmup_calls=50, min_invariance=0.8))
+        def cold(x, mode):
+            return x + mode
+
+        for i in range(100):
+            cold(i, i % 7)
+        assert cold.specialized  # decision made
+        assert len(cold.dispatcher.variants) == 0  # nothing qualified
+
+    def test_results_equivalent_across_phases(self):
+        @AdaptiveSpecializer(AdaptiveConfig(warmup_calls=20))
+        def f(x, k):
+            return x * k if k == 2 else x - k
+
+        expected = [f.__wrapped__(i, 2) for i in range(100)]
+        actual = [f(i, 2) for i in range(100)]
+        assert actual == expected
+
+    def test_unhashable_arguments_tolerated(self):
+        @AdaptiveSpecializer(AdaptiveConfig(warmup_calls=10))
+        def g(data, mode):
+            return len(data) + mode
+
+        for i in range(30):
+            assert g([1, 2], 5) == 7
+
+
+class TestCandidateSelection:
+    def test_find_candidates_from_profile(self):
+        from repro.core.profile import ProfileDatabase
+        from repro.core.sites import python_site
+
+        db = ProfileDatabase()
+        stable = python_site("m", "f", "arg1:mode")
+        noisy = python_site("m", "f", "arg0:x")
+        for i in range(200):
+            db.record(stable, 3 if i % 10 else 9)
+            db.record(noisy, i)
+        candidates = find_candidates(db, min_invariance=0.6, min_executions=50)
+        assert [c.site for c in candidates] == [stable]
+        assert candidates[0].value == 3
+        assert candidates[0].invariance == pytest.approx(0.9, abs=0.02)
+
+    def test_min_executions_filters(self):
+        from repro.core.profile import ProfileDatabase
+        from repro.core.sites import python_site
+
+        db = ProfileDatabase()
+        db.record(python_site("m", "f", "arg0:x"), 1)
+        assert find_candidates(db, min_executions=10) == []
+
+    def test_benefit_model_drops_unprofitable(self):
+        from repro.core.profile import ProfileDatabase
+        from repro.core.sites import python_site
+
+        db = ProfileDatabase()
+        site = python_site("m", "f", "arg0:x")
+        for _ in range(120):
+            db.record(site, 1)
+        expensive = BenefitModel(saving_per_call=0.001, specialization_cost=1e9)
+        assert find_candidates(db, model=expensive) == []
+        cheap = BenefitModel(saving_per_call=1.0, specialization_cost=1.0)
+        assert len(find_candidates(db, model=cheap)) == 1
+
+
+class TestBenefitModel:
+    def test_net_benefit_scales_with_invariance(self):
+        model = BenefitModel(saving_per_call=1.0, guard_cost=0.3, specialization_cost=0.0)
+        from repro.core.sites import python_site
+
+        site = python_site("m", "f", "arg0:x")
+        high = SpecializationCandidate(site, 1, invariance=0.9, executions=1000)
+        low = SpecializationCandidate(site, 1, invariance=0.2, executions=1000)
+        assert model.net_benefit(high) > 0 > model.net_benefit(low)
+
+    def test_breakeven_invariance(self):
+        model = BenefitModel(saving_per_call=1.0, guard_cost=0.1, specialization_cost=0.0)
+        assert model.breakeven_invariance(1000) == pytest.approx(0.1)
+
+    def test_breakeven_clamped_to_one(self):
+        model = BenefitModel(saving_per_call=0.01, guard_cost=0.5, specialization_cost=100.0)
+        assert model.breakeven_invariance(10) == 1.0
+
+    def test_breakeven_degenerate(self):
+        assert BenefitModel(saving_per_call=0.0).breakeven_invariance(100) == 1.0
+        assert BenefitModel().breakeven_invariance(0) == 1.0

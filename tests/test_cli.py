@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_parses_scale(self):
+        args = build_parser().parse_args(["run", "table-load-values", "--scale", "0.5"])
+        assert args.experiment == "table-load-values"
+        assert args.scale == 0.5
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "go"])
+        assert args.variant == "train"
+        assert args.kind == "load"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table-load-values" in out
+        assert "fig-convergence" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "compress" in out and "147.vortex" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "table-benchmarks", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark" in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "table-flying-pigs"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_workload(self, capsys):
+        assert main(["profile", "go", "--scale", "0.1", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+
+    def test_profile_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["profile", "doom"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_other_kind(self, capsys):
+        assert main(["profile", "go", "--scale", "0.1", "--kind", "instruction"]) == 0
+
+    def test_diff_command(self, capsys):
+        assert main(["diff", "go", "--scale", "0.1", "--min-executions", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "correlation" in out
+
+    def test_report_command(self, capsys):
+        assert main(["report", "gcc", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Value profile report" in out
+        assert "Site classification" in out
+
+    def test_run_with_json_export(self, tmp_path, capsys):
+        out_file = tmp_path / "data.json"
+        assert main(["run", "table-benchmarks", "--scale", "0.1", "--json", str(out_file)]) == 0
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["experiment"] == "table-benchmarks"
+        assert "compress" in payload["data"]

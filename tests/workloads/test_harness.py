@@ -1,0 +1,79 @@
+"""Tests for the workload profiling harness."""
+
+import pytest
+
+from repro.core.profile import TNVConfig
+from repro.core.sampling import PeriodicSampling
+from repro.core.sites import SiteKind
+from repro.errors import WorkloadError
+from repro.isa.instrument import ProfileTarget
+from repro.workloads.harness import profile_workload, run_workload, trace_workload
+
+SCALE = 0.1
+
+
+class TestProfileWorkload:
+    def test_default_targets(self):
+        run = profile_workload("go", scale=SCALE)
+        assert run.database.sites(SiteKind.LOAD)
+        assert run.database.sites(SiteKind.INSTRUCTION)
+
+    def test_output_verified_against_reference(self):
+        run = profile_workload("go", scale=SCALE)
+        assert list(run.result.output) == list(run.dataset.expected_output)
+
+    def test_restricted_targets(self):
+        run = profile_workload("go", scale=SCALE, targets=(ProfileTarget.MEMORY,))
+        assert run.database.sites(SiteKind.MEMORY)
+        assert not run.database.sites(SiteKind.LOAD)
+
+    def test_custom_tnv_config(self):
+        config = TNVConfig(capacity=4, steady=2, clear_interval=64)
+        run = profile_workload("go", scale=SCALE, config=config)
+        profile = next(iter(run.database))
+        assert profile.tnv.capacity == 4
+
+    def test_tnv_only_mode(self):
+        run = profile_workload("go", scale=SCALE, exact=False)
+        profile = next(iter(run.database))
+        assert profile.exact is None
+
+    def test_sampled_profiling(self):
+        run = profile_workload(
+            "go", scale=SCALE, policy=PeriodicSampling(burst=10, interval=100)
+        )
+        assert run.sampler is not None
+        assert 0.0 < run.sampler.overhead() < 1.0
+        assert run.database is run.sampler.database
+
+    def test_run_name_includes_variant(self):
+        run = profile_workload("go", "test", scale=SCALE)
+        assert run.name == "go.test"
+
+    def test_load_counts_match_machine(self):
+        run = profile_workload("go", scale=SCALE, targets=(ProfileTarget.LOADS,))
+        assert run.database.total_executions(SiteKind.LOAD) == run.result.dynamic_loads
+
+
+class TestRunWorkload:
+    def test_runs_and_verifies(self):
+        result = run_workload("perl", scale=SCALE)
+        assert result.halted
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            run_workload("unknown", scale=SCALE)
+
+
+class TestTraceWorkload:
+    def test_traces_match_profile_counts(self):
+        traces = trace_workload("go", scale=SCALE, targets=(ProfileTarget.LOADS,))
+        run = profile_workload("go", scale=SCALE, targets=(ProfileTarget.LOADS,))
+        for site, trace in traces.items():
+            assert len(trace) == run.database.profile_for(site).executions
+
+    def test_max_per_site(self):
+        traces = trace_workload(
+            "go", scale=SCALE, targets=(ProfileTarget.LOADS,), max_per_site=5
+        )
+        assert all(len(trace) <= 5 for trace in traces.values())

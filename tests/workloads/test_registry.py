@@ -1,0 +1,88 @@
+"""Tests for the workload registry."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.registry import (
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    unregister,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_eight_workloads_registered(self):
+        assert len(all_workloads()) == 8
+
+    def test_expected_names(self):
+        assert workload_names() == [
+            "compress",
+            "gcc",
+            "go",
+            "ijpeg",
+            "li",
+            "m88ksim",
+            "perl",
+            "vortex",
+        ]
+
+    def test_get_unknown_raises_with_known_list(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            get_workload("spice")
+        assert "compress" in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_workload("compress")
+        with pytest.raises(WorkloadError):
+            register(existing)
+
+    def test_all_have_spec_analogues(self):
+        for workload in all_workloads():
+            assert workload.spec_analogue
+            assert workload.description
+
+
+class TestDatasets:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("go").dataset("validation")
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("go").dataset("train", scale=0)
+
+    def test_dataset_name(self):
+        dataset = get_workload("go").dataset("test", scale=0.1)
+        assert dataset.name == "go.test"
+
+    def test_program_cached(self):
+        workload = get_workload("perl")
+        assert workload.program() is workload.program()
+
+
+class TestCustomWorkload:
+    def test_register_and_run_custom(self):
+        custom = Workload(
+            name="echo-test",
+            spec_analogue="(none)",
+            description="echoes its input",
+            build_source=lambda: (
+                ".text\n.proc main nargs=0\nin r1\nout r1\nhalt\n.endproc\n"
+            ),
+            make_input=lambda variant, scale, rng: [rng.randrange(100)],
+            reference=lambda values: [values[0]],
+        )
+        register(custom)
+        try:
+            dataset = custom.dataset("train")
+            from repro.isa.machine import run_program
+
+            result = run_program(custom.program(), input_values=dataset.values)
+            assert list(result.output) == list(dataset.expected_output)
+        finally:
+            unregister("echo-test")

@@ -1,0 +1,75 @@
+"""Cross-validation of every workload against its Python reference.
+
+These are the suite's strongest integration tests: each VPA program is
+executed on both input variants and its full output stream must match
+the independent pure-Python implementation bit for bit.
+"""
+
+import pytest
+
+from repro.isa.machine import run_program
+from repro.workloads.registry import all_workloads, get_workload
+
+SCALE = 0.15  # keep the full matrix fast; full scale runs in benchmarks
+
+WORKLOADS = [w.name for w in all_workloads()]
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("variant", ["train", "test"])
+def test_output_matches_reference(name, variant):
+    workload = get_workload(name)
+    dataset = workload.dataset(variant, scale=SCALE)
+    result = run_program(workload.program(), input_values=dataset.values)
+    assert result.halted
+    assert list(result.output) == list(dataset.expected_output)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_deterministic_datasets(name):
+    workload = get_workload(name)
+    first = workload.dataset("train", scale=SCALE)
+    second = workload.dataset("train", scale=SCALE)
+    assert first.values == second.values
+    assert first.expected_output == second.expected_output
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_train_and_test_differ(name):
+    workload = get_workload(name)
+    train = workload.dataset("train", scale=SCALE)
+    test = workload.dataset("test", scale=SCALE)
+    assert train.values != test.values
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_scale_changes_input_size(name):
+    workload = get_workload(name)
+    small = workload.dataset("train", scale=0.1)
+    large = workload.dataset("train", scale=0.3)
+    assert len(large.values) >= len(small.values)
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_program_has_multiple_procedures(name):
+    # Table V.4 (top procedures) needs a real call structure.
+    program = get_workload(name).program()
+    assert len(program.procedures) >= 3
+    assert "main" in program.procedures
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_program_exercises_loads_and_stores(name):
+    workload = get_workload(name)
+    dataset = workload.dataset("train", scale=SCALE)
+    result = run_program(workload.program(), input_values=dataset.values)
+    assert result.dynamic_loads > 0
+    assert result.dynamic_stores > 0
+    assert result.dynamic_calls > 0
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_nonempty_output(name):
+    workload = get_workload(name)
+    dataset = workload.dataset("test", scale=SCALE)
+    assert len(dataset.expected_output) >= 1
