@@ -4,10 +4,14 @@ The paper reports profiling *overhead* (ATOM full value profiling slows
 programs by an order of magnitude).  These benchmarks track the cost of
 the same primitive operations in this implementation: recording into a
 TNV table, recording into a full profile, simulating with and without
-instrumentation, and sampled recording.
+instrumentation, and sampled recording.  Each per-event benchmark has a
+batched twin (``record_many`` / ``record_batch`` / buffered profiling)
+so the speedup of the batched fast path is tracked over time.
 """
 
 import random
+
+from helpers import write_bench_json
 
 from repro.core.metrics import ValueStreamStats
 from repro.core.profile import ProfileDatabase
@@ -33,6 +37,18 @@ def test_tnv_record_throughput(benchmark):
 
     table = benchmark(record_all)
     assert table.total == len(_VALUES)
+    write_bench_json(benchmark, "tnv_record")
+
+
+def test_tnv_record_many_throughput(benchmark):
+    def record_all():
+        table = TNVTable()
+        table.record_many(_VALUES)
+        return table
+
+    table = benchmark(record_all)
+    assert table.total == len(_VALUES)
+    write_bench_json(benchmark, "tnv_record_many")
 
 
 def test_exact_stats_record_throughput(benchmark):
@@ -54,6 +70,18 @@ def test_profile_database_record_throughput(benchmark):
 
     db = benchmark(record_all)
     assert db.total_executions() == len(_VALUES)
+    write_bench_json(benchmark, "database_record")
+
+
+def test_profile_database_record_batch_throughput(benchmark):
+    def record_all():
+        db = ProfileDatabase()
+        db.record_batch(_SITE, _VALUES)
+        return db
+
+    db = benchmark(record_all)
+    assert db.total_executions() == len(_VALUES)
+    write_bench_json(benchmark, "database_record_batch")
 
 
 def test_sampled_record_throughput(benchmark):
@@ -65,6 +93,18 @@ def test_sampled_record_throughput(benchmark):
 
     profiler = benchmark(record_all)
     assert profiler.seen() == len(_VALUES)
+    write_bench_json(benchmark, "sampled_record")
+
+
+def test_sampled_record_batch_throughput(benchmark):
+    def record_all():
+        profiler = SamplingProfiler(ConvergentSampling(burst=100, base_skip=900))
+        profiler.record_batch(_SITE, _VALUES)
+        return profiler
+
+    profiler = benchmark(record_all)
+    assert profiler.seen() == len(_VALUES)
+    write_bench_json(benchmark, "sampled_record_batch")
 
 
 def _run_go(observer=None):
@@ -92,3 +132,23 @@ def test_simulator_with_value_profiling(benchmark):
 
     result = benchmark(run)
     assert result.halted
+    write_bench_json(benchmark, "simulate_profiled")
+
+
+def test_simulator_with_buffered_value_profiling(benchmark):
+    workload = get_workload("go")
+
+    def run():
+        db = ProfileDatabase()
+        observer = ValueProfiler(
+            workload.program(),
+            db,
+            targets=(ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS),
+            buffered=True,
+        )
+        # Machine.run flushes the buffers when the program halts.
+        return _run_go(observer)
+
+    result = benchmark(run)
+    assert result.halted
+    write_bench_json(benchmark, "simulate_profiled_buffered")

@@ -4,15 +4,20 @@ Each ``bench_<experiment>.py`` regenerates one table or figure of the
 paper via the experiment registry, times it with pytest-benchmark, and
 writes the rendered artifact to ``benchmarks/results/<id>.txt`` so a
 full benchmark run leaves the complete set of reproduced tables and
-figures on disk.
+figures on disk.  Every timed benchmark also drops a machine-readable
+``BENCH_<name>.json`` (mean/min/max seconds) next to the artifacts so
+CI and scripts can track performance without parsing pytest output.
 
 ``BENCH_SCALE`` shrinks workload inputs; the shapes asserted here are
-scale-robust.  Caches are cleared before every measured run so each
-experiment pays its own profiling cost.
+scale-robust.  Both cache levels are disabled/cleared around every
+measured run so each experiment pays its own profiling cost — with
+the persistent disk cache left on, a second benchmark run would time
+a cache hit instead of the profiler.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -23,6 +28,30 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def write_bench_json(benchmark, name: str, **extra) -> None:
+    """Persist one benchmark's timing stats as ``BENCH_<name>.json``.
+
+    Best-effort: pytest-benchmark may be running with ``--benchmark-
+    disable`` (the CI smoke mode), in which case there are no stats and
+    nothing is written.
+    """
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return
+    payload = {
+        "name": name,
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "stddev_s": stats.stddev,
+        "rounds": stats.rounds,
+    }
+    payload.update(extra)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def run_experiment(benchmark, experiment_id: str, scale: float = BENCH_SCALE):
     """Time one experiment end to end and persist its artifact."""
 
@@ -30,8 +59,12 @@ def run_experiment(benchmark, experiment_id: str, scale: float = BENCH_SCALE):
         experiments.clear_caches()
         return (), {}
 
+    def measured():
+        with experiments.caching_disabled():
+            return experiments.run(experiment_id, scale=scale)
+
     result = benchmark.pedantic(
-        lambda: experiments.run(experiment_id, scale=scale),
+        measured,
         setup=setup,
         rounds=1,
         iterations=1,
@@ -41,5 +74,6 @@ def run_experiment(benchmark, experiment_id: str, scale: float = BENCH_SCALE):
     artifact.write_text(f"== {result.title} ==\n{result.text}\n")
     benchmark.extra_info["experiment"] = experiment_id
     benchmark.extra_info["scale"] = scale
+    write_bench_json(benchmark, experiment_id, experiment=experiment_id, scale=scale)
     assert result.text.strip(), f"{experiment_id} produced no output"
     return result

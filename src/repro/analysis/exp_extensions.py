@@ -223,6 +223,7 @@ def _memo_workloads(scale: float):
     "The argument-tuple profile predicts cache effectiveness: the "
     "advisor enables memoization for repeating-argument streams and "
     "declines for unique or uncacheable streams.",
+    deterministic=False,  # measures real wall-clock speedups
 )
 def table_memoization(scale: float = 1.0):
     import time

@@ -48,6 +48,7 @@ def _best_time(func: Callable, calls: List[tuple], repeats: int = 9) -> float:
     "Specializing on profiled semi-invariant parameters speeds up the "
     "invariant path; the guard costs a small constant, so net benefit "
     "requires high invariance (the break-even argument).",
+    deterministic=False,  # measures real wall-clock speedups
 )
 def table_specialization(scale: float = 1.0):
     calls_count = max(30, int(300 * scale))

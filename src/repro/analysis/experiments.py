@@ -18,14 +18,20 @@ experiment size used in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.profile import TNVConfig
 from repro.errors import ExperimentError
 from repro.isa.instrument import ProfileTarget
 from repro.workloads.harness import ProfiledRun, profile_workload, trace_workload
-from repro.workloads.registry import workload_names
+from repro.workloads.registry import get_workload, workload_names
 
 
 @dataclass(frozen=True)
@@ -40,25 +46,41 @@ class ExperimentResult:
 
 @dataclass(frozen=True)
 class Experiment:
-    """One registered experiment."""
+    """One registered experiment.
+
+    ``deterministic`` marks experiments whose rendered text is a pure
+    function of (code, scale).  Experiments that measure real wall
+    clock (e.g. memoization/specialization speedups) are flagged
+    ``False``; their numbers vary run to run even serially, so tests
+    and the parallel-runner identity guarantee exclude them.
+    """
 
     id: str
     title: str
     paper_artifact: str
     claim: str
     runner: Callable[[float], ExperimentResult] = field(compare=False)
+    deterministic: bool = True
 
 
 _REGISTRY: Dict[str, Experiment] = {}
 
 
-def experiment(id: str, title: str, paper_artifact: str, claim: str):
+def experiment(
+    id: str,
+    title: str,
+    paper_artifact: str,
+    claim: str,
+    deterministic: bool = True,
+):
     """Decorator registering ``runner(scale) -> ExperimentResult``."""
 
     def decorate(runner: Callable[[float], ExperimentResult]) -> Callable:
         if id in _REGISTRY:
             raise ExperimentError(f"duplicate experiment id {id!r}")
-        _REGISTRY[id] = Experiment(id, title, paper_artifact, claim, runner)
+        _REGISTRY[id] = Experiment(
+            id, title, paper_artifact, claim, runner, deterministic
+        )
         return runner
 
     return decorate
@@ -76,6 +98,44 @@ def run(id: str, scale: float = 1.0) -> ExperimentResult:
         known = ", ".join(sorted(_REGISTRY))
         raise ExperimentError(f"unknown experiment {id!r} (known: {known})")
     return exp.runner(scale)
+
+
+def run_all(
+    scale: float = 1.0,
+    jobs: int = 1,
+    ids: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+) -> List[ExperimentResult]:
+    """Run every experiment (or ``ids``), optionally across processes.
+
+    Args:
+        scale: workload input-size multiplier, as for :func:`run`.
+        jobs: number of worker processes; ``1`` runs serially in this
+            process and ``0`` uses every CPU.  Parallel runs fan the
+            experiments out over a
+            ``ProcessPoolExecutor`` and return results in the same
+            order as the serial path, with identical rendered text.
+        ids: subset of experiment ids (defaults to all, sorted).
+        use_cache: consult/write the persistent profile cache.
+
+    Returns results in sorted-id order (the CLI's printing order).
+    """
+    _ensure_loaded()
+    selected = sorted(_REGISTRY) if ids is None else list(ids)
+    for eid in selected:
+        if eid not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ExperimentError(f"unknown experiment {eid!r} (known: {known})")
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if jobs == 1 or len(selected) <= 1:
+        if use_cache:
+            return [run(eid, scale) for eid in selected]
+        with caching_disabled():
+            return [run(eid, scale) for eid in selected]
+    from repro.analysis.parallel import run_experiments
+
+    return run_experiments(selected, scale=scale, jobs=jobs, use_cache=use_cache)
 
 
 def all_experiments() -> List[Experiment]:
@@ -101,11 +161,115 @@ def _ensure_loaded() -> None:
 
 
 # ----------------------------------------------------------------------
-# shared profiled-run cache (experiments in one process share runs)
+# profiled-run caches
 # ----------------------------------------------------------------------
+#
+# Two levels.  L1 is the original same-process memo (experiments in one
+# process share runs).  L2 is a persistent on-disk cache keyed by
+# (workload, variant, scale, targets, TNV config) *plus a hash of the
+# package source tree*, so any code change invalidates every entry
+# automatically.  The disk cache stores full-fidelity pickles —
+# including exact reference histograms — so a cache hit is
+# indistinguishable from re-profiling.
 
 _RUN_CACHE: Dict[Tuple, ProfiledRun] = {}
 _TRACE_CACHE: Dict[Tuple, dict] = {}
+
+#: bumped when the cached payload layout changes.
+CACHE_VERSION = 1
+
+_CACHE_ENABLED = os.environ.get("REPRO_NO_CACHE", "") == ""
+_SOURCE_HASH: Optional[str] = None
+
+
+def cache_dir() -> Path:
+    """Where persistent profile pickles live.
+
+    ``REPRO_CACHE_DIR`` overrides the default of
+    ``~/.cache/repro-value-profiling``.
+    """
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-value-profiling"
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent disk cache is consulted and written."""
+    return _CACHE_ENABLED
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable the persistent disk cache."""
+    global _CACHE_ENABLED
+    _CACHE_ENABLED = enabled
+
+
+@contextmanager
+def caching_disabled():
+    """Context manager: run with the disk cache off (benchmarks use
+    this so every measured run pays its real profiling cost)."""
+    previous = _CACHE_ENABLED
+    set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+def source_tree_hash() -> str:
+    """Hash of every ``repro`` source file, computed once per process.
+
+    Part of every disk-cache key: editing any module under the package
+    silently invalidates all cached profiles, which is the only safe
+    default for a cache of derived results.
+    """
+    global _SOURCE_HASH
+    if _SOURCE_HASH is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _SOURCE_HASH = digest.hexdigest()
+    return _SOURCE_HASH
+
+
+def _cache_path(kind: str, key: Tuple) -> Path:
+    raw = repr((CACHE_VERSION, source_tree_hash(), kind, key)).encode()
+    return cache_dir() / f"{kind}-{hashlib.sha256(raw).hexdigest()[:32]}.pkl"
+
+
+def _cache_load(path: Path):
+    """Best-effort read of one cache entry; corrupt entries read as misses."""
+    try:
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return None
+
+
+def _cache_store(path: Path, payload) -> None:
+    """Best-effort atomic write; a full disk never fails the profile run."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except (OSError, pickle.PickleError):
+        pass
 
 
 def profiled(
@@ -115,17 +279,37 @@ def profiled(
     targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS),
     config: Optional[TNVConfig] = None,
 ) -> ProfiledRun:
-    """Cached :func:`profile_workload` (same-process memoization)."""
+    """Cached :func:`profile_workload` (L1 memo + persistent L2)."""
     target_key = tuple(sorted(t.value for t in targets))
     config_key = (
         (config.capacity, config.steady, config.clear_interval) if config else None
     )
     key = (name, variant, scale, target_key, config_key)
     cached = _RUN_CACHE.get(key)
-    if cached is None:
-        cached = profile_workload(name, variant, scale=scale, targets=targets, config=config)
-        _RUN_CACHE[key] = cached
-    return cached
+    if cached is not None:
+        return cached
+    disk_path = _cache_path("profile", key) if _CACHE_ENABLED else None
+    if disk_path is not None:
+        payload = _cache_load(disk_path)
+        if payload is not None:
+            run = ProfiledRun(
+                workload=get_workload(name),
+                dataset=payload["dataset"],
+                result=payload["result"],
+                database=payload["database"],
+            )
+            _RUN_CACHE[key] = run
+            return run
+    run = profile_workload(name, variant, scale=scale, targets=targets, config=config)
+    _RUN_CACHE[key] = run
+    if disk_path is not None:
+        # The workload object holds unpicklable builder callables; it is
+        # reattached from the registry on load.
+        _cache_store(
+            disk_path,
+            {"dataset": run.dataset, "result": run.result, "database": run.database},
+        )
+    return run
 
 
 def traced(
@@ -134,20 +318,46 @@ def traced(
     scale: float = 1.0,
     targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
 ) -> dict:
-    """Cached :func:`trace_workload`."""
+    """Cached :func:`trace_workload` (L1 memo + persistent L2)."""
     target_key = tuple(sorted(t.value for t in targets))
     key = (name, variant, scale, target_key)
     cached = _TRACE_CACHE.get(key)
-    if cached is None:
-        cached = trace_workload(name, variant, scale=scale, targets=targets)
-        _TRACE_CACHE[key] = cached
+    if cached is not None:
+        return cached
+    disk_path = _cache_path("trace", key) if _CACHE_ENABLED else None
+    if disk_path is not None:
+        payload = _cache_load(disk_path)
+        if payload is not None:
+            _TRACE_CACHE[key] = payload
+            return payload
+    cached = trace_workload(name, variant, scale=scale, targets=targets)
+    _TRACE_CACHE[key] = cached
+    if disk_path is not None:
+        _cache_store(disk_path, cached)
     return cached
 
 
 def clear_caches() -> None:
-    """Drop memoized runs (tests use this to control memory)."""
+    """Drop in-process memoized runs (tests use this to control memory).
+
+    Leaves the disk cache alone; use :func:`clear_disk_cache` for that.
+    """
     _RUN_CACHE.clear()
     _TRACE_CACHE.clear()
+
+
+def clear_disk_cache() -> int:
+    """Delete every persistent cache entry; returns the number removed."""
+    removed = 0
+    directory = cache_dir()
+    if directory.is_dir():
+        for path in directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 def programs() -> List[str]:

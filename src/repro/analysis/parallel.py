@@ -1,0 +1,218 @@
+"""Process-parallel experiment execution and profile fan-out.
+
+The paper's headline cost result is that full value profiling is
+order-of-magnitude slow; the reproduction's answer is to batch the hot
+path (:mod:`repro.core`) and to parallelize the cold one.  This module
+provides the latter:
+
+* :func:`run_experiments` — fan the experiment registry out over a
+  ``ProcessPoolExecutor``.  Each worker renders its experiment exactly
+  as the serial path would, so results (including the rendered text)
+  are byte-identical; only the wall clock changes.  Workers share the
+  persistent profile cache (:func:`repro.analysis.experiments.profiled`),
+  so a workload profiled by one worker is a disk hit for the next run.
+* :class:`ProfileJob` / :func:`profile_jobs` / :func:`profile_and_merge`
+  — fan raw ``profile_workload`` jobs out and ship each result back as
+  its ``to_json`` snapshot, then rebuild/merge databases in the parent
+  with the existing ``from_json``/``merge`` machinery.  This is the
+  multi-input aggregation path (e.g. profiling many input sets of one
+  program and merging them into a single profile).
+
+Everything submitted to a worker is a plain tuple/dataclass of
+primitives, so the module works under both ``fork`` and ``spawn`` start
+methods.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.errors import ExperimentError
+
+
+def _default_jobs(jobs: Optional[int]) -> int:
+    if jobs is None or jobs <= 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# experiment fan-out
+# ----------------------------------------------------------------------
+
+
+#: Heaviest experiments first — a static longest-processing-time
+#: schedule.  Dispatching the heavy tail early keeps the pool busy to
+#: the end instead of leaving one worker grinding through
+#: ``table-predictors`` after everyone else finished.  Ids missing
+#: from this list (new experiments) are dispatched first, ahead of the
+#: known-heavy ones, which is the safe default for unknown cost.
+_COST_ORDER = (
+    "table-predictors",
+    "table-sampling-accuracy",
+    "table-vht-aliasing",
+    "table-isa-specialization",
+    "table-all-instructions",
+    "table-memory-locations",
+    "fig-convergence",
+    "table-predictor-filtering",
+    "table-benchmarks",
+    "table-calling-context",
+    "fig-invariance-distribution",
+    "table-parameters",
+    "table-load-speculation",
+    "table-basic-blocks",
+    "table-specialization",
+    "table-insn-classes",
+    "fig-tnv-accuracy",
+    "table-memoization",
+    "table-train-vs-test",
+    "table-pyprof",
+    "table-top-procedures",
+    "table-load-values",
+)
+
+
+def _dispatch_order(ids: Sequence[str]) -> List[str]:
+    rank = {experiment_id: index for index, experiment_id in enumerate(_COST_ORDER)}
+    return sorted(ids, key=lambda eid: rank.get(eid, -1))
+
+
+def _experiment_worker(args: Tuple[str, float, bool]):
+    """Top-level worker: run one experiment in a fresh process."""
+    experiment_id, scale, use_cache = args
+    from repro.analysis import experiments
+
+    if not use_cache:
+        experiments.set_cache_enabled(False)
+    return experiments.run(experiment_id, scale=scale)
+
+
+def run_experiments(
+    ids: Sequence[str],
+    scale: float = 1.0,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+):
+    """Run ``ids`` across ``jobs`` worker processes, preserving order.
+
+    Each worker computes and *renders* its experiment, so the returned
+    :class:`~repro.analysis.experiments.ExperimentResult` list is
+    identical to what the serial path produces — the parent process
+    never re-renders anything.  With the persistent cache enabled,
+    workers also warm the on-disk profile cache as a side effect.
+    """
+    ids = list(ids)
+    if not ids:
+        return []
+    jobs = min(_default_jobs(jobs), len(ids))
+    if jobs == 1:
+        from repro.analysis import experiments
+
+        return experiments.run_all(scale=scale, jobs=1, ids=ids, use_cache=use_cache)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            experiment_id: pool.submit(
+                _experiment_worker, (experiment_id, scale, use_cache)
+            )
+            for experiment_id in _dispatch_order(ids)
+        }
+        return [futures[experiment_id].result() for experiment_id in ids]
+
+
+# ----------------------------------------------------------------------
+# profile fan-out
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProfileJob:
+    """One ``profile_workload`` invocation, described by primitives.
+
+    ``targets`` holds :class:`~repro.isa.instrument.ProfileTarget`
+    *values* (strings) so the job pickles cheaply under any start
+    method.  Workers profile TNV-only (``exact=False``): results travel
+    back as ``to_json`` snapshots, which — modelling what a real value
+    profiler writes to disk — never carry exact histograms anyway.
+    """
+
+    workload: str
+    variant: str = "train"
+    scale: float = 1.0
+    targets: Tuple[str, ...] = ("instructions", "loads")
+    capacity: int = 10
+    steady: int = 5
+    clear_interval: Optional[int] = 2000
+
+    def config(self) -> TNVConfig:
+        return TNVConfig(
+            capacity=self.capacity,
+            steady=self.steady,
+            clear_interval=self.clear_interval,
+        )
+
+
+def _profile_worker(job: ProfileJob) -> str:
+    from repro.isa.instrument import ProfileTarget
+    from repro.workloads.harness import profile_workload
+
+    run = profile_workload(
+        job.workload,
+        job.variant,
+        scale=job.scale,
+        targets=tuple(ProfileTarget(t) for t in job.targets),
+        config=job.config(),
+        exact=False,
+    )
+    return run.database.to_json()
+
+
+def profile_jobs(
+    jobs_list: Iterable[ProfileJob],
+    jobs: Optional[int] = None,
+) -> List[ProfileDatabase]:
+    """Profile every job across worker processes.
+
+    Returns one rebuilt :class:`ProfileDatabase` per job, in job order.
+    """
+    jobs_list = list(jobs_list)
+    if not jobs_list:
+        return []
+    workers = min(_default_jobs(jobs), len(jobs_list))
+    if workers == 1:
+        payloads = [_profile_worker(job) for job in jobs_list]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            payloads = list(pool.map(_profile_worker, jobs_list))
+    return [ProfileDatabase.from_json(payload) for payload in payloads]
+
+
+def profile_and_merge(
+    jobs_list: Iterable[ProfileJob],
+    jobs: Optional[int] = None,
+    name: str = "",
+) -> ProfileDatabase:
+    """Profile every job in parallel and merge the results site-by-site.
+
+    All jobs must share one TNV configuration — merging tables of
+    different shapes would silently change clearing semantics.
+    """
+    jobs_list = list(jobs_list)
+    if not jobs_list:
+        raise ExperimentError("profile_and_merge needs at least one job")
+    shapes = {(job.capacity, job.steady, job.clear_interval) for job in jobs_list}
+    if len(shapes) > 1:
+        raise ExperimentError(
+            f"profile_and_merge needs one TNV configuration, got {sorted(shapes)}"
+        )
+    databases = profile_jobs(jobs_list, jobs=jobs)
+    merged = databases[0]
+    for database in databases[1:]:
+        merged.merge(database)
+    if name:
+        merged.name = name
+    return merged

@@ -32,7 +32,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = experiments.run(args.experiment, scale=args.scale)
+    if args.no_cache:
+        with experiments.caching_disabled():
+            result = experiments.run(args.experiment, scale=args.scale)
+    else:
+        result = experiments.run(args.experiment, scale=args.scale)
     print(f"== {result.title} ({result.experiment}) ==")
     print(result.text)
     if args.json:
@@ -51,8 +55,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    for exp in experiments.all_experiments():
-        result = exp.runner(args.scale)
+    results = experiments.run_all(
+        scale=args.scale, jobs=args.jobs, use_cache=not args.no_cache
+    )
+    for result in results:
         print(f"\n== {result.title} ({result.experiment}) ==")
         print(result.text)
     return 0
@@ -124,10 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment")
     run_parser.add_argument("--scale", type=float, default=1.0)
     run_parser.add_argument("--json", help="also write the raw data to this JSON file")
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="ignore the persistent profile cache"
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", type=float, default=1.0)
+    all_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = all CPUs)"
+    )
+    all_parser.add_argument(
+        "--no-cache", action="store_true", help="ignore the persistent profile cache"
+    )
     all_parser.set_defaults(func=_cmd_all)
 
     profile_parser = sub.add_parser("profile", help="profile one workload")

@@ -51,7 +51,16 @@ class ValueStreamStats:
     table cannot produce because it stores no ordering information.
     """
 
-    __slots__ = ("_histogram", "_total", "_zeros", "_lvp_hits", "_last", "_has_last")
+    __slots__ = (
+        "_histogram",
+        "_total",
+        "_zeros",
+        "_lvp_hits",
+        "_last",
+        "_has_last",
+        "_first",
+        "_has_first",
+    )
 
     def __init__(self) -> None:
         self._histogram: Counter = Counter()
@@ -60,6 +69,8 @@ class ValueStreamStats:
         self._lvp_hits = 0
         self._last: Value = None
         self._has_last = False
+        self._first: Value = None
+        self._has_first = False
 
     def record(self, value: Value) -> None:
         """Record one dynamic execution producing ``value``."""
@@ -69,12 +80,39 @@ class ValueStreamStats:
             self._zeros += 1
         if self._has_last and value == self._last:
             self._lvp_hits += 1
+        if not self._has_first:
+            self._first = value
+            self._has_first = True
         self._last = value
         self._has_last = True
 
     def record_many(self, values: Iterable[Value]) -> None:
-        for value in values:
-            self.record(value)
+        """Record a run of dynamic values in order.
+
+        State-identical to per-value :meth:`record` calls, but counts
+        duplicates with one C-level pass and updates the LVP adjacency
+        count pairwise instead of paying a Python call per event.
+        """
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        if not values:
+            return
+        counts = Counter(values)
+        self._histogram.update(counts)
+        self._total += len(values)
+        zeros = 0
+        for value, count in counts.items():
+            if is_zero(value):
+                zeros += count
+        self._zeros += zeros
+        hits = 1 if (self._has_last and values[0] == self._last) else 0
+        hits += sum(1 for prev, cur in zip(values, values[1:]) if cur == prev)
+        self._lvp_hits += hits
+        if not self._has_first:
+            self._first = values[0]
+            self._has_first = True
+        self._last = values[-1]
+        self._has_last = True
 
     # ------------------------------------------------------------------
 
@@ -123,16 +161,23 @@ class ValueStreamStats:
     def merge(self, other: "ValueStreamStats") -> None:
         """Fold another stream's histogram into this one.
 
-        LVP hits are summed — correct when the streams are temporally
-        disjoint runs of the same site (the cross-run boundary
-        contributes at most one hit of error).
+        The merged state matches recording ``other``'s stream directly
+        after this one: when ``other``'s first value equals this
+        stream's last value, the run boundary itself is an LVP hit and
+        is counted.
         """
         self._histogram.update(other._histogram)
         self._total += other._total
         self._zeros += other._zeros
         self._lvp_hits += other._lvp_hits
-        self._last = other._last
-        self._has_last = self._has_last or other._has_last
+        if self._has_last and other._has_first and other._first == self._last:
+            self._lvp_hits += 1
+        if not self._has_first:
+            self._first = other._first
+            self._has_first = other._has_first
+        if other._has_last:
+            self._last = other._last
+            self._has_last = True
 
     def metrics(self, top_n: int = TOP_N) -> "SiteMetrics":
         """Freeze the current state into a :class:`SiteMetrics` row."""

@@ -15,8 +15,9 @@ needs only the previous value, which real value profilers also keep).
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.metrics import TOP_N, SiteMetrics, ValueStreamStats, aggregate_metrics, is_zero
 from repro.core.sites import Site, SiteKind
@@ -52,7 +53,18 @@ class SiteProfile:
             was created in TNV-only mode.
     """
 
-    __slots__ = ("site", "tnv", "exact", "_total", "_zeros", "_lvp_hits", "_last", "_has_last")
+    __slots__ = (
+        "site",
+        "tnv",
+        "exact",
+        "_total",
+        "_zeros",
+        "_lvp_hits",
+        "_last",
+        "_has_last",
+        "_first",
+        "_has_first",
+    )
 
     def __init__(self, site: Site, config: TNVConfig, exact: bool = True) -> None:
         self.site = site
@@ -63,6 +75,8 @@ class SiteProfile:
         self._lvp_hits = 0
         self._last: Value = None
         self._has_last = False
+        self._first: Value = None
+        self._has_first = False
 
     def record(self, value: Value) -> None:
         """Record one dynamic value for this site."""
@@ -71,11 +85,44 @@ class SiteProfile:
             self._zeros += 1
         if self._has_last and value == self._last:
             self._lvp_hits += 1
+        if not self._has_first:
+            self._first = value
+            self._has_first = True
         self._last = value
         self._has_last = True
         self.tnv.record(value)
         if self.exact is not None:
             self.exact.record(value)
+
+    def record_many(self, values: Iterable[Value]) -> None:
+        """Record a run of dynamic values for this site, in order.
+
+        State-identical to per-value :meth:`record` calls, but the
+        zero/LVP bookkeeping runs as local-variable passes over the run
+        and the TNV table and exact statistics each consume the whole
+        run at once, collapsing the per-event call chain.
+        """
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        if not values:
+            return
+        self._total += len(values)
+        zeros = 0
+        for value, count in Counter(values).items():
+            if is_zero(value):
+                zeros += count
+        self._zeros += zeros
+        hits = 1 if (self._has_last and values[0] == self._last) else 0
+        hits += sum(1 for prev, cur in zip(values, values[1:]) if cur == prev)
+        self._lvp_hits += hits
+        if not self._has_first:
+            self._first = values[0]
+            self._has_first = True
+        self._last = values[-1]
+        self._has_last = True
+        self.tnv.record_many(values)
+        if self.exact is not None:
+            self.exact.record_many(values)
 
     @property
     def executions(self) -> int:
@@ -115,14 +162,25 @@ class SiteProfile:
         return self.metrics(top_n, prefer_exact=False)
 
     def merge(self, other: "SiteProfile") -> None:
-        """Fold another run's profile of the *same site* into this one."""
+        """Fold another run's profile of the *same site* into this one.
+
+        The merged LVP matches the concatenated value stream: when
+        ``other``'s first value equals this profile's last value, the
+        run boundary is itself a last-value hit and is counted.
+        """
         if other.site != self.site:
             raise ProfileError(f"cannot merge profiles of different sites: {self.site} vs {other.site}")
         self._total += other._total
         self._zeros += other._zeros
         self._lvp_hits += other._lvp_hits
-        self._last = other._last
-        self._has_last = self._has_last or other._has_last
+        if self._has_last and other._has_first and other._first == self._last:
+            self._lvp_hits += 1
+        if not self._has_first:
+            self._first = other._first
+            self._has_first = other._has_first
+        if other._has_last:
+            self._last = other._last
+            self._has_last = True
         self.tnv.merge(other.tnv)
         if self.exact is not None and other.exact is not None:
             self.exact.merge(other.exact)
@@ -166,6 +224,21 @@ class ProfileDatabase:
             profile = SiteProfile(site, self.config, exact=self.exact)
             self._profiles[site] = profile
         profile.record(value)
+
+    def record_batch(self, site: Site, values: Sequence[Value]) -> None:
+        """Record a run of dynamic values for ``site``, in order.
+
+        State-identical to per-value :meth:`record` calls but pays the
+        site lookup once per run instead of once per event; the batch
+        then flows through :meth:`SiteProfile.record_many`.
+        """
+        if not values:
+            return
+        profile = self._profiles.get(site)
+        if profile is None:
+            profile = SiteProfile(site, self.config, exact=self.exact)
+            self._profiles[site] = profile
+        profile.record_many(values)
 
     def profile_for(self, site: Site) -> SiteProfile:
         """The profile for ``site``; raises if the site was never seen."""
@@ -277,21 +350,33 @@ class ProfileDatabase:
                 "clear_interval": self.config.clear_interval,
             },
             "sites": [
-                {
-                    "kind": site.kind.value,
-                    "program": site.program,
-                    "procedure": site.procedure,
-                    "label": site.label,
-                    "opcode": site.opcode,
-                    "executions": profile.executions,
-                    "lvp": profile.lvp(),
-                    "pct_zeros": profile.pct_zeros(),
-                    "tnv": profile.tnv.to_dict(),
-                }
+                self._site_payload(site, profile)
                 for site, profile in sorted(self._profiles.items())
             ],
         }
         return json.dumps(payload, indent=2)
+
+    @staticmethod
+    def _site_payload(site: Site, profile: SiteProfile) -> dict:
+        entry = {
+            "kind": site.kind.value,
+            "program": site.program,
+            "procedure": site.procedure,
+            "label": site.label,
+            "opcode": site.opcode,
+            "executions": profile.executions,
+            "lvp": profile.lvp(),
+            "pct_zeros": profile.pct_zeros(),
+            "tnv": profile.tnv.to_dict(),
+        }
+        # First/last values let merges of reloaded profiles count the
+        # run-boundary LVP hit; the keys are present only when the
+        # profile saw at least one value, so None stays unambiguous.
+        if profile._has_first:
+            entry["first"] = profile._first
+        if profile._has_last:
+            entry["last"] = profile._last
+        return entry
 
     @classmethod
     def from_json(cls, text: str) -> "ProfileDatabase":
@@ -313,5 +398,11 @@ class ProfileDatabase:
             profile._zeros = round(entry["pct_zeros"] * entry["executions"])
             if entry["executions"] > 1:
                 profile._lvp_hits = round(entry["lvp"] * (entry["executions"] - 1))
+            if "first" in entry:
+                profile._first = entry["first"]
+                profile._has_first = True
+            if "last" in entry:
+                profile._last = entry["last"]
+                profile._has_last = True
             db._profiles[site] = profile
         return db

@@ -21,7 +21,7 @@ how close sampled metrics are to full-profiling metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.core.convergence import ConvergenceConfig, ConvergenceDetector
 from repro.core.profile import ProfileDatabase, TNVConfig
@@ -36,6 +36,14 @@ class SamplingPolicy:
     Subclasses implement :meth:`should_sample`; the profiler calls it
     exactly once per dynamic execution, in order.
     """
+
+    #: whether the policy's decisions for a site depend only on that
+    #: site's own event stream.  Site-local policies produce identical
+    #: results when events are buffered per site and replayed in runs
+    #: (the batched fast path); policies with cross-site state (e.g.
+    #: a shared RNG) must see the global interleaving and set this to
+    #: False, which keeps the harness on per-event recording.
+    site_local = True
 
     def should_sample(self, site: Site) -> bool:
         raise NotImplementedError
@@ -107,6 +115,8 @@ class RandomSampling(SamplingPolicy):
     consecutive executions LVP is defined over are almost never both
     sampled.
     """
+
+    site_local = False  # one RNG shared across sites
 
     def __init__(self, rate: float, seed: int = 0x5EED) -> None:
         if not 0.0 < rate <= 1.0:
@@ -249,6 +259,48 @@ class SamplingProfiler:
             profile = self.database.profile_for(site)
             self.policy.checkpoint(site, profile.tnv.estimated_invariance(1))
             pending = 0
+        self._since_checkpoint[site] = pending
+
+    def record_batch(self, site: Site, values: Sequence[Value]) -> None:
+        """Feed a run of dynamic executions of one site, in order.
+
+        State-identical to per-value :meth:`record` calls for any
+        site-local policy: the policy still sees every execution in
+        order, but consecutive sampled values between checkpoints are
+        accumulated and recorded as one batch, and each checkpoint
+        fires at exactly the event it would under per-event recording
+        (the sampling-burst boundary flushes the pending run first, so
+        the invariance estimate reflects everything recorded so far).
+        """
+        n = len(values)
+        if n == 0:
+            return
+        self._seen[site] = self._seen.get(site, 0) + n
+        policy = self.policy
+        should_sample = policy.should_sample
+        database = self.database
+        every = self.checkpoint_every
+        pending = self._since_checkpoint.get(site, 0)
+        run: List[Value] = []
+        append = run.append
+        profiled = 0
+        for value in values:
+            if not should_sample(site):
+                continue
+            append(value)
+            pending += 1
+            if pending >= every:
+                database.record_batch(site, run)
+                profiled += len(run)
+                run.clear()
+                profile = database.profile_for(site)
+                policy.checkpoint(site, profile.tnv.estimated_invariance(1))
+                pending = 0
+        if run:
+            database.record_batch(site, run)
+            profiled += len(run)
+        if profiled:
+            self._profiled[site] = self._profiled.get(site, 0) + profiled
         self._since_checkpoint[site] = pending
 
     # ------------------------------------------------------------------

@@ -24,8 +24,9 @@ integers, the Python front end records any hashable object.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Tuple
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.errors import ProfileError
 
@@ -102,9 +103,69 @@ class TNVTable:
                 self.clear_bottom()
 
     def record_many(self, values: Iterable[Value]) -> None:
-        """Record a sequence of dynamic values in order."""
-        for value in values:
-            self.record(value)
+        """Record a sequence of dynamic values in order.
+
+        Semantically identical to calling :meth:`record` once per value
+        — including the exact positions of clearing passes — but far
+        faster: the stream is split into runs that contain no clearing
+        boundary, and each run is folded into the table with local
+        loops and a single counting pass instead of one attribute-heavy
+        call per event.
+        """
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        n = len(values)
+        if n == 0:
+            return
+        interval = self.clear_interval
+        if interval is None:
+            self._total += n
+            self._record_run(values, 0, n)
+            return
+        start = 0
+        since = self._since_clear
+        while start < n:
+            end = start + (interval - since)
+            if end > n:
+                end = n
+            self._total += end - start
+            self._record_run(values, start, end)
+            since += end - start
+            if since >= interval:
+                self.clear_bottom()
+                since = 0
+            start = end
+        self._since_clear = since
+
+    def _record_run(self, values: Sequence[Value], start: int, end: int) -> None:
+        """Fold ``values[start:end]`` — a run with no clearing pass
+        inside it — into the table.
+
+        While the table has free slots, values must be processed in
+        order (which value fills the last slot depends on arrival
+        order).  Once the table is full no insertion can happen until
+        the next clear, so the rest of the run collapses to one
+        duplicate-counting pass that bumps resident entries and drops
+        everything else, exactly like per-event recording would.
+        """
+        entries = self._entries
+        capacity = self.capacity
+        i = start
+        if len(entries) < capacity:
+            while i < end:
+                value = values[i]
+                if value in entries:
+                    entries[value] += 1
+                elif len(entries) < capacity:
+                    entries[value] = 1
+                else:
+                    break
+                i += 1
+        if i >= end:
+            return
+        for value, count in Counter(values[i:end]).items():
+            if value in entries:
+                entries[value] += count
 
     def clear_bottom(self) -> None:
         """Evict the clear part: keep only the ``steady`` hottest entries.
@@ -203,6 +264,8 @@ class TNVTable:
             "steady": self.steady,
             "clear_interval": self.clear_interval,
             "total": self._total,
+            "clears": self._clears,
+            "since_clear": self._since_clear,
             "entries": [[entry.value, entry.count] for entry in self.snapshot()],
         }
 
@@ -217,6 +280,10 @@ class TNVTable:
         entries: List[Tuple[Value, int]] = [tuple(pair) for pair in payload["entries"]]
         table._entries = {value: count for value, count in entries}
         table._total = payload["total"]
+        # Older snapshots predate these fields; default to a fresh
+        # clearing phase rather than failing to load them.
+        table._clears = payload.get("clears", 0)
+        table._since_clear = payload.get("since_clear", 0)
         return table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

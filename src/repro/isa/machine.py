@@ -64,6 +64,12 @@ class MachineObserver:
         """``procedure`` returned (``jr`` through the link register);
         ``value`` is the return register ``r1`` at that point."""
 
+    def flush(self) -> None:
+        """Drain any buffered events.  The machine calls this once when
+        the program halts so buffering observers (e.g. a buffered
+        :class:`~repro.isa.instrument.ValueProfiler`) never lose the
+        tail of the event stream."""
+
 
 @dataclass
 class RunResult:
@@ -379,6 +385,10 @@ class Machine:
         self.pc = pc
         self.instructions_executed = executed
         self.cycles = cycles
+        if observer is not None:
+            flush = getattr(observer, "flush", None)
+            if flush is not None:
+                flush()
         return RunResult(
             program=self.program.name,
             instructions_executed=executed,

@@ -17,8 +17,9 @@ reports hit rate, conflict evictions and occupancy.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.core.sites import Site
 from repro.predictors.base import Predictor
@@ -85,10 +86,20 @@ class ValueHistoryTable:
         self.site_filter = site_filter
         self._sites: list = [None] * entries
         self._predictors: list = [None] * entries
+        self._index_cache: Dict[Site, int] = {}
         self.stats = VHTStats(entries=entries)
 
     def _index(self, site: Site) -> int:
-        return hash(site) % self.entries
+        # CRC32 of the site's identity, not hash(): Python string
+        # hashing is randomized per process (PYTHONHASHSEED), which
+        # would make the alias pattern — and every number this
+        # simulation reports — differ from run to run.
+        index = self._index_cache.get(site)
+        if index is None:
+            key = f"{site.kind.value}|{site.program}|{site.procedure}|{site.label}"
+            index = zlib.crc32(key.encode()) % self.entries
+            self._index_cache[site] = index
+        return index
 
     def process(self, site: Site, value) -> bool:
         """Replay one dynamic event; returns True on a correct prediction."""

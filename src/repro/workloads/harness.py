@@ -56,6 +56,7 @@ def profile_workload(
     exact: bool = True,
     policy: Optional[SamplingPolicy] = None,
     verify: bool = True,
+    buffered: Optional[bool] = None,
 ) -> ProfiledRun:
     """Run one workload under the value profiler.
 
@@ -70,6 +71,12 @@ def profile_workload(
             recording every execution; the returned ``sampler`` then
             carries overhead statistics.
         verify: check program output against the Python reference.
+        buffered: buffer events per site and record them in batches
+            (byte-identical profiles, much lower overhead).  Defaults
+            to on for full profiling and for site-local sampling
+            policies; policies with cross-site state (e.g. random
+            sampling's shared RNG) stay on the per-event path.  The
+            machine flushes the buffers when the program halts.
     """
     workload = get_workload(name)
     dataset = workload.dataset(variant, scale=scale)
@@ -83,8 +90,10 @@ def profile_workload(
         sampler = SamplingProfiler(policy, config=config, exact=exact, name=run_name)
         database = sampler.database
         recorder = sampler
+    if buffered is None:
+        buffered = policy is None or getattr(policy, "site_local", False)
 
-    observer = ValueProfiler(workload.program(), recorder, targets=targets)
+    observer = ValueProfiler(workload.program(), recorder, targets=targets, buffered=buffered)
     machine = Machine(workload.program(), observer=observer)
     machine.set_input(dataset.values)
     result = machine.run()

@@ -1,0 +1,156 @@
+"""Tests for the parallel experiment runner and the persistent cache.
+
+Correctness of the parallel path means: identical rendered text for
+every *deterministic* experiment, results in the same order as the
+serial path, and cache hits indistinguishable from re-profiling.
+Wall-clock speedup is hardware-dependent (a single-CPU container
+cannot show one), so these tests assert equivalence, not timing.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.parallel import (
+    ProfileJob,
+    _dispatch_order,
+    profile_and_merge,
+    profile_jobs,
+    run_experiments,
+)
+from repro.errors import ExperimentError
+
+pytestmark = pytest.mark.slow
+
+#: cheap, deterministic experiments used for the serial/parallel diff.
+CHEAP_IDS = ["table-load-values", "table-top-procedures"]
+SCALE = 0.1
+
+
+@pytest.fixture
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the disk cache at a fresh directory and drop the L1 memo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    experiments.clear_caches()
+    yield tmp_path
+    experiments.clear_caches()
+
+
+class TestDispatchOrder:
+    def test_known_ids_sorted_heaviest_first(self):
+        order = _dispatch_order(["table-load-values", "table-predictors"])
+        assert order == ["table-predictors", "table-load-values"]
+
+    def test_unknown_ids_dispatch_first(self):
+        order = _dispatch_order(["table-predictors", "brand-new-experiment"])
+        assert order[0] == "brand-new-experiment"
+
+
+class TestDeterministicFlag:
+    def test_wall_clock_experiments_flagged(self):
+        nondeterministic = {
+            exp.id for exp in experiments.all_experiments() if not exp.deterministic
+        }
+        assert nondeterministic == {"table-memoization", "table-specialization"}
+
+
+class TestRunAllParallel:
+    def test_parallel_matches_serial_text(self, isolated_cache):
+        serial = experiments.run_all(scale=SCALE, jobs=1, ids=CHEAP_IDS)
+        parallel = experiments.run_all(scale=SCALE, jobs=2, ids=CHEAP_IDS)
+        assert [r.experiment for r in parallel] == [r.experiment for r in serial]
+        for s, p in zip(serial, parallel):
+            assert p.text == s.text
+            assert p.title == s.title
+
+    def test_parallel_preserves_requested_order(self, isolated_cache):
+        ids = list(reversed(CHEAP_IDS))
+        results = run_experiments(ids, scale=SCALE, jobs=2)
+        assert [r.experiment for r in results] == ids
+
+    def test_run_all_rejects_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            experiments.run_all(ids=["no-such-experiment"])
+
+    def test_empty_ids(self):
+        assert run_experiments([], scale=SCALE, jobs=2) == []
+
+
+class TestDiskCache:
+    def test_profiled_roundtrips_through_disk(self, isolated_cache):
+        first = experiments.profiled("compress", scale=SCALE)
+        assert list(isolated_cache.glob("profile-*.pkl")), "expected a cache write"
+        experiments.clear_caches()  # force the next read to come from disk
+        second = experiments.profiled("compress", scale=SCALE)
+        assert second.database.to_json() == first.database.to_json()
+        assert second.workload.name == first.workload.name
+        assert list(second.result.output) == list(first.result.output)
+
+    def test_traced_roundtrips_through_disk(self, isolated_cache):
+        first = experiments.traced("compress", scale=SCALE)
+        experiments.clear_caches()
+        second = experiments.traced("compress", scale=SCALE)
+        assert second == first
+
+    def test_caching_disabled_writes_nothing(self, isolated_cache):
+        with experiments.caching_disabled():
+            experiments.profiled("compress", scale=SCALE)
+        assert not list(isolated_cache.glob("*.pkl"))
+
+    def test_clear_disk_cache(self, isolated_cache):
+        experiments.profiled("compress", scale=SCALE)
+        experiments.traced("compress", scale=SCALE)
+        removed = experiments.clear_disk_cache()
+        assert removed >= 2
+        assert not list(isolated_cache.glob("*.pkl"))
+
+    def test_corrupt_entry_reads_as_miss(self, isolated_cache):
+        experiments.profiled("compress", scale=SCALE)
+        for path in isolated_cache.glob("profile-*.pkl"):
+            path.write_bytes(b"not a pickle")
+        experiments.clear_caches()
+        run = experiments.profiled("compress", scale=SCALE)
+        assert run.database.total_executions() > 0
+
+    def test_source_hash_stable_within_process(self):
+        assert experiments.source_tree_hash() == experiments.source_tree_hash()
+
+
+class TestProfileFanout:
+    def test_profile_jobs_match_direct_profiling(self, isolated_cache):
+        from repro.workloads.harness import profile_workload
+
+        jobs = [
+            ProfileJob("compress", scale=SCALE),
+            ProfileJob("go", scale=0.05),
+        ]
+        databases = profile_jobs(jobs, jobs=2)
+        assert len(databases) == 2
+        for job, database in zip(jobs, databases):
+            direct = profile_workload(
+                job.workload, job.variant, scale=job.scale, exact=False
+            )
+            assert database.to_json() == direct.database.to_json()
+
+    def test_profile_and_merge_equals_sequential_merge(self, isolated_cache):
+        jobs = [
+            ProfileJob("compress", variant="train", scale=SCALE),
+            ProfileJob("compress", variant="test", scale=SCALE),
+        ]
+        merged = profile_and_merge(jobs, jobs=2, name="compress-both")
+        databases = profile_jobs(jobs, jobs=1)
+        reference = databases[0]
+        reference.merge(databases[1])
+        reference.name = "compress-both"
+        assert merged.to_json() == reference.to_json()
+
+    def test_profile_and_merge_rejects_mixed_shapes(self):
+        jobs = [
+            ProfileJob("compress", capacity=10),
+            ProfileJob("compress", capacity=4),
+        ]
+        with pytest.raises(ExperimentError):
+            profile_and_merge(jobs)
+
+    def test_profile_and_merge_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            profile_and_merge([])

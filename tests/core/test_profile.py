@@ -53,6 +53,34 @@ class TestSiteProfile:
         assert a.executions == 3
         assert a.metrics().distinct == 2
 
+    def test_merge_counts_lvp_hit_across_boundary(self):
+        """Regression: merging [..., 7] with [7, ...] must count the
+        boundary repeat, exactly as the concatenated stream would."""
+        for left, right in [
+            ([1, 7], [7, 2]),
+            ([7], [7]),
+            ([1, 2], [3, 4]),
+            ([7, 7], [7, 7]),
+        ]:
+            merged = make_profile(left)
+            merged.merge(make_profile(right))
+            reference = make_profile(left + right)
+            assert merged.lvp() == pytest.approx(reference.lvp()), (left, right)
+
+    def test_merge_boundary_lvp_without_exact(self):
+        merged = make_profile([5, 5], exact=False)
+        merged.merge(make_profile([5, 5], exact=False))
+        reference = make_profile([5, 5, 5, 5], exact=False)
+        assert merged.lvp() == pytest.approx(reference.lvp())
+
+    def test_merge_with_empty_side_keeps_lvp(self):
+        merged = make_profile([3, 3, 4])
+        merged.merge(SiteProfile(SITE_A, TNVConfig()))
+        assert merged.lvp() == pytest.approx(make_profile([3, 3, 4]).lvp())
+        empty = SiteProfile(SITE_A, TNVConfig())
+        empty.merge(make_profile([3, 3, 4]))
+        assert empty.lvp() == pytest.approx(make_profile([3, 3, 4]).lvp())
+
     def test_tnv_metrics_report_estimates(self):
         profile = make_profile([1] * 10)
         assert profile.tnv_metrics().inv_top1 == 1.0

@@ -195,6 +195,33 @@ class TestMergeAndSerialize:
         assert clone.total == table.total
         assert clone.top(6) == table.top(6)
 
+    def test_roundtrip_preserves_clearing_state(self):
+        """Regression: clears/_since_clear used to be dropped by
+        to_dict/from_dict, so a restored table cleared at the wrong
+        points and diverged from the original on further recording."""
+        table = TNVTable(capacity=4, steady=2, clear_interval=10)
+        table.record_many(list(range(4)) * 6)  # 24 records -> 2 clears, 4 pending
+        assert table.clears == 2
+        clone = TNVTable.from_dict(table.to_dict())
+        assert clone.clears == table.clears
+        assert clone._since_clear == table._since_clear
+        # The restored table must keep clearing in lockstep.
+        tail = list(range(4, 16))
+        table.record_many(tail)
+        clone.record_many(tail)
+        assert clone.clears == table.clears
+        assert clone.snapshot() == table.snapshot()
+
+    def test_roundtrip_accepts_legacy_payload(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=10)
+        table.record_many([1, 2, 3])
+        payload = table.to_dict()
+        del payload["clears"]
+        del payload["since_clear"]
+        clone = TNVTable.from_dict(payload)
+        assert clone.clears == 0
+        assert clone.top(4) == table.top(4)
+
 
 @settings(max_examples=200, deadline=None)
 @given(st.lists(st.integers(min_value=-50, max_value=50), max_size=500))
