@@ -1,0 +1,150 @@
+"""Guard: observability disabled must cost (almost) nothing.
+
+The observability layer's contract (docs/observability.md) is that with
+metrics/tracing disabled — the default — the per-event recording hot
+path is exactly as fast as an uninstrumented build, because all
+instrumentation sits at batch/clear/run boundaries.  This script
+enforces that contract two ways:
+
+1. **In-process control (always run, machine-independent).**  Time
+   ``TNVTable.record`` over the bench_tnv_record workload against an
+   inline control class that replicates the pre-observability record
+   semantics line for line, with no ``repro.obs`` import anywhere.
+   Both loops run interleaved in one process, so the comparison is
+   noise-bounded rather than machine-bound.  The instrumented table
+   must stay within ``TOLERANCE`` (5%) of the control.
+
+2. **Committed baseline (opt-in via ``REPRO_BENCH_STRICT=1``).**
+   Compare the measured mean against the committed
+   ``benchmarks/results/BENCH_tnv_record.json``.  Only meaningful on
+   the machine that produced the baseline, hence opt-in for local use;
+   CI runners have different hardware and rely on check 1.
+
+Exit status 0 on pass, 1 on regression.  Run as:
+
+    PYTHONPATH=src python benchmarks/check_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import sys
+import time
+
+from repro.core.tnv import TNVTable
+from repro.obs import METRICS, TRACER
+
+TOLERANCE = 0.05
+ROUNDS = 15
+
+_RNG = random.Random(20_250_705)  # same workload as bench_core_microbench
+_VALUES = [_RNG.randrange(64) for _ in range(10_000)]
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_tnv_record.json"
+
+
+class _ControlTNV:
+    """The pre-observability ``TNVTable`` record path, verbatim.
+
+    No ``repro.obs`` import, no enabled checks anywhere — this is what
+    "uninstrumented" means, re-measured on the current machine so the
+    guard is hardware-independent.
+    """
+
+    __slots__ = ("capacity", "steady", "clear_interval", "_entries", "_since_clear", "_total", "_clears")
+
+    def __init__(self, capacity=10, steady=5, clear_interval=2000):
+        self.capacity = capacity
+        self.steady = steady
+        self.clear_interval = clear_interval
+        self._entries = {}
+        self._since_clear = 0
+        self._total = 0
+        self._clears = 0
+
+    def record(self, value):
+        self._total += 1
+        entries = self._entries
+        if value in entries:
+            entries[value] += 1
+        elif len(entries) < self.capacity:
+            entries[value] = 1
+        if self.clear_interval is not None:
+            self._since_clear += 1
+            if self._since_clear >= self.clear_interval:
+                self.clear_bottom()
+
+    def clear_bottom(self):
+        self._since_clear = 0
+        self._clears += 1
+        if len(self._entries) <= self.steady:
+            return
+        survivors = sorted(self._entries.items(), key=lambda item: (-item[1], repr(item[0])))
+        self._entries = dict(survivors[: self.steady])
+
+
+def _time_once(table_factory) -> float:
+    table = table_factory()
+    record = table.record
+    values = _VALUES
+    start = time.perf_counter()
+    for value in values:
+        record(value)
+    return time.perf_counter() - start
+
+
+def _best_of(table_factory, rounds: int) -> float:
+    return min(_time_once(table_factory) for _ in range(rounds))
+
+
+def main() -> int:
+    assert not METRICS.enabled and not TRACER.enabled, (
+        "guard must measure the disabled default"
+    )
+    # Warm both classes, then interleave the measured rounds so drift
+    # (frequency scaling, competing load) hits both sides equally.
+    _time_once(TNVTable)
+    _time_once(_ControlTNV)
+    instrumented = []
+    control = []
+    for _ in range(ROUNDS):
+        instrumented.append(_time_once(TNVTable))
+        control.append(_time_once(_ControlTNV))
+    best_instrumented = min(instrumented)
+    best_control = min(control)
+    ratio = best_instrumented / best_control
+    print(
+        f"tnv_record disabled-mode: instrumented {best_instrumented * 1e6:.1f}us "
+        f"vs control {best_control * 1e6:.1f}us (ratio {ratio:.3f}, "
+        f"tolerance {1 + TOLERANCE:.2f})"
+    )
+    failed = False
+    if ratio > 1 + TOLERANCE:
+        print(
+            f"FAIL: observability-disabled TNV record path is {ratio:.3f}x the "
+            f"uninstrumented control (> {1 + TOLERANCE:.2f}x)"
+        )
+        failed = True
+
+    if os.environ.get("REPRO_BENCH_STRICT") == "1" and RESULTS.is_file():
+        baseline = json.loads(RESULTS.read_text())
+        baseline_per_call = baseline["min_s"]
+        strict_ratio = best_instrumented / baseline_per_call
+        print(
+            f"committed baseline: {baseline_per_call * 1e6:.1f}us, "
+            f"measured/baseline ratio {strict_ratio:.3f}"
+        )
+        if strict_ratio > 1 + TOLERANCE:
+            print("FAIL: regressed vs the committed BENCH_tnv_record.json baseline")
+            failed = True
+
+    if not failed:
+        print("PASS")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,12 @@ from repro.analysis.experiments import experiment, make_result, profiled, progra
 from repro.analysis.tables import Table, percentage
 from repro.core.sites import SiteKind
 from repro.isa.instrument import ProfileTarget
+from repro.obs import get_logger
 from repro.predictors.classify import lvp_filter
 from repro.predictors.harness import evaluate_bank, evaluate_filtered
 from repro.predictors.last_value import LastValuePredictor
+
+_LOG = get_logger(__name__)
 
 #: Default input shrink for trace-heavy experiments: pure-Python
 #: predictors over full traces are the slowest part of the suite.
@@ -43,6 +46,7 @@ def table_predictors(scale: float = 1.0):
     )
     data: Dict[str, dict] = {}
     for name in programs():
+        _LOG.debug("table-predictors: evaluating predictor bank on %s", name)
         traces = traced(name, "train", scale=trace_scale, targets=(ProfileTarget.INSTRUCTIONS,))
         results = evaluate_bank(traces)
         by_name = {r.predictor: r.accuracy for r in results}

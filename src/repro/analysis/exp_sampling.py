@@ -34,7 +34,10 @@ from repro.core.sites import SiteKind
 from repro.core.tnv import TNVTable
 from repro.isa.instrument import FanoutObserver, ProfileTarget, ValueProfiler
 from repro.isa.machine import Machine
+from repro.obs import get_logger
 from repro.workloads.registry import get_workload
+
+_LOG = get_logger(__name__)
 
 
 @experiment(
@@ -48,6 +51,7 @@ def fig_convergence(scale: float = 1.0):
     series: Dict[str, List[Tuple[float, float]]] = {}
     data: Dict[str, dict] = {}
     for name in programs():
+        _LOG.debug("fig-convergence: tracing %s", name)
         traces = traced(name, "train", scale=scale, targets=(ProfileTarget.LOADS,))
         if not traces:
             continue
@@ -143,6 +147,7 @@ def table_sampling_accuracy(scale: float = 1.0):
     data: Dict[str, list] = {}
     overall: Dict[str, List[Tuple[float, float]]] = {}
     for name in programs():
+        _LOG.debug("table-sampling-accuracy: simulating %s under every policy", name)
         workload = get_workload(name)
         dataset = workload.dataset("train", scale=scale)
         program = workload.program()

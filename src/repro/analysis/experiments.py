@@ -30,8 +30,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.core.profile import TNVConfig
 from repro.errors import ExperimentError
 from repro.isa.instrument import ProfileTarget
+from repro.obs import METRICS, TRACER, get_logger
 from repro.workloads.harness import ProfiledRun, profile_workload, trace_workload
 from repro.workloads.registry import get_workload, workload_names
+
+_LOG = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -97,7 +100,13 @@ def run(id: str, scale: float = 1.0) -> ExperimentResult:
     if exp is None:
         known = ", ".join(sorted(_REGISTRY))
         raise ExperimentError(f"unknown experiment {id!r} (known: {known})")
-    return exp.runner(scale)
+    _LOG.info("running experiment %s (scale %s)", id, scale)
+    with TRACER.span("experiment", experiment=id, scale=scale), METRICS.time(
+        f"experiment.{id}"
+    ):
+        result = exp.runner(scale)
+    _LOG.info("finished experiment %s", id)
+    return result
 
 
 def run_all(
@@ -128,14 +137,18 @@ def run_all(
             raise ExperimentError(f"unknown experiment {eid!r} (known: {known})")
     if jobs <= 0:
         jobs = os.cpu_count() or 1
-    if jobs == 1 or len(selected) <= 1:
-        if use_cache:
-            return [run(eid, scale) for eid in selected]
-        with caching_disabled():
-            return [run(eid, scale) for eid in selected]
-    from repro.analysis.parallel import run_experiments
+    _LOG.info(
+        "run_all: %d experiment(s), scale %s, jobs %d", len(selected), scale, jobs
+    )
+    with TRACER.span("run_all", experiments=len(selected), scale=scale, jobs=jobs):
+        if jobs == 1 or len(selected) <= 1:
+            if use_cache:
+                return [run(eid, scale) for eid in selected]
+            with caching_disabled():
+                return [run(eid, scale) for eid in selected]
+        from repro.analysis.parallel import run_experiments
 
-    return run_experiments(selected, scale=scale, jobs=jobs, use_cache=use_cache)
+        return run_experiments(selected, scale=scale, jobs=jobs, use_cache=use_cache)
 
 
 def all_experiments() -> List[Experiment]:
@@ -287,11 +300,14 @@ def profiled(
     key = (name, variant, scale, target_key, config_key)
     cached = _RUN_CACHE.get(key)
     if cached is not None:
+        METRICS.inc("cache.memory_hits")
         return cached
     disk_path = _cache_path("profile", key) if _CACHE_ENABLED else None
     if disk_path is not None:
         payload = _cache_load(disk_path)
         if payload is not None:
+            METRICS.inc("cache.disk_hits")
+            _LOG.debug("disk cache hit: profile %s/%s scale %s", name, variant, scale)
             run = ProfiledRun(
                 workload=get_workload(name),
                 dataset=payload["dataset"],
@@ -300,11 +316,19 @@ def profiled(
             )
             _RUN_CACHE[key] = run
             return run
-    run = profile_workload(name, variant, scale=scale, targets=targets, config=config)
+    METRICS.inc("cache.misses")
+    _LOG.debug("cache miss: profiling %s/%s scale %s", name, variant, scale)
+    with TRACER.span(
+        "profile-workload", workload=name, variant=variant, scale=scale
+    ), METRICS.time("profile_workload"):
+        run = profile_workload(
+            name, variant, scale=scale, targets=targets, config=config
+        )
     _RUN_CACHE[key] = run
     if disk_path is not None:
         # The workload object holds unpicklable builder callables; it is
         # reattached from the registry on load.
+        METRICS.inc("cache.writes")
         _cache_store(
             disk_path,
             {"dataset": run.dataset, "result": run.result, "database": run.database},
@@ -323,16 +347,25 @@ def traced(
     key = (name, variant, scale, target_key)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
+        METRICS.inc("cache.memory_hits")
         return cached
     disk_path = _cache_path("trace", key) if _CACHE_ENABLED else None
     if disk_path is not None:
         payload = _cache_load(disk_path)
         if payload is not None:
+            METRICS.inc("cache.disk_hits")
+            _LOG.debug("disk cache hit: trace %s/%s scale %s", name, variant, scale)
             _TRACE_CACHE[key] = payload
             return payload
-    cached = trace_workload(name, variant, scale=scale, targets=targets)
+    METRICS.inc("cache.misses")
+    _LOG.debug("cache miss: tracing %s/%s scale %s", name, variant, scale)
+    with TRACER.span(
+        "trace-workload", workload=name, variant=variant, scale=scale
+    ), METRICS.time("trace_workload"):
+        cached = trace_workload(name, variant, scale=scale, targets=targets)
     _TRACE_CACHE[key] = cached
     if disk_path is not None:
+        METRICS.inc("cache.writes")
         _cache_store(disk_path, cached)
     return cached
 

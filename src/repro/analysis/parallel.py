@@ -32,6 +32,9 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.profile import ProfileDatabase, TNVConfig
 from repro.errors import ExperimentError
+from repro.obs import METRICS, TRACER, get_logger
+
+_LOG = get_logger(__name__)
 
 
 def _default_jobs(jobs: Optional[int]) -> int:
@@ -82,14 +85,35 @@ def _dispatch_order(ids: Sequence[str]) -> List[str]:
     return sorted(ids, key=lambda eid: rank.get(eid, -1))
 
 
-def _experiment_worker(args: Tuple[str, float, bool]):
-    """Top-level worker: run one experiment in a fresh process."""
-    experiment_id, scale, use_cache = args
+def _experiment_worker(args: Tuple[str, float, bool, bool]):
+    """Top-level worker: run one experiment in a fresh process.
+
+    Returns ``(result, metrics_snapshot, spans)``.  When the parent had
+    observability enabled, the worker records into its own registry and
+    tracer (span ids prefixed with the experiment id so they stay
+    unique in the combined trace) and ships both home as plain dicts;
+    otherwise the last two slots are ``None``.
+    """
+    experiment_id, scale, use_cache, observe = args
     from repro.analysis import experiments
 
     if not use_cache:
         experiments.set_cache_enabled(False)
-    return experiments.run(experiment_id, scale=scale)
+    if not observe:
+        return experiments.run(experiment_id, scale=scale), None, None
+    METRICS.reset()
+    METRICS.enable()
+    TRACER.enable(prefix=experiment_id)
+    try:
+        result = experiments.run(experiment_id, scale=scale)
+        snapshot = METRICS.snapshot()
+        spans = TRACER.drain()
+        for span in spans:
+            span.setdefault("attrs", {})["worker"] = experiment_id
+    finally:
+        METRICS.disable()
+        TRACER.disable()
+    return result, snapshot, spans
 
 
 def run_experiments(
@@ -114,14 +138,24 @@ def run_experiments(
         from repro.analysis import experiments
 
         return experiments.run_all(scale=scale, jobs=1, ids=ids, use_cache=use_cache)
+    observe = METRICS.enabled or TRACER.enabled
+    _LOG.info("dispatching %d experiment(s) over %d workers", len(ids), jobs)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {
             experiment_id: pool.submit(
-                _experiment_worker, (experiment_id, scale, use_cache)
+                _experiment_worker, (experiment_id, scale, use_cache, observe)
             )
             for experiment_id in _dispatch_order(ids)
         }
-        return [futures[experiment_id].result() for experiment_id in ids]
+        results = []
+        for experiment_id in ids:
+            result, snapshot, spans = futures[experiment_id].result()
+            if snapshot is not None:
+                METRICS.merge(snapshot)
+            if spans is not None:
+                TRACER.adopt(spans)
+            results.append(result)
+        return results
 
 
 # ----------------------------------------------------------------------

@@ -9,18 +9,28 @@ Subcommands:
 * ``profile <workload> [--variant V] [--scale S]`` — ad-hoc profile of
   one workload, printing per-site metrics.
 * ``workloads`` — list the benchmark suite.
+* ``stats`` — summarize a ``--trace``/``--metrics`` capture: top time
+  sinks, cache hit rate, measured sampling overhead vs the thesis.
+
+``run``, ``all`` and ``profile`` accept the observability flags
+``--trace FILE`` (JSONL span trace), ``--metrics FILE`` (counter
+snapshot) and ``--log-level LEVEL`` (progress logging to stderr).
+With none of them given the observability layer stays disabled and
+experiment output is byte-identical to an uninstrumented build.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.analysis import experiments
 from repro.analysis.tables import METRICS_COLUMNS, Table, metrics_row
 from repro.core.sites import SiteKind
 from repro.errors import ReproError
+from repro.obs import METRICS, TRACER, configure_logging
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -32,10 +42,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    if args.no_cache:
-        with experiments.caching_disabled():
-            result = experiments.run(args.experiment, scale=args.scale)
-    else:
+    cache_ctx = experiments.caching_disabled() if args.no_cache else nullcontext()
+    with cache_ctx:
         result = experiments.run(args.experiment, scale=args.scale)
     print(f"== {result.title} ({result.experiment}) ==")
     print(result.text)
@@ -69,12 +77,48 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     run = profile_workload(args.workload, args.variant, scale=args.scale)
     kind = SiteKind(args.kind) if args.kind else SiteKind.LOAD
+    rows = run.database.metrics_by_site(kind)
     table = Table(METRICS_COLUMNS, title=f"{run.name}: per-site {kind.value} metrics")
-    for site, metrics in run.database.metrics_by_site(kind)[: args.top]:
+    for site, metrics in rows[: args.top]:
         table.add_row(*metrics_row(site.qualified_name(), metrics))
     table.add_separator()
     table.add_row(*metrics_row("TOTAL", run.database.summary(kind)))
     print(table.render())
+    if args.json:
+        import dataclasses
+        import json
+
+        payload = {
+            "workload": args.workload,
+            "variant": args.variant,
+            "scale": args.scale,
+            "kind": kind.value,
+            "sites": [
+                {"site": site.qualified_name(), **dataclasses.asdict(metrics)}
+                for site, metrics in rows
+            ],
+            "total": dataclasses.asdict(run.database.summary(kind)),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"(data written to {args.json})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import stats as obs_stats
+    from repro.obs.metrics import load_snapshot
+    from repro.obs.trace import load_trace
+
+    if not args.trace and not args.metrics:
+        print("error: stats needs --trace and/or --metrics", file=sys.stderr)
+        return 2
+    spans = load_trace(args.trace) if args.trace else None
+    snapshot = load_snapshot(args.metrics) if args.metrics else None
+    if args.metrics and snapshot is None:
+        print(f"error: could not read metrics file {args.metrics}", file=sys.stderr)
+        return 1
+    print(obs_stats.render_stats(spans=spans, snapshot=snapshot))
     return 0
 
 
@@ -117,6 +161,21 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """The observability surface shared by run/all/profile."""
+    parser.add_argument(
+        "--trace", help="write a JSONL span trace of this invocation to FILE"
+    )
+    parser.add_argument(
+        "--metrics", help="write the internal metrics snapshot to FILE as JSON"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        help="enable progress logging to stderr at this level",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="value-profiling",
@@ -133,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-cache", action="store_true", help="ignore the persistent profile cache"
     )
+    _add_obs_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     all_parser = sub.add_parser("all", help="run every experiment")
@@ -143,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument(
         "--no-cache", action="store_true", help="ignore the persistent profile cache"
     )
+    _add_obs_args(all_parser)
     all_parser.set_defaults(func=_cmd_all)
 
     profile_parser = sub.add_parser("profile", help="profile one workload")
@@ -151,7 +212,18 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument("--scale", type=float, default=1.0)
     profile_parser.add_argument("--kind", default="load", help="site kind (load, instruction, ...)")
     profile_parser.add_argument("--top", type=int, default=20)
+    profile_parser.add_argument(
+        "--json", help="also write the per-site metrics to this JSON file"
+    )
+    _add_obs_args(profile_parser)
     profile_parser.set_defaults(func=_cmd_profile)
+
+    stats_parser = sub.add_parser(
+        "stats", help="summarize a --trace/--metrics capture"
+    )
+    stats_parser.add_argument("--trace", help="JSONL trace written by --trace")
+    stats_parser.add_argument("--metrics", help="metrics JSON written by --metrics")
+    stats_parser.set_defaults(func=_cmd_stats)
 
     diff_parser = sub.add_parser(
         "diff", help="diff a workload's train profile against its test profile"
@@ -179,14 +251,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _setup_observability(args: argparse.Namespace):
+    """Enable the obs layer per the parsed flags; returns a finalizer.
+
+    The finalizer writes whatever was collected (best-effort even when
+    the command failed — a partial trace is exactly what you want when
+    debugging a crash) and restores the disabled default so repeated
+    ``main`` calls in one process (tests, notebooks) stay independent.
+    """
+    trace_file = getattr(args, "trace", None)
+    metrics_file = getattr(args, "metrics", None)
+    log_level = getattr(args, "log_level", None)
+    if args.func is _cmd_stats:
+        trace_file = metrics_file = None  # stats reads files, never records
+    if log_level:
+        configure_logging(log_level)
+    if trace_file or metrics_file:
+        METRICS.reset()
+        METRICS.enable()
+        if trace_file:
+            TRACER.enable()
+
+    def finalize() -> None:
+        if trace_file:
+            TRACER.write_jsonl(trace_file)
+            TRACER.disable()
+        if metrics_file:
+            METRICS.write(metrics_file)
+        if trace_file or metrics_file:
+            METRICS.disable()
+
+    return finalize
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    finalize = _setup_observability(args)
     try:
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        finalize()
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from repro.core.metrics import TOP_N, SiteMetrics, ValueStreamStats, aggregate_m
 from repro.core.sites import Site, SiteKind
 from repro.core.tnv import TNVTable
 from repro.errors import ProfileError
+from repro.obs.metrics import METRICS as _METRICS
 
 Value = Hashable
 
@@ -223,6 +224,7 @@ class ProfileDatabase:
         if profile is None:
             profile = SiteProfile(site, self.config, exact=self.exact)
             self._profiles[site] = profile
+            _METRICS.inc("profile.sites_created")
         profile.record(value)
 
     def record_batch(self, site: Site, values: Sequence[Value]) -> None:
@@ -238,6 +240,9 @@ class ProfileDatabase:
         if profile is None:
             profile = SiteProfile(site, self.config, exact=self.exact)
             self._profiles[site] = profile
+            _METRICS.inc("profile.sites_created")
+        _METRICS.inc("profile.batches")
+        _METRICS.inc("profile.batch_events", len(values))
         profile.record_many(values)
 
     def profile_for(self, site: Site) -> SiteProfile:
@@ -328,6 +333,7 @@ class ProfileDatabase:
 
     def merge(self, other: "ProfileDatabase") -> None:
         """Fold another database into this one, site by site."""
+        _METRICS.inc("profile.db_merges")
         for site, profile in other._profiles.items():
             mine = self._profiles.get(site)
             if mine is None:

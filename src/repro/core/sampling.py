@@ -26,6 +26,7 @@ from typing import Dict, Hashable, List, Optional, Sequence
 from repro.core.convergence import ConvergenceConfig, ConvergenceDetector
 from repro.core.profile import ProfileDatabase, TNVConfig
 from repro.core.sites import Site
+from repro.obs.metrics import METRICS as _METRICS
 
 Value = Hashable
 
@@ -208,9 +209,11 @@ class ConvergentSampling(SamplingPolicy):
         now_converged = detector.observe(estimate)
         if now_converged:
             state.skip_interval = min(self.max_skip, int(state.skip_interval * self.backoff))
+            _METRICS.inc("sampling.convergence_backoffs")
         elif was_converged:
             # Drift detected during a re-check: back to attentive mode.
             state.skip_interval = self.base_skip
+            _METRICS.inc("sampling.convergence_resets")
 
     def fresh(self) -> "ConvergentSampling":
         return ConvergentSampling(
@@ -242,6 +245,12 @@ class SamplingProfiler:
         self._seen: Dict[Site, int] = {}
         self._profiled: Dict[Site, int] = {}
         self._since_checkpoint: Dict[Site, int] = {}
+        # Per-policy counter names, computed once so the per-event path
+        # pays only an enabled check plus dict increments when the
+        # observability layer is on (and a single branch when off).
+        policy_label = type(policy).__name__
+        self._m_seen = f"sampling.{policy_label}.seen"
+        self._m_profiled = f"sampling.{policy_label}.profiled"
         #: profiled executions between checkpoint() calls to the policy;
         #: defaults to the policy's burst so each burst ends with a
         #: checkpoint (what the convergent sampler's backoff needs).
@@ -250,7 +259,12 @@ class SamplingProfiler:
     def record(self, site: Site, value: Value) -> None:
         """Feed one dynamic execution; profiles it iff the policy says so."""
         self._seen[site] = self._seen.get(site, 0) + 1
-        if not self.policy.should_sample(site):
+        sampled = self.policy.should_sample(site)
+        if _METRICS.enabled:
+            _METRICS.inc(self._m_seen)
+            if sampled:
+                _METRICS.inc(self._m_profiled)
+        if not sampled:
             return
         self.database.record(site, value)
         self._profiled[site] = self._profiled.get(site, 0) + 1
@@ -302,6 +316,9 @@ class SamplingProfiler:
         if profiled:
             self._profiled[site] = self._profiled.get(site, 0) + profiled
         self._since_checkpoint[site] = pending
+        if _METRICS.enabled:
+            _METRICS.inc(self._m_seen, n)
+            _METRICS.inc(self._m_profiled, profiled)
 
     # ------------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 from repro.errors import ProfileError
+from repro.obs.metrics import METRICS as _METRICS
 
 Value = Hashable
 
@@ -117,6 +118,10 @@ class TNVTable:
         n = len(values)
         if n == 0:
             return
+        # Batch-boundary instrumentation: one call per batch, never per
+        # event, which is what keeps the disabled-mode overhead at zero
+        # on the per-event path (see docs/observability.md).
+        _METRICS.inc("tnv.batch_records", n)
         interval = self.clear_interval
         if interval is None:
             self._total += n
@@ -175,8 +180,10 @@ class TNVTable:
         """
         self._since_clear = 0
         self._clears += 1
+        _METRICS.inc("tnv.clears")
         if len(self._entries) <= self.steady:
             return
+        _METRICS.inc("tnv.bottom_evictions", len(self._entries) - self.steady)
         survivors = sorted(self._entries.items(), key=lambda item: (-item[1], repr(item[0])))
         self._entries = dict(survivors[: self.steady])
 
@@ -249,6 +256,7 @@ class TNVTable:
         test inputs).  The merged table keeps the hottest ``capacity``
         entries of the union.
         """
+        _METRICS.inc("tnv.merges")
         merged: Dict[Value, int] = dict(self._entries)
         for value, count in other._entries.items():
             merged[value] = merged.get(value, 0) + count

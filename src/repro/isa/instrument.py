@@ -29,6 +29,7 @@ from repro.core.sites import (
 from repro.isa.instructions import Instruction
 from repro.isa.machine import MachineObserver
 from repro.isa.program import Procedure, Program
+from repro.obs.metrics import METRICS as _METRICS
 
 
 class ProfileTarget(enum.Enum):
@@ -98,6 +99,18 @@ class ValueProfiler(MachineObserver):
         #: per-event sink the on_* handlers call; bound once so the
         #: unbuffered path costs exactly one call into the recorder.
         self._emit = self._emit_buffered if buffered else recorder.record
+        if _METRICS.enabled and not buffered:
+            # Observability on: swap in a counting emit.  Decided once
+            # at construction, so the disabled-mode per-event path is
+            # byte-for-byte the line above.  (The buffered path counts
+            # at flush time instead — see _flush_site.)
+            base_emit = self._emit
+
+            def counting_emit(site: Site, value: Hashable, _base=base_emit) -> None:
+                _METRICS.inc("profiler.events")
+                _base(site, value)
+
+            self._emit = counting_emit
         self.targets: Set[ProfileTarget] = set(targets)
         #: when set, parameter sites are keyed by calling site as well
         #: (Young & Smith-style path sensitivity; thesis future work)
@@ -139,6 +152,9 @@ class ValueProfiler(MachineObserver):
             self._flush_site(site, buffer)
 
     def _flush_site(self, site: Site, buffer: List[Hashable]) -> None:
+        if _METRICS.enabled:
+            _METRICS.inc("profiler.buffer_flushes")
+            _METRICS.inc("profiler.events", len(buffer))
         if self._record_batch is not None:
             self._record_batch(site, buffer)
         else:
@@ -153,6 +169,7 @@ class ValueProfiler(MachineObserver):
         Called by the machine when the program halts; safe (and a
         no-op) for unbuffered profilers.
         """
+        _METRICS.gauge("profiler.buffered_sites", len(self._buffers))
         for site, buffer in self._buffers.items():
             if buffer:
                 self._flush_site(site, buffer)

@@ -28,6 +28,7 @@ from repro.isa.instructions import (
     to_signed64,
 )
 from repro.isa.program import Procedure, Program
+from repro.obs.metrics import METRICS as _METRICS
 
 DEFAULT_MEMORY_WORDS = 1 << 20
 DEFAULT_BUDGET = 200_000_000
@@ -184,6 +185,7 @@ class Machine:
         pc_counts = self.pc_counts
         pc = self.pc
         executed = self.instructions_executed
+        executed_at_entry = executed
 
         while not self.halted:
             if executed >= max_instructions:
@@ -385,6 +387,16 @@ class Machine:
         self.pc = pc
         self.instructions_executed = executed
         self.cycles = cycles
+        if _METRICS.enabled:
+            # Run-boundary instrumentation: the interpreter loop above
+            # stays untouched, so disabled-mode simulation speed is
+            # exactly the uninstrumented speed.
+            _METRICS.inc("machine.runs")
+            _METRICS.inc("machine.instructions", executed - executed_at_entry)
+            _METRICS.inc("machine.loads", self.dynamic_loads)
+            _METRICS.inc("machine.stores", self.dynamic_stores)
+            _METRICS.inc("machine.calls", self.dynamic_calls)
+            _METRICS.inc("machine.defines", self.dynamic_defines)
         if observer is not None:
             flush = getattr(observer, "flush", None)
             if flush is not None:

@@ -1,0 +1,50 @@
+"""Observability: the profiler-of-the-profiler.
+
+The paper's central practical question is profiling *overhead* (§VIII
+reports order-of-magnitude ATOM slowdowns), so the reproduction's own
+cost and internal behavior are first-class outputs, not a black box.
+This package provides three layers, all off by default and engineered
+to cost (near) nothing while disabled:
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and timers.  Instrumentation points threaded through
+  :mod:`repro.core` (TNV clears/evictions/merges, batch sizes, sampled
+  vs. skipped executions), :mod:`repro.isa` (instructions executed,
+  profiled ops, buffer flushes) and the experiment cache (hits,
+  misses) record into it.  Snapshots are deterministic (sorted keys,
+  no wall-clock fields in the comparable sections) and merge-able
+  across the parallel runner's worker processes.
+* :mod:`repro.obs.trace` — hierarchical spans (``run_all`` →
+  experiment → workload/profile phases → parallel jobs) emitted as
+  JSONL with monotonic timings and attached metric deltas.
+* :mod:`repro.obs.logconf` — stdlib ``logging`` wired through the
+  package under the ``repro`` logger with a ``NullHandler`` default,
+  so library users see nothing unless they (or the CLI's
+  ``--log-level`` flag) opt in.
+
+Surfaces: ``--trace FILE``, ``--metrics FILE`` and ``--log-level`` on
+the ``run``/``all``/``profile`` CLI commands, plus ``repro stats``
+(:mod:`repro.obs.stats`) which renders the collected data as summary
+tables.
+
+Overhead guarantee: with observability disabled (the default) the hot
+per-event recording paths (``TNVTable.record``, the interpreter loop)
+contain **no** instrumentation at all — counters are recorded at batch,
+flush, clear and run boundaries only — so the batched profiling fast
+path keeps its measured speedup.  ``benchmarks/check_obs_overhead.py``
+guards this in CI.
+"""
+
+from repro.obs.logconf import configure_logging, get_logger, reset_logging
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.trace import TRACER, Tracer
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "TRACER",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+]

@@ -1,0 +1,67 @@
+"""Package logging: one ``repro`` logger tree, silent by default.
+
+Every module gets its logger through :func:`get_logger`, which roots
+it under ``repro`` so one handler governs the whole package.  The root
+``repro`` logger carries a ``NullHandler``: importing the library
+never prints anything and never trips the "no handlers could be
+found" warning.  The CLI's ``--log-level`` flag calls
+:func:`configure_logging` to attach a stderr handler; embedders can do
+the same, or attach their own handlers as with any stdlib logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+#: the handler configure_logging attached, so reconfiguring replaces
+#: rather than stacks handlers.
+_handler: Optional[logging.Handler] = None
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The package logger for ``name`` (rooted under ``repro``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_logging(level: str) -> None:
+    """Attach a stderr handler to the ``repro`` tree at ``level``.
+
+    ``level`` is one of ``debug``/``info``/``warning``/``error``
+    (case-insensitive).  Calling again replaces the previous handler,
+    so the CLI can be invoked repeatedly in one process (tests do).
+    Logs go to stderr: experiment output on stdout stays byte-identical
+    whatever the log level.
+    """
+    normalized = level.lower()
+    if normalized not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choose from {_LEVELS})")
+    global _handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+    _handler = logging.StreamHandler(sys.stderr)
+    _handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(_handler)
+    logger.setLevel(normalized.upper())
+
+
+def reset_logging() -> None:
+    """Detach the handler :func:`configure_logging` installed."""
+    global _handler
+    logger = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        logger.removeHandler(_handler)
+        _handler = None
+    logger.setLevel(logging.NOTSET)

@@ -1,0 +1,203 @@
+"""Process-wide metrics registry: counters, gauges, timers.
+
+One global :data:`METRICS` registry serves the whole package.  It is
+**disabled by default**: every mutator starts with an ``enabled``
+check, so an instrumentation point in disabled mode costs one method
+call and one attribute test.  The truly hot per-event paths
+(``TNVTable.record``, the interpreter loop) avoid even that by
+recording only at batch/clear/run boundaries — see
+``docs/observability.md`` for the full catalog and the overhead
+guarantees.
+
+Snapshots are plain dicts with deterministically ordered keys and no
+wall-clock timestamps in the comparable sections (``counters`` and
+``gauges``), so two runs that did the same work produce identical
+comparable sections and diff cleanly; all timing lives under the
+separate ``timers`` key.  Snapshots from worker processes merge
+associatively: counters add, gauges take the max, timers combine
+(count adds, total adds, max takes the max).
+
+The registry is not thread-safe; the package is process-parallel, not
+threaded, and each worker process owns its own registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+
+class _Timer:
+    """Times one ``with`` block into the registry (perf_counter)."""
+
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._registry.observe(self._name, time.perf_counter() - self._start)
+
+
+class _NullTimer:
+    """Shared no-op stand-in handed out while the registry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Counters, gauges and timers behind a single ``enabled`` flag.
+
+    Counter and gauge names are dotted strings
+    (``"tnv.clears"``, ``"cache.memory_hits"``); the catalog of names
+    the package emits lives in ``docs/observability.md``.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_timers")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        #: name -> [count, total_seconds, max_seconds]
+        self._timers: Dict[str, List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded values (leaves the enabled flag alone)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest observed ``value``."""
+        if not self.enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Fold one duration into timer ``name``."""
+        if not self.enabled:
+            return
+        timer = self._timers.get(name)
+        if timer is None:
+            self._timers[name] = [1, seconds, seconds]
+        else:
+            timer[0] += 1
+            timer[1] += seconds
+            if seconds > timer[2]:
+                timer[2] = seconds
+
+    def time(self, name: str):
+        """Context manager timing its block into timer ``name``."""
+        if not self.enabled:
+            return _NULL_TIMER
+        return _Timer(self, name)
+
+    # ------------------------------------------------------------------
+    # reading / combining
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """All counters, key-sorted (deterministic)."""
+        return dict(sorted(self._counters.items()))
+
+    def snapshot(self) -> dict:
+        """Full deterministic-order snapshot of the registry.
+
+        ``counters`` and ``gauges`` are the *comparable* sections: pure
+        functions of the work performed, with no wall-clock content.
+        ``timers`` carries the timing data and is expected to vary
+        between runs.
+        """
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "timers": {
+                name: {"count": int(t[0]), "total_s": t[1], "max_s": t[2]}
+                for name, t in sorted(self._timers.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) in.
+
+        Merging respects the enabled flag — a disabled registry stays
+        empty — so workers that shipped metrics home cannot resurrect
+        an observability layer the parent turned off.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, value in snapshot.get("gauges", {}).items():
+            current = self._gauges.get(name)
+            if current is None or value > current:
+                self._gauges[name] = value
+        for name, stats in snapshot.get("timers", {}).items():
+            timer = self._timers.get(name)
+            if timer is None:
+                self._timers[name] = [stats["count"], stats["total_s"], stats["max_s"]]
+            else:
+                timer[0] += stats["count"]
+                timer[1] += stats["total_s"]
+                if stats["max_s"] > timer[2]:
+                    timer[2] = stats["max_s"]
+
+    def write(self, path: str) -> None:
+        """Write the snapshot as sorted-key JSON (diff-friendly)."""
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+#: The process-wide registry every instrumentation point records into.
+METRICS = MetricsRegistry()
+
+
+def load_snapshot(path: str) -> Optional[dict]:
+    """Read a snapshot written by :meth:`MetricsRegistry.write`."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,166 @@
+"""Rendering for ``repro stats``: the profiler-of-the-profiler report.
+
+Consumes the artifacts the observability flags write — a JSONL trace
+(``--trace``) and/or a metrics snapshot (``--metrics``) — and renders
+summary tables:
+
+* **Top time sinks** — spans ranked by *self* time (duration minus
+  child durations), so a parent that merely waits on its children does
+  not crowd out the phase doing the work.
+* **Cache behavior** — hit rate across the L1 memo and the persistent
+  disk cache.
+* **Measured sampling overhead** — per-policy fraction of dynamic
+  executions that actually paid profiling cost, next to the overhead
+  story the thesis reports (Ch. VIII), closing the loop on the paper's
+  headline cost question.
+* **Counter catalog** — every counter, for completeness.
+
+This module is deliberately import-light on the analysis side (only
+the table renderer) so ``repro stats`` works on saved files without
+touching workloads or experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import Table, percentage
+
+#: How the thesis frames each policy's overhead (Ch. VIII); rendered
+#: next to the overhead this run actually measured.
+THESIS_OVERHEAD = {
+    "FullSampling": "100% (order-of-magnitude ATOM slowdown)",
+    "PeriodicSampling": "the configured duty cycle (e.g. 10%)",
+    "RandomSampling": "the configured sampling rate",
+    "ConvergentSampling": "a few % once sites converge",
+}
+
+_TOP_SINKS = 10
+
+
+def _span_label(span: dict) -> str:
+    attrs = span.get("attrs", {})
+    for key in ("experiment", "workload", "jobs"):
+        if key in attrs:
+            return f"{span['name']}({attrs[key]})"
+    return span["name"]
+
+
+def self_times(spans: List[dict]) -> List[Tuple[dict, float]]:
+    """(span, self_seconds) pairs, longest self time first.
+
+    Self time is the span's duration minus the durations of its direct
+    children; clamped at zero for spans whose children's clocks are
+    not comparable (worker spans time against their own process).
+    """
+    child_total: Dict[str, float] = {}
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_total[parent] = child_total.get(parent, 0.0) + span.get("duration_s", 0.0)
+    ranked = [
+        (span, max(0.0, span.get("duration_s", 0.0) - child_total.get(span.get("span_id"), 0.0)))
+        for span in spans
+    ]
+    ranked.sort(key=lambda item: (-item[1], item[0].get("span_id", "")))
+    return ranked
+
+
+def render_time_sinks(spans: List[dict], top: int = _TOP_SINKS) -> str:
+    table = Table(
+        ("span", "total s", "self s", "span id"),
+        title=f"Top time sinks (self time, top {top})",
+        precision=3,
+    )
+    for span, self_s in self_times(spans)[:top]:
+        table.add_row(
+            _span_label(span), span.get("duration_s", 0.0), self_s, span.get("span_id", "?")
+        )
+    return table.render()
+
+
+def cache_stats(counters: Dict[str, int]) -> dict:
+    memory_hits = counters.get("cache.memory_hits", 0)
+    disk_hits = counters.get("cache.disk_hits", 0)
+    misses = counters.get("cache.misses", 0)
+    lookups = memory_hits + disk_hits + misses
+    return {
+        "memory_hits": memory_hits,
+        "disk_hits": disk_hits,
+        "misses": misses,
+        "lookups": lookups,
+        "hit_rate": (memory_hits + disk_hits) / lookups if lookups else 0.0,
+    }
+
+
+def render_cache(counters: Dict[str, int]) -> str:
+    stats = cache_stats(counters)
+    table = Table(
+        ("cache lookups", "L1 hits", "disk hits", "misses", "hit rate%"),
+        title="Profile cache behavior",
+    )
+    table.add_row(
+        stats["lookups"],
+        stats["memory_hits"],
+        stats["disk_hits"],
+        stats["misses"],
+        percentage(stats["hit_rate"]),
+    )
+    return table.render()
+
+
+def sampling_overheads(counters: Dict[str, int]) -> List[Tuple[str, int, int, float]]:
+    """(policy, seen, profiled, overhead_fraction) rows, policy-sorted."""
+    rows = []
+    for name, seen in sorted(counters.items()):
+        if not (name.startswith("sampling.") and name.endswith(".seen")):
+            continue
+        policy = name[len("sampling.") : -len(".seen")]
+        profiled = counters.get(f"sampling.{policy}.profiled", 0)
+        rows.append((policy, seen, profiled, profiled / seen if seen else 0.0))
+    return rows
+
+
+def render_sampling(counters: Dict[str, int]) -> str:
+    table = Table(
+        ("policy", "executions seen", "profiled", "measured overhead%", "thesis-reported"),
+        title="Measured sampling overhead vs thesis Ch. VIII",
+    )
+    rows = sampling_overheads(counters)
+    for policy, seen, profiled, overhead in rows:
+        table.add_row(
+            policy,
+            seen,
+            profiled,
+            percentage(overhead),
+            THESIS_OVERHEAD.get(policy, "-"),
+        )
+    if not rows:
+        table.add_row("(no sampling counters recorded)", 0, 0, 0.0, "-")
+    return table.render()
+
+
+def render_counters(counters: Dict[str, int]) -> str:
+    table = Table(("counter", "value"), title="All counters")
+    for name, value in sorted(counters.items()):
+        table.add_row(name, value)
+    if not counters:
+        table.add_row("(empty)", 0)
+    return table.render()
+
+
+def render_stats(
+    spans: Optional[List[dict]] = None, snapshot: Optional[dict] = None
+) -> str:
+    """The full ``repro stats`` report from whichever inputs exist."""
+    sections = []
+    if spans:
+        sections.append(render_time_sinks(spans))
+    counters = (snapshot or {}).get("counters", {})
+    if snapshot is not None:
+        sections.append(render_cache(counters))
+        sections.append(render_sampling(counters))
+        sections.append(render_counters(counters))
+    if not sections:
+        return "(nothing to report: no spans and no metrics)"
+    return "\n\n".join(sections)

@@ -18,7 +18,10 @@ from repro.core.sites import Site
 from repro.errors import WorkloadError
 from repro.isa.instrument import ProfileTarget, ValueProfiler, ValueTraceCollector
 from repro.isa.machine import Machine, RunResult
+from repro.obs import TRACER, get_logger
 from repro.workloads.registry import DataSet, Workload, get_workload
+
+_LOG = get_logger(__name__)
 
 DEFAULT_TARGETS = (ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS)
 
@@ -93,10 +96,12 @@ def profile_workload(
     if buffered is None:
         buffered = policy is None or getattr(policy, "site_local", False)
 
+    _LOG.debug("profiling %s (buffered=%s)", run_name, buffered)
     observer = ValueProfiler(workload.program(), recorder, targets=targets, buffered=buffered)
     machine = Machine(workload.program(), observer=observer)
     machine.set_input(dataset.values)
-    result = machine.run()
+    with TRACER.span("machine-run", workload=run_name, instrumented=True):
+        result = machine.run()
     if verify:
         _verify(workload, dataset, result)
     return ProfiledRun(workload, dataset, result, database, sampler)

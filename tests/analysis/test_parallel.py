@@ -18,6 +18,7 @@ from repro.analysis.parallel import (
     run_experiments,
 )
 from repro.errors import ExperimentError
+from repro.obs import METRICS, TRACER
 
 pytestmark = pytest.mark.slow
 
@@ -113,6 +114,50 @@ class TestDiskCache:
 
     def test_source_hash_stable_within_process(self):
         assert experiments.source_tree_hash() == experiments.source_tree_hash()
+
+
+class TestObservabilityFanout:
+    """Workers record into their own registries; the parent merges."""
+
+    @pytest.fixture
+    def observed(self, isolated_cache):
+        METRICS.reset()
+        METRICS.enable()
+        TRACER.enable()
+        yield
+        METRICS.disable()
+        METRICS.reset()
+        TRACER.disable()
+        TRACER.drain()
+
+    def test_metrics_merge_across_workers(self, observed):
+        run_experiments(CHEAP_IDS, scale=SCALE, jobs=2, use_cache=False)
+        counters = METRICS.snapshot()["counters"]
+        # Both experiments profile workloads, so the merged registry
+        # must show profiling work from more than one worker process.
+        assert counters["profile.sites_created"] > 0
+        assert counters["tnv.batch_records"] > 0
+        assert counters["machine.instructions"] > 0
+        assert counters["cache.misses"] >= len(CHEAP_IDS)
+
+    def test_worker_spans_adopted_and_reparented(self, observed):
+        with TRACER.span("run_all") as root:
+            run_experiments(CHEAP_IDS, scale=SCALE, jobs=2, use_cache=False)
+        spans = TRACER.drain()
+        worker_spans = [s for s in spans if s.get("attrs", {}).get("worker")]
+        assert {s["attrs"]["worker"] for s in worker_spans} == set(CHEAP_IDS)
+        ids = {s["span_id"] for s in spans}
+        assert len(ids) == len(spans), "combined trace must keep ids unique"
+        roots = [s for s in worker_spans if s["parent_id"] == root.span_id]
+        assert len(roots) == len(CHEAP_IDS), "one adopted root per worker"
+        for span in spans:
+            assert span["parent_id"] is None or span["parent_id"] in ids
+
+    def test_disabled_obs_ships_nothing(self, isolated_cache):
+        assert not METRICS.enabled and not TRACER.enabled
+        run_experiments(CHEAP_IDS, scale=SCALE, jobs=2, use_cache=False)
+        assert METRICS.snapshot()["counters"] == {}
+        assert TRACER.drain() == []
 
 
 class TestProfileFanout:

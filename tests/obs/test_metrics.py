@@ -1,0 +1,162 @@
+"""Tests for the metrics registry.
+
+The registry's contract: disabled is a no-op, enabled counts, snapshots
+are deterministic (sorted keys, no wall-clock fields), and merge
+combines worker snapshots the obvious way (counters add, gauges max,
+timers combine).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, load_snapshot
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    reg.enable()
+    return reg
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        reg = MetricsRegistry()
+        assert not reg.enabled
+
+    def test_disabled_inc_is_noop(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        reg.gauge("g", 3)
+        reg.observe("t", 0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["timers"] == {}
+
+    def test_disabled_timer_is_shared_noop(self):
+        reg = MetricsRegistry()
+        timer_a = reg.time("a")
+        timer_b = reg.time("b")
+        assert timer_a is timer_b  # one shared null object, no allocation
+        with timer_a:
+            pass
+        assert reg.snapshot()["timers"] == {}
+
+    def test_disable_keeps_existing_data(self, registry):
+        registry.inc("kept")
+        registry.disable()
+        registry.inc("dropped")
+        assert registry.snapshot()["counters"] == {"kept": 1}
+
+
+class TestCounting:
+    def test_inc_default_and_n(self, registry):
+        registry.inc("a")
+        registry.inc("a", 5)
+        assert registry.snapshot()["counters"]["a"] == 6
+
+    def test_gauge_overwrites(self, registry):
+        registry.gauge("depth", 3)
+        registry.gauge("depth", 1)
+        assert registry.snapshot()["gauges"]["depth"] == 1
+
+    def test_timer_records_count_total_max(self, registry):
+        with registry.time("phase"):
+            pass
+        with registry.time("phase"):
+            pass
+        timer = registry.snapshot()["timers"]["phase"]
+        assert timer["count"] == 2
+        assert timer["total_s"] >= timer["max_s"] >= 0.0
+
+    def test_reset_clears_everything(self, registry):
+        registry.inc("a")
+        registry.gauge("g", 1)
+        registry.observe("t", 0.1)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+
+
+class TestDeterminism:
+    def test_snapshot_keys_sorted(self, registry):
+        for name in ("zebra", "alpha", "mid"):
+            registry.inc(name)
+            registry.gauge(name, 1)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == sorted(snap["counters"])
+        assert list(snap["gauges"]) == sorted(snap["gauges"])
+
+    def test_identical_runs_identical_snapshots(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.enable()
+            reg.inc("b", 2)
+            reg.inc("a")
+            reg.gauge("g", 7)
+            return reg.snapshot()
+
+        assert json.dumps(build()) == json.dumps(build())
+
+    def test_counters_and_gauges_carry_no_time_fields(self, registry):
+        registry.inc("events")
+        registry.gauge("depth", 2)
+        snap = registry.snapshot()
+        # The comparable sections are pure numbers keyed by name; any
+        # timing lives exclusively under "timers".
+        assert all(isinstance(v, int) for v in snap["counters"].values())
+        assert all(isinstance(v, (int, float)) for v in snap["gauges"].values())
+
+
+class TestMerge:
+    def test_counters_add(self, registry):
+        registry.inc("events", 3)
+        registry.merge({"counters": {"events": 4, "new": 1}, "gauges": {}, "timers": {}})
+        counters = registry.snapshot()["counters"]
+        assert counters["events"] == 7
+        assert counters["new"] == 1
+
+    def test_gauges_take_max(self, registry):
+        registry.gauge("peak", 5)
+        registry.merge({"counters": {}, "gauges": {"peak": 3, "other": 9}, "timers": {}})
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["peak"] == 5
+        assert gauges["other"] == 9
+
+    def test_timers_combine(self, registry):
+        registry.observe("phase", 0.2)
+        registry.merge(
+            {
+                "counters": {},
+                "gauges": {},
+                "timers": {"phase": {"count": 2, "total_s": 0.5, "max_s": 0.4}},
+            }
+        )
+        timer = registry.snapshot()["timers"]["phase"]
+        assert timer["count"] == 3
+        assert timer["total_s"] == pytest.approx(0.7)
+        assert timer["max_s"] == pytest.approx(0.4)
+
+    def test_merge_respects_disabled(self):
+        reg = MetricsRegistry()
+        reg.merge({"counters": {"x": 1}, "gauges": {}, "timers": {}})
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestPersistence:
+    def test_write_and_load_roundtrip(self, registry, tmp_path):
+        registry.inc("a", 2)
+        path = tmp_path / "metrics.json"
+        registry.write(str(path))
+        snap = load_snapshot(str(path))
+        assert snap == registry.snapshot()
+
+    def test_load_snapshot_missing_file(self, tmp_path):
+        assert load_snapshot(str(tmp_path / "nope.json")) is None
+
+    def test_load_snapshot_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert load_snapshot(str(path)) is None

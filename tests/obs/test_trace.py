@@ -1,0 +1,159 @@
+"""Tests for the span tracer.
+
+Contract: disabled hands out one shared no-op span; enabled spans nest
+(parent ids follow the stack), close into plain-dict records with
+monotonic timings, and worker spans fold in via ``adopt`` with their
+roots re-parented under the open span.
+"""
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.obs.trace import _NULL_SPAN, TRACER, Tracer, load_trace
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+@pytest.fixture(autouse=True)
+def _global_obs_reset():
+    """Keep the process-wide singletons quiet regardless of test order."""
+    yield
+    METRICS.disable()
+    METRICS.reset()
+    TRACER.disable()
+    TRACER.drain()
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not Tracer().enabled
+
+    def test_disabled_span_is_shared_null(self):
+        t = Tracer()
+        assert t.span("a") is t.span("b") is _NULL_SPAN
+        with t.span("a"):
+            pass
+        assert t.drain() == []
+
+
+class TestSpans:
+    def test_span_record_fields(self, tracer):
+        with tracer.span("work", experiment="table-load-values"):
+            pass
+        (record,) = tracer.drain()
+        assert record["name"] == "work"
+        assert record["span_id"] == "s1"
+        assert record["parent_id"] is None
+        assert record["attrs"] == {"experiment": "table-load-values"}
+        assert record["t_start_s"] >= 0.0
+        assert record["duration_s"] >= 0.0
+
+    def test_nesting_sets_parent_ids(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        records = {r["name"]: r for r in tracer.drain()}
+        assert records["outer"]["parent_id"] is None
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["inner2"]["parent_id"] == records["outer"]["span_id"]
+
+    def test_children_close_before_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r["name"] for r in tracer.drain()]
+        assert names == ["inner", "outer"]
+
+    def test_ids_sequential_and_prefixed(self):
+        t = Tracer()
+        t.enable(prefix="gcc")
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert [r["span_id"] for r in t.drain()] == ["gcc/s1", "gcc/s2"]
+
+    def test_enable_resets_serial(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.drain()
+        tracer.enable()
+        with tracer.span("b"):
+            pass
+        assert tracer.drain()[0]["span_id"] == "s1"
+
+    def test_span_survives_exception(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = tracer.drain()
+        assert record["name"] == "doomed"
+        assert not tracer._stack  # stack unwound despite the exception
+
+    def test_metrics_delta_attached_when_metrics_enabled(self, tracer):
+        METRICS.reset()
+        METRICS.enable()
+        METRICS.inc("before_span", 10)
+        with tracer.span("counted"):
+            METRICS.inc("tnv.clears", 3)
+        (record,) = tracer.drain()
+        # Only counters that moved inside the span appear, as deltas.
+        assert record["metrics"] == {"tnv.clears": 3}
+
+    def test_no_metrics_key_when_metrics_disabled(self, tracer):
+        with tracer.span("plain"):
+            pass
+        assert "metrics" not in tracer.drain()[0]
+
+
+class TestAdopt:
+    def _worker_spans(self):
+        worker = Tracer()
+        worker.enable(prefix="gcc")
+        with worker.span("root"):
+            with worker.span("leaf"):
+                pass
+        return worker.drain()
+
+    def test_adopt_reparents_roots_under_open_span(self, tracer):
+        with tracer.span("run_all") as parent:
+            tracer.adopt(self._worker_spans())
+        records = {r["name"]: r for r in tracer.drain()}
+        assert records["root"]["parent_id"] == parent.span_id
+        assert records["leaf"]["parent_id"] == "gcc/s1"  # intra-worker link kept
+
+    def test_adopt_without_open_span_keeps_roots(self, tracer):
+        tracer.adopt(self._worker_spans())
+        records = {r["name"]: r for r in tracer.drain()}
+        assert records["root"]["parent_id"] is None
+
+    def test_adopt_noop_when_disabled(self):
+        t = Tracer()
+        t.adopt(self._worker_spans())
+        assert t.drain() == []
+
+
+class TestPersistence:
+    def test_write_jsonl_roundtrip(self, tracer, tmp_path):
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        assert tracer.drain() == []  # write drains the buffer
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        spans = load_trace(str(path))
+        assert {s["name"] for s in spans} == {"outer", "inner"}
+
+    def test_load_trace_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "a", "span_id": "s1"}\n\n')
+        assert len(load_trace(str(path))) == 1

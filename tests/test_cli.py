@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import METRICS, TRACER, reset_logging
 
 
 class TestParser:
@@ -69,8 +72,122 @@ class TestCommands:
     def test_run_with_json_export(self, tmp_path, capsys):
         out_file = tmp_path / "data.json"
         assert main(["run", "table-benchmarks", "--scale", "0.1", "--json", str(out_file)]) == 0
-        import json
-
         payload = json.loads(out_file.read_text())
         assert payload["experiment"] == "table-benchmarks"
         assert "compress" in payload["data"]
+
+    def test_profile_with_json_export(self, tmp_path, capsys):
+        out_file = tmp_path / "profile.json"
+        assert main(["profile", "go", "--scale", "0.1", "--json", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["workload"] == "go"
+        assert payload["kind"] == "load"
+        assert payload["sites"], "expected per-site metrics rows"
+        site = payload["sites"][0]
+        assert "site" in site and "executions" in site and "inv_top1" in site
+        assert payload["total"]["executions"] > 0
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro.analysis import experiments
+
+        # The L1 memo survives across main() calls within one process;
+        # start cold so cache.misses / profile spans are observable.
+        experiments.clear_caches()
+        yield
+        METRICS.disable()
+        METRICS.reset()
+        TRACER.disable()
+        TRACER.drain()
+        reset_logging()
+
+    def test_run_writes_metrics_snapshot(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        code = main(
+            ["run", "table-load-values", "--scale", "0.1", "--no-cache",
+             "--metrics", str(metrics_file)]
+        )
+        assert code == 0
+        snap = json.loads(metrics_file.read_text())
+        assert snap["counters"]["profile.sites_created"] > 0
+        assert snap["counters"]["machine.instructions"] > 0
+        assert "experiment.table-load-values" in snap["timers"]
+        # deterministic snapshots: comparable sections are key-sorted
+        assert list(snap["counters"]) == sorted(snap["counters"])
+
+    def test_run_writes_parseable_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        code = main(
+            ["run", "table-load-values", "--scale", "0.1", "--no-cache",
+             "--trace", str(trace_file)]
+        )
+        assert code == 0
+        spans = [json.loads(line) for line in trace_file.read_text().splitlines()]
+        assert spans, "expected at least one span"
+        names = {s["name"] for s in spans}
+        assert "experiment" in names
+        assert "profile-workload" in names
+        # schema: every record closed with an id/timing, parent ids valid
+        ids = {s["span_id"] for s in spans}
+        assert len(ids) == len(spans), "span ids must be unique"
+        for span in spans:
+            assert span["duration_s"] >= 0.0
+            assert span["t_start_s"] >= 0.0
+            assert span["parent_id"] is None or span["parent_id"] in ids
+
+    def test_output_byte_identical_with_obs_enabled(self, tmp_path, capsys):
+        argv = ["run", "table-benchmarks", "--scale", "0.1"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(
+            argv
+            + ["--trace", str(tmp_path / "t.jsonl"), "--metrics", str(tmp_path / "m.json"),
+               "--log-level", "debug"]
+        ) == 0
+        observed = capsys.readouterr().out
+        assert observed == plain
+
+    def test_log_level_writes_progress_to_stderr(self, capsys):
+        assert main(
+            ["run", "table-load-values", "--scale", "0.1", "--log-level", "info"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "running experiment table-load-values" in err
+
+    def test_obs_disabled_after_main_returns(self, tmp_path, capsys):
+        main(["run", "table-load-values", "--scale", "0.1",
+              "--metrics", str(tmp_path / "m.json")])
+        assert not METRICS.enabled
+        assert not TRACER.enabled
+
+    def test_stats_from_metrics(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        main(["run", "table-sampling-accuracy", "--scale", "0.1", "--no-cache",
+              "--metrics", str(metrics_file)])
+        capsys.readouterr()
+        assert main(["stats", "--metrics", str(metrics_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Profile cache behavior" in out
+        assert "sampling overhead" in out.lower()
+        assert "thesis" in out.lower()
+
+    def test_stats_from_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.jsonl"
+        main(["run", "table-load-values", "--scale", "0.1", "--no-cache",
+              "--trace", str(trace_file)])
+        capsys.readouterr()
+        assert main(["stats", "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "time sinks" in out.lower()
+        # the actual work spans dominate self time
+        assert "profile-workload" in out
+
+    def test_stats_without_inputs_fails(self, capsys):
+        assert main(["stats"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_unreadable_metrics_fails(self, tmp_path, capsys):
+        assert main(["stats", "--metrics", str(tmp_path / "missing.json")]) == 1
+        assert "error:" in capsys.readouterr().err
