@@ -1,0 +1,167 @@
+"""Interpreter-dispatch and trace-replay benchmarks.
+
+Two artifacts back the engine work:
+
+* ``BENCH_machine_dispatch.json`` — simulated MIPS of the reference
+  (``simple``) engine vs the pre-decoded direct-threaded engine on
+  ``simulate_profiled``-style runs (buffered value profiling of
+  instructions + loads), per workload.  The threaded engine must hold
+  a >=2x instructions/sec advantage; CI tracks the exact ratio.
+* ``BENCH_replay_vs_simulate.json`` — events/sec of capturing a full
+  event trace (one simulation) vs replaying a profile from the stored
+  trace, the ratio that justifies simulate-once/replay-many.
+
+Timings are best-of-``_ROUNDS`` wall-clock measurements rather than
+pytest-benchmark fixtures: each sample compares two configurations,
+which the fixture API does not express.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from helpers import RESULTS_DIR
+
+from repro.core.profile import ProfileDatabase
+from repro.core.tracestore import EventTrace, TraceCaptureObserver, replay_profile
+from repro.isa.instrument import ProfileTarget, ValueProfiler
+from repro.isa.machine import Machine
+from repro.workloads.registry import get_workload
+
+_ROUNDS = 3
+_TARGETS = (ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS)
+#: (workload, variant, scale) — kept small enough for CI, large enough
+#: that per-run fixed costs (decode, workload setup) do not dominate.
+_DISPATCH_RUNS = (
+    ("compress", "train", 0.3),
+    ("go", "train", 0.3),
+    ("perl", "train", 0.3),
+)
+
+
+def _write_json(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _profiled_run(name: str, variant: str, scale: float, engine: str):
+    """One simulate_profiled-style run; returns (seconds, instructions)."""
+    workload = get_workload(name)
+    program = workload.program()
+    dataset = workload.dataset(variant, scale=scale)
+    database = ProfileDatabase(name=name)
+    observer = ValueProfiler(program, database, targets=_TARGETS, buffered=True)
+    machine = Machine(program, observer=observer, engine=engine)
+    machine.set_input(dataset.values)
+    start = time.perf_counter()
+    result = machine.run()
+    elapsed = time.perf_counter() - start
+    assert result.halted
+    return elapsed, result.instructions_executed
+
+
+def _best_mips(name: str, variant: str, scale: float, engine: str):
+    best = None
+    instructions = 0
+    for _ in range(_ROUNDS):
+        elapsed, instructions = _profiled_run(name, variant, scale, engine)
+        if best is None or elapsed < best:
+            best = elapsed
+    return instructions / best / 1e6, instructions
+
+
+def test_machine_dispatch_speedup():
+    rows = {}
+    speedups = []
+    for name, variant, scale in _DISPATCH_RUNS:
+        simple_mips, instructions = _best_mips(name, variant, scale, "simple")
+        threaded_mips, _ = _best_mips(name, variant, scale, "threaded")
+        speedup = threaded_mips / simple_mips
+        speedups.append(speedup)
+        rows[name] = {
+            "variant": variant,
+            "scale": scale,
+            "instructions": instructions,
+            "simple_mips": round(simple_mips, 4),
+            "threaded_mips": round(threaded_mips, 4),
+            "speedup": round(speedup, 3),
+        }
+    geomean = 1.0
+    for s in speedups:
+        geomean *= s
+    geomean **= 1.0 / len(speedups)
+    _write_json(
+        "machine_dispatch",
+        {
+            "name": "machine_dispatch",
+            "style": "simulate_profiled (buffered, instructions+loads)",
+            "rounds": _ROUNDS,
+            "workloads": rows,
+            "geomean_speedup": round(geomean, 3),
+        },
+    )
+    # The acceptance bar is 2x; assert a margin below it so a noisy
+    # shared CI runner cannot flake the suite while a real regression
+    # (threaded ~= simple) still fails loudly.
+    assert geomean > 1.5, f"threaded engine speedup collapsed: {rows}"
+
+
+def test_replay_vs_simulate():
+    name, variant, scale = "go", "train", 0.3
+    workload = get_workload(name)
+    program = workload.program()
+    dataset = workload.dataset(variant, scale=scale)
+
+    capture_best = None
+    trace = None
+    for _ in range(_ROUNDS):
+        capture = TraceCaptureObserver(program)
+        machine = Machine(program, observer=capture, engine="threaded")
+        machine.set_input(dataset.values)
+        start = time.perf_counter()
+        result = machine.run()
+        elapsed = time.perf_counter() - start
+        assert result.halted
+        if capture_best is None or elapsed < capture_best:
+            capture_best = elapsed
+            trace = EventTrace(
+                program=name,
+                variant=variant,
+                scale=scale,
+                sites=capture.sites,
+                site_ids=capture.site_ids,
+                values=capture.values,
+                result=result,
+                dataset=dataset,
+            )
+
+    events = len(trace)
+    replay_best = None
+    for _ in range(_ROUNDS):
+        start = time.perf_counter()
+        database = replay_profile(trace, _TARGETS, name=name)
+        elapsed = time.perf_counter() - start
+        if replay_best is None or elapsed < replay_best:
+            replay_best = elapsed
+    assert database.total_executions() > 0
+
+    _write_json(
+        "replay_vs_simulate",
+        {
+            "name": "replay_vs_simulate",
+            "workload": name,
+            "variant": variant,
+            "scale": scale,
+            "events": events,
+            "capture_s": round(capture_best, 4),
+            "replay_s": round(replay_best, 4),
+            "capture_events_per_s": round(events / capture_best, 1),
+            "replay_events_per_s": round(events / replay_best, 1),
+            "replay_speedup": round(capture_best / replay_best, 3),
+        },
+    )
+    # Replaying a profile from the stored trace must beat re-simulating
+    # (that is the entire point of the store).
+    assert replay_best < capture_best, (capture_best, replay_best)

@@ -13,7 +13,14 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.analysis.experiments import experiment, make_result, profiled, programs, traced
+from repro.analysis.experiments import (
+    experiment,
+    make_result,
+    profiled,
+    programs,
+    trace_info,
+    traced,
+)
 from repro.analysis.tables import Table, percentage
 from repro.core.sites import SiteKind
 from repro.isa.instrument import ProfileTarget
@@ -27,6 +34,37 @@ _LOG = get_logger(__name__)
 #: Default input shrink for trace-heavy experiments: pure-Python
 #: predictors over full traces are the slowest part of the suite.
 _TRACE_SCALE = 0.4
+
+
+def _instruction_events(name: str, variant: str, scale: float, max_events: int):
+    """Global-order instruction events, ``(events, dropped)``.
+
+    Replayed from the simulate-once event store when replay is on;
+    collected live with a :class:`GlobalTraceCollector` otherwise — the
+    two are byte-identical (the differential CI job relies on it).
+    """
+    from repro.analysis import experiments
+    from repro.core import tracestore
+
+    if experiments.replay_enabled():
+        trace = experiments.load_events(name, variant, scale)
+        return tracestore.replay_global_events(
+            trace, (ProfileTarget.INSTRUCTIONS,), max_events=max_events
+        )
+
+    from repro.isa.instrument import GlobalTraceCollector
+    from repro.isa.machine import Machine
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name)
+    dataset = workload.dataset(variant, scale=scale)
+    collector = GlobalTraceCollector(
+        workload.program(), targets=(ProfileTarget.INSTRUCTIONS,), max_events=max_events
+    )
+    machine = Machine(workload.program(), observer=collector)
+    machine.set_input(dataset.values)
+    machine.run()
+    return collector.events, collector.dropped
 
 
 @experiment(
@@ -45,9 +83,16 @@ def table_predictors(scale: float = 1.0):
         title="Predictor accuracy over instruction value traces (train)",
     )
     data: Dict[str, dict] = {}
+    provenance: Dict[str, dict] = {}
     for name in programs():
         _LOG.debug("table-predictors: evaluating predictor bank on %s", name)
         traces = traced(name, "train", scale=trace_scale, targets=(ProfileTarget.INSTRUCTIONS,))
+        # Trace provenance: how the values were collected and whether
+        # any were dropped by a per-site cap (a capped collection must
+        # never silently pass for a complete one).
+        provenance[name] = trace_info(
+            name, "train", scale=trace_scale, targets=(ProfileTarget.INSTRUCTIONS,)
+        )
         results = evaluate_bank(traces)
         by_name = {r.predictor: r.accuracy for r in results}
         table.add_row(
@@ -76,6 +121,7 @@ def table_predictors(scale: float = 1.0):
         percentage(averages["hybrid(stride+2level)"]),
     )
     data["average"] = averages
+    data["trace_provenance"] = provenance
     return make_result("table-predictors", table.render(), data)
 
 
@@ -163,10 +209,7 @@ def table_predictor_filtering(scale: float = 1.0):
     "advantage shrinks as the table grows.",
 )
 def table_vht_aliasing(scale: float = 1.0):
-    from repro.isa.instrument import GlobalTraceCollector
-    from repro.isa.machine import Machine
     from repro.predictors.vht import ValueHistoryTable
-    from repro.workloads.registry import get_workload
 
     trace_scale = scale * _TRACE_SCALE
     sizes = (64, 256, 1024)
@@ -183,21 +226,14 @@ def table_vht_aliasing(scale: float = 1.0):
         metrics = dict(train.database.metrics_by_site(SiteKind.INSTRUCTION))
         predictable = {site for site, m in metrics.items() if m.lvp >= 0.60}
 
-        workload = get_workload(name)
-        dataset = workload.dataset("test", scale=trace_scale)
-        collector = GlobalTraceCollector(
-            workload.program(), targets=(ProfileTarget.INSTRUCTIONS,), max_events=300_000
-        )
-        machine = Machine(workload.program(), observer=collector)
-        machine.set_input(dataset.values)
-        machine.run()
+        events, _ = _instruction_events(name, "test", trace_scale, max_events=300_000)
 
         entry: Dict[str, dict] = {}
         for size in sizes:
-            unfiltered = ValueHistoryTable(entries=size).replay(collector.events)
+            unfiltered = ValueHistoryTable(entries=size).replay(events)
             filtered = ValueHistoryTable(
                 entries=size, site_filter=lambda s: s in predictable
-            ).replay(collector.events)
+            ).replay(events)
             table.add_row(
                 name,
                 size,

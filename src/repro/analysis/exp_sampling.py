@@ -110,6 +110,38 @@ def _sampling_policies():
     ]
 
 
+def _replay_load_stream(name, scale, full_db, samplers) -> None:
+    """Feed the train-input load-event stream to every recorder.
+
+    One full profiler and each sampling profiler see the same global
+    event order — sampling policies with cross-site state (random
+    sampling's shared RNG, convergent skipping) are order-sensitive, so
+    accuracy comparisons must share one trace.  Replayed from the event
+    store when replay is on; one live fan-out simulation otherwise —
+    byte-identical either way.
+    """
+    from repro.analysis import experiments
+
+    if experiments.replay_enabled():
+        trace = experiments.load_events(name, "train", scale)
+        recorders = [full_db.record]
+        recorders.extend(sampler.record for _, sampler in samplers)
+        for site, value in trace.events((ProfileTarget.LOADS,)):
+            for record in recorders:
+                record(site, value)
+        return
+
+    workload = get_workload(name)
+    dataset = workload.dataset("train", scale=scale)
+    program = workload.program()
+    observers = [ValueProfiler(program, full_db, targets=(ProfileTarget.LOADS,))]
+    for label, sampler in samplers:
+        observers.append(ValueProfiler(program, sampler, targets=(ProfileTarget.LOADS,)))
+    machine = Machine(program, observer=FanoutObserver(observers))
+    machine.set_input(dataset.values)
+    machine.run()
+
+
 def _invariance_error(full: ProfileDatabase, sampled: ProfileDatabase) -> float:
     """Execution-weighted |Inv-Top1(sampled) - Inv-Top1(full)|.
 
@@ -148,21 +180,14 @@ def table_sampling_accuracy(scale: float = 1.0):
     overall: Dict[str, List[Tuple[float, float]]] = {}
     for name in programs():
         _LOG.debug("table-sampling-accuracy: simulating %s under every policy", name)
-        workload = get_workload(name)
-        dataset = workload.dataset("train", scale=scale)
-        program = workload.program()
 
         full_db = ProfileDatabase(name=f"{name}.full")
-        observers = [ValueProfiler(program, full_db, targets=(ProfileTarget.LOADS,))]
         samplers = []
         for label, policy in _sampling_policies():
             sampler = SamplingProfiler(policy, name=f"{name}.{label}")
             samplers.append((label, sampler))
-            observers.append(ValueProfiler(program, sampler, targets=(ProfileTarget.LOADS,)))
 
-        machine = Machine(program, observer=FanoutObserver(observers))
-        machine.set_input(dataset.values)
-        machine.run()
+        _replay_load_stream(name, scale, full_db, samplers)
 
         rows = []
         for label, sampler in samplers:

@@ -18,20 +18,31 @@ experiment size used in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import hashlib
 import os
-import pickle
-import tempfile
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro.core import diskcache, tracestore
+from repro.core.diskcache import (  # noqa: F401  (re-exported compat surface)
+    CACHE_VERSION,
+    cache_dir,
+    cache_enabled,
+    caching_disabled,
+    clear_disk_cache,
+    set_cache_enabled,
+    source_tree_hash,
+)
 from repro.core.profile import TNVConfig
+from repro.core.tracestore import EventTrace
 from repro.errors import ExperimentError
 from repro.isa.instrument import ProfileTarget
 from repro.obs import METRICS, TRACER, get_logger
-from repro.workloads.harness import ProfiledRun, profile_workload, trace_workload
+from repro.workloads.harness import (
+    ProfiledRun,
+    capture_workload_events,
+    profile_workload,
+    trace_workload,
+)
 from repro.workloads.registry import get_workload, workload_names
 
 _LOG = get_logger(__name__)
@@ -174,115 +185,84 @@ def _ensure_loaded() -> None:
 
 
 # ----------------------------------------------------------------------
-# profiled-run caches
+# simulate-once event store + profiled-run caches
 # ----------------------------------------------------------------------
 #
-# Two levels.  L1 is the original same-process memo (experiments in one
-# process share runs).  L2 is a persistent on-disk cache keyed by
-# (workload, variant, scale, targets, TNV config) *plus a hash of the
-# package source tree*, so any code change invalidates every entry
-# automatically.  The disk cache stores full-fidelity pickles —
-# including exact reference histograms — so a cache hit is
-# indistinguishable from re-profiling.
+# The expensive resource is the interpreter.  Everything an experiment
+# consumes — TNV profiles, per-site value traces, global-order event
+# lists — is a pure function of one captured event stream per
+# (workload, variant, scale), so :func:`load_events` simulates each
+# input at most once per process (L1 memo) and at most once per source
+# tree (L2 pickle via :mod:`repro.core.diskcache`); :func:`profiled`
+# and :func:`traced` replay from it.  ``REPRO_NO_REPLAY=1`` (or
+# :func:`set_replay_enabled`) falls back to the original
+# simulate-per-consumer paths, which the CI equivalence job uses to
+# prove replays are byte-identical.
+#
+# On top of the event store sit the original L1 memos (experiments in
+# one process share already-replayed runs); with replay disabled, the
+# original L2 profile/trace pickles are consulted as before.
 
 _RUN_CACHE: Dict[Tuple, ProfiledRun] = {}
 _TRACE_CACHE: Dict[Tuple, dict] = {}
+_TRACE_INFO: Dict[Tuple, dict] = {}
+_EVENT_CACHE: Dict[Tuple, EventTrace] = {}
 
-#: bumped when the cached payload layout changes.
-CACHE_VERSION = 1
-
-_CACHE_ENABLED = os.environ.get("REPRO_NO_CACHE", "") == ""
-_SOURCE_HASH: Optional[str] = None
+_REPLAY_ENABLED = os.environ.get("REPRO_NO_REPLAY", "") == ""
 
 
-def cache_dir() -> Path:
-    """Where persistent profile pickles live.
+def replay_enabled() -> bool:
+    """Whether profiled/traced replay from the event-trace store."""
+    return _REPLAY_ENABLED
 
-    ``REPRO_CACHE_DIR`` overrides the default of
-    ``~/.cache/repro-value-profiling``.
+
+def set_replay_enabled(enabled: bool) -> None:
+    """Globally enable/disable trace-store replay (fresh simulation)."""
+    global _REPLAY_ENABLED
+    _REPLAY_ENABLED = enabled
+
+
+def load_events(name: str, variant: str = "train", scale: float = 1.0) -> EventTrace:
+    """The full event trace for one (workload, variant, scale) input.
+
+    Simulates once on first use; afterwards every consumer replays the
+    same captured stream (L1 in-process, L2 on disk unless caching is
+    off).
     """
-    override = os.environ.get("REPRO_CACHE_DIR")
-    if override:
-        return Path(override)
-    return Path.home() / ".cache" / "repro-value-profiling"
-
-
-def cache_enabled() -> bool:
-    """Whether the persistent disk cache is consulted and written."""
-    return _CACHE_ENABLED
-
-
-def set_cache_enabled(enabled: bool) -> None:
-    """Globally enable/disable the persistent disk cache."""
-    global _CACHE_ENABLED
-    _CACHE_ENABLED = enabled
-
-
-@contextmanager
-def caching_disabled():
-    """Context manager: run with the disk cache off (benchmarks use
-    this so every measured run pays its real profiling cost)."""
-    previous = _CACHE_ENABLED
-    set_cache_enabled(False)
-    try:
-        yield
-    finally:
-        set_cache_enabled(previous)
-
-
-def source_tree_hash() -> str:
-    """Hash of every ``repro`` source file, computed once per process.
-
-    Part of every disk-cache key: editing any module under the package
-    silently invalidates all cached profiles, which is the only safe
-    default for a cache of derived results.
-    """
-    global _SOURCE_HASH
-    if _SOURCE_HASH is None:
-        import repro
-
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _SOURCE_HASH = digest.hexdigest()
-    return _SOURCE_HASH
-
-
-def _cache_path(kind: str, key: Tuple) -> Path:
-    raw = repr((CACHE_VERSION, source_tree_hash(), kind, key)).encode()
-    return cache_dir() / f"{kind}-{hashlib.sha256(raw).hexdigest()[:32]}.pkl"
-
-
-def _cache_load(path: Path):
-    """Best-effort read of one cache entry; corrupt entries read as misses."""
-    try:
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
-    except (OSError, pickle.PickleError, EOFError, AttributeError):
-        return None
-
-
-def _cache_store(path: Path, payload) -> None:
-    """Best-effort atomic write; a full disk never fails the profile run."""
-    try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+    key = (name, variant, scale)
+    trace = _EVENT_CACHE.get(key)
+    if trace is not None:
+        METRICS.inc("tracestore.memory_hits")
+        return trace
+    disk_path = (
+        diskcache.cache_path("events", key) if diskcache.cache_enabled() else None
+    )
+    if disk_path is not None:
+        payload = diskcache.cache_load(disk_path)
+        if payload is not None:
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-    except (OSError, pickle.PickleError):
-        pass
+                trace = EventTrace.from_payload(payload)
+            except tracestore.TraceStoreError:
+                trace = None
+            if trace is not None:
+                METRICS.inc("tracestore.disk_hits")
+                _LOG.debug("event store disk hit: %s/%s scale %s", name, variant, scale)
+                _EVENT_CACHE[key] = trace
+                return trace
+    METRICS.inc("tracestore.captures")
+    _LOG.debug("event store miss: simulating %s/%s scale %s", name, variant, scale)
+    with METRICS.time("tracestore.capture"):
+        trace = capture_workload_events(name, variant, scale=scale)
+    _EVENT_CACHE[key] = trace
+    if disk_path is not None:
+        METRICS.inc("tracestore.writes")
+        diskcache.cache_store(disk_path, trace.to_payload())
+    return trace
+
+
+def clear_event_cache() -> None:
+    """Drop in-process event traces (tests use this to control memory)."""
+    _EVENT_CACHE.clear()
 
 
 def profiled(
@@ -292,7 +272,14 @@ def profiled(
     targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS),
     config: Optional[TNVConfig] = None,
 ) -> ProfiledRun:
-    """Cached :func:`profile_workload` (L1 memo + persistent L2)."""
+    """Cached profiled run: replay from the event store (or simulate).
+
+    With replay on (the default), the run's database is rebuilt from
+    the shared event trace — byte-identical to a live
+    :func:`profile_workload` (all database queries sort, and per-site
+    batch replay is state-identical per site).  With replay off, falls
+    back to the original simulate-per-call path with its own L2 pickle.
+    """
     target_key = tuple(sorted(t.value for t in targets))
     config_key = (
         (config.capacity, config.steady, config.clear_interval) if config else None
@@ -302,9 +289,27 @@ def profiled(
     if cached is not None:
         METRICS.inc("cache.memory_hits")
         return cached
-    disk_path = _cache_path("profile", key) if _CACHE_ENABLED else None
+    if _REPLAY_ENABLED:
+        trace = load_events(name, variant, scale)
+        with TRACER.span(
+            "replay-profile", workload=name, variant=variant, scale=scale
+        ), METRICS.time("tracestore.replay"):
+            database = tracestore.replay_profile(
+                trace, targets, config=config, name=trace.dataset.name
+            )
+        run = ProfiledRun(
+            workload=get_workload(name),
+            dataset=trace.dataset,
+            result=trace.result,
+            database=database,
+        )
+        _RUN_CACHE[key] = run
+        return run
+    disk_path = (
+        diskcache.cache_path("profile", key) if diskcache.cache_enabled() else None
+    )
     if disk_path is not None:
-        payload = _cache_load(disk_path)
+        payload = diskcache.cache_load(disk_path)
         if payload is not None:
             METRICS.inc("cache.disk_hits")
             _LOG.debug("disk cache hit: profile %s/%s scale %s", name, variant, scale)
@@ -329,7 +334,7 @@ def profiled(
         # The workload object holds unpicklable builder callables; it is
         # reattached from the registry on load.
         METRICS.inc("cache.writes")
-        _cache_store(
+        diskcache.cache_store(
             disk_path,
             {"dataset": run.dataset, "result": run.result, "database": run.database},
         )
@@ -342,55 +347,94 @@ def traced(
     scale: float = 1.0,
     targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
 ) -> dict:
-    """Cached :func:`trace_workload` (L1 memo + persistent L2)."""
+    """Cached per-site value traces: replay from the event store.
+
+    Same contract as :func:`trace_workload` — a dict of ordered
+    per-site value lists, sites in first-event order.  Provenance for
+    the most recent collection of each key (event count, dropped
+    count, replay vs. simulation) is available via :func:`trace_info`.
+    """
     target_key = tuple(sorted(t.value for t in targets))
     key = (name, variant, scale, target_key)
     cached = _TRACE_CACHE.get(key)
     if cached is not None:
         METRICS.inc("cache.memory_hits")
         return cached
-    disk_path = _cache_path("trace", key) if _CACHE_ENABLED else None
+    if _REPLAY_ENABLED:
+        trace = load_events(name, variant, scale)
+        with TRACER.span(
+            "replay-traces", workload=name, variant=variant, scale=scale
+        ), METRICS.time("tracestore.replay"):
+            traces, dropped = tracestore.replay_site_traces(trace, targets)
+        _TRACE_CACHE[key] = traces
+        _TRACE_INFO[key] = {
+            "source": "replay",
+            "events": sum(len(v) for v in traces.values()),
+            "dropped": dropped,
+        }
+        return traces
+    disk_path = (
+        diskcache.cache_path("trace", key) if diskcache.cache_enabled() else None
+    )
     if disk_path is not None:
-        payload = _cache_load(disk_path)
+        payload = diskcache.cache_load(disk_path)
         if payload is not None:
             METRICS.inc("cache.disk_hits")
             _LOG.debug("disk cache hit: trace %s/%s scale %s", name, variant, scale)
-            _TRACE_CACHE[key] = payload
-            return payload
+            _TRACE_CACHE[key] = payload["traces"]
+            _TRACE_INFO[key] = payload["info"]
+            return payload["traces"]
     METRICS.inc("cache.misses")
     _LOG.debug("cache miss: tracing %s/%s scale %s", name, variant, scale)
     with TRACER.span(
         "trace-workload", workload=name, variant=variant, scale=scale
     ), METRICS.time("trace_workload"):
-        cached = trace_workload(name, variant, scale=scale, targets=targets)
-    _TRACE_CACHE[key] = cached
+        traces = trace_workload(name, variant, scale=scale, targets=targets)
+    info = {
+        "source": "simulation",
+        "events": sum(len(v) for v in traces.values()),
+        "dropped": 0,
+    }
+    _TRACE_CACHE[key] = traces
+    _TRACE_INFO[key] = info
     if disk_path is not None:
         METRICS.inc("cache.writes")
-        _cache_store(disk_path, cached)
-    return cached
+        diskcache.cache_store(disk_path, {"traces": traces, "info": info})
+    return traces
+
+
+def trace_info(
+    name: str,
+    variant: str = "train",
+    scale: float = 1.0,
+    targets: Iterable[ProfileTarget] = (ProfileTarget.INSTRUCTIONS,),
+) -> dict:
+    """Provenance of the matching :func:`traced` collection.
+
+    Returns ``{"source", "events", "dropped"}``; collects the trace
+    first if it has not been requested yet.
+    """
+    target_key = tuple(sorted(t.value for t in targets))
+    key = (name, variant, scale, target_key)
+    if key not in _TRACE_INFO:
+        traced(name, variant, scale, targets)
+    return dict(
+        _TRACE_INFO.get(
+            key, {"source": "memory", "events": None, "dropped": None}
+        )
+    )
 
 
 def clear_caches() -> None:
     """Drop in-process memoized runs (tests use this to control memory).
 
-    Leaves the disk cache alone; use :func:`clear_disk_cache` for that.
+    Leaves the disk cache alone; use
+    :func:`repro.core.diskcache.clear_disk_cache` for that.
     """
     _RUN_CACHE.clear()
     _TRACE_CACHE.clear()
-
-
-def clear_disk_cache() -> int:
-    """Delete every persistent cache entry; returns the number removed."""
-    removed = 0
-    directory = cache_dir()
-    if directory.is_dir():
-        for path in directory.glob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-    return removed
+    _TRACE_INFO.clear()
+    _EVENT_CACHE.clear()
 
 
 def programs() -> List[str]:

@@ -17,6 +17,12 @@ Subcommands:
 snapshot) and ``--log-level LEVEL`` (progress logging to stderr).
 With none of them given the observability layer stays disabled and
 experiment output is byte-identical to an uninstrumented build.
+
+They also accept ``--engine {threaded,simple,auto}`` to pick the
+interpreter engine (``threaded`` is the pre-decoded direct-threaded
+engine, ``simple`` the reference loop; both are bit-identical), and
+``run``/``all`` accept ``--no-replay`` to bypass the simulate-once
+event-trace store and re-simulate for every consumer.
 """
 
 from __future__ import annotations
@@ -176,6 +182,55 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Interpreter/replay selection shared by the simulating commands."""
+    parser.add_argument(
+        "--engine",
+        choices=("threaded", "simple", "auto"),
+        help="interpreter engine (default: auto = threaded unless "
+        "REPRO_ENGINE says otherwise)",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="re-simulate for every consumer instead of replaying from "
+        "the simulate-once event-trace store",
+    )
+
+
+def _apply_engine_args(args: argparse.Namespace):
+    """Propagate --engine/--no-replay process-wide; returns a finalizer.
+
+    Both travel as environment variables so parallel-runner worker
+    processes inherit them; the finalizer restores the previous state
+    so repeated ``main`` calls in one process stay independent.
+    """
+    import os
+
+    engine = getattr(args, "engine", None)
+    no_replay = getattr(args, "no_replay", False)
+    saved = {
+        key: os.environ.get(key)
+        for key in ("REPRO_ENGINE", "REPRO_NO_REPLAY")
+    }
+    replay_before = experiments.replay_enabled()
+    if engine:
+        os.environ["REPRO_ENGINE"] = engine
+    if no_replay:
+        os.environ["REPRO_NO_REPLAY"] = "1"
+        experiments.set_replay_enabled(False)
+
+    def restore() -> None:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        experiments.set_replay_enabled(replay_before)
+
+    return restore
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="value-profiling",
@@ -193,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="ignore the persistent profile cache"
     )
     _add_obs_args(run_parser)
+    _add_engine_args(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     all_parser = sub.add_parser("all", help="run every experiment")
@@ -204,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="ignore the persistent profile cache"
     )
     _add_obs_args(all_parser)
+    _add_engine_args(all_parser)
     all_parser.set_defaults(func=_cmd_all)
 
     profile_parser = sub.add_parser("profile", help="profile one workload")
@@ -216,6 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="also write the per-site metrics to this JSON file"
     )
     _add_obs_args(profile_parser)
+    profile_parser.add_argument(
+        "--engine",
+        choices=("threaded", "simple", "auto"),
+        help="interpreter engine (default: auto = threaded unless "
+        "REPRO_ENGINE says otherwise)",
+    )
     profile_parser.set_defaults(func=_cmd_profile)
 
     stats_parser = sub.add_parser(
@@ -288,12 +351,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     finalize = _setup_observability(args)
+    restore_engine = _apply_engine_args(args)
     try:
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
+        restore_engine()
         finalize()
 
 

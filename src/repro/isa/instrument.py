@@ -16,6 +16,7 @@ ATOM passes a pre-allocated per-instruction handle to its probes.
 from __future__ import annotations
 
 import enum
+from functools import partial
 from typing import Dict, Hashable, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.core.sites import (
@@ -230,13 +231,149 @@ class ValueProfiler(MachineObserver):
             self._return_sites[procedure.name] = site
         self._emit(site, value)
 
+    # ------------------------------------------------------------------
+    # decode-time binding (threaded engine)
+    # ------------------------------------------------------------------
+    #
+    # The on_* handlers above re-decide "do I want this family?" and
+    # re-look-up the interned site on *every event*.  Both decisions
+    # depend only on the static instruction, so for the threaded engine
+    # they are made once at decode: the returned hook is the emit sink
+    # with its site pre-bound, or None when the event family is off —
+    # in which case the engine skips the call entirely.  The resulting
+    # event stream is byte-identical to the on_* path.
+
+    def _bind_emit(self, site: Site):
+        """Per-site emit sink for decode-time binding.
+
+        Unbuffered profilers get the generic emit with the site
+        pre-bound.  Buffered profilers get a closure that caches the
+        site's buffer list after the first event, replacing
+        :meth:`_emit_buffered`'s per-event dict lookup with a cell
+        load; the cache stays valid because ``_flush_site`` clears the
+        list in place.  Buffer creation stays lazy (first event, not
+        decode), so flush order — and therefore recorder call order —
+        is identical to the unbound path.
+        """
+        if not self.buffered:
+            return partial(self._emit, site)
+
+        def emit(value, _cell=[], _buffers=self._buffers, _site=site,
+                 _threshold=self.flush_threshold, _flush=self._flush_site):
+            if _cell:
+                buffer = _cell[0]
+            else:
+                buffer = _buffers.get(_site)
+                if buffer is None:
+                    buffer = _buffers[_site] = []
+                _cell.append(buffer)
+            buffer.append(value)
+            if len(buffer) >= _threshold:
+                _flush(_site, buffer)
+
+        return emit
+
+    def bind_define(self, inst: Instruction):
+        if not self._want_instructions:
+            return None
+        site = self._instruction_sites[inst.pc]
+        if site is None:
+            return None
+        return self._bind_emit(site)
+
+    def bind_load(self, inst: Instruction):
+        if not self._want_loads:
+            return None
+        site = self._load_sites[inst.pc]
+        if site is None:
+            return None
+        if self.buffered:
+            # Same cached-buffer emit as _bind_emit, inlined so the
+            # (address, value) load hook is a single call deep.
+            def hook(address, value, _cell=[], _buffers=self._buffers,
+                     _site=site, _threshold=self.flush_threshold,
+                     _flush=self._flush_site):
+                if _cell:
+                    buffer = _cell[0]
+                else:
+                    buffer = _buffers.get(_site)
+                    if buffer is None:
+                        buffer = _buffers[_site] = []
+                    _cell.append(buffer)
+                buffer.append(value)
+                if len(buffer) >= _threshold:
+                    _flush(_site, buffer)
+
+            return hook
+
+        def hook(address, value, _emit=self._emit, _site=site):
+            _emit(_site, value)
+
+        return hook
+
+    def bind_store(self, inst: Instruction):
+        if not self._want_memory:
+            return None
+
+        def hook(
+            address,
+            value,
+            _sites=self._memory_sites,
+            _emit=self._emit,
+            _name=self.program.name,
+        ):
+            site = _sites.get(address)
+            if site is None:
+                site = memory_site(_name, address)
+                _sites[address] = site
+            _emit(site, value)
+
+        return hook
+
+    def bind_call(self, procedure: Procedure, call_pc: int):
+        if not self._want_parameters:
+            return None
+        context = call_pc if self.parameter_context else -1
+        sites = []
+        for index in range(procedure.nargs):
+            key = (procedure.name, index, context)
+            site = self._parameter_sites.get(key)
+            if site is None:
+                site = parameter_site(self.program.name, procedure.name, index)
+                if context >= 0:
+                    site = Site(
+                        kind=site.kind,
+                        program=site.program,
+                        procedure=site.procedure,
+                        label=f"{site.label}@{context}",
+                    )
+                self._parameter_sites[key] = site
+            sites.append(site)
+
+        def hook(args, _emits=tuple(self._bind_emit(site) for site in sites)):
+            for emit, value in zip(_emits, args):
+                emit(value)
+
+        return hook
+
+    def bind_return(self, procedure: Procedure):
+        if not self._want_returns:
+            return None
+        site = self._return_sites.get(procedure.name)
+        if site is None:
+            site = return_site(self.program.name, procedure.name)
+            self._return_sites[procedure.name] = site
+        return self._bind_emit(site)
+
 
 class ValueTraceCollector(MachineObserver):
     """Observer that collects raw per-site value *sequences*.
 
     Value predictors (:mod:`repro.predictors`) need the ordered stream
     of values each site produced, not just its histogram.  Traces can
-    be capped per site to bound memory.
+    be capped per site to bound memory; ``dropped`` counts the events
+    discarded past a site's cap, so a capped collection is always
+    distinguishable from a complete one.
     """
 
     def __init__(
@@ -248,6 +385,7 @@ class ValueTraceCollector(MachineObserver):
         self._profiler = ValueProfiler(program, recorder=self, targets=targets)
         self.max_per_site = max_per_site
         self.traces: Dict[Site, List[int]] = {}
+        self.dropped = 0
 
     # Recorder protocol (the inner ValueProfiler writes into us).
     def record(self, site: Site, value: Hashable) -> None:
@@ -257,6 +395,8 @@ class ValueTraceCollector(MachineObserver):
             self.traces[site] = trace
         if self.max_per_site is None or len(trace) < self.max_per_site:
             trace.append(value)
+        else:
+            self.dropped += 1
 
     # MachineObserver interface — delegate to the site-interning profiler.
     def on_define(self, inst: Instruction, value: int) -> None:
@@ -273,6 +413,22 @@ class ValueTraceCollector(MachineObserver):
 
     def on_return(self, procedure: Procedure, value: int) -> None:
         self._profiler.on_return(procedure, value)
+
+    # Threaded-engine binding — reuse the inner profiler's site logic.
+    def bind_define(self, inst: Instruction):
+        return self._profiler.bind_define(inst)
+
+    def bind_load(self, inst: Instruction):
+        return self._profiler.bind_load(inst)
+
+    def bind_store(self, inst: Instruction):
+        return self._profiler.bind_store(inst)
+
+    def bind_call(self, procedure: Procedure, call_pc: int):
+        return self._profiler.bind_call(procedure, call_pc)
+
+    def bind_return(self, procedure: Procedure):
+        return self._profiler.bind_return(procedure)
 
 
 class GlobalTraceCollector(MachineObserver):
@@ -316,6 +472,42 @@ class GlobalTraceCollector(MachineObserver):
     def on_return(self, procedure: Procedure, value: int) -> None:
         self._profiler.on_return(procedure, value)
 
+    # Threaded-engine binding — reuse the inner profiler's site logic.
+    def bind_define(self, inst: Instruction):
+        return self._profiler.bind_define(inst)
+
+    def bind_load(self, inst: Instruction):
+        return self._profiler.bind_load(inst)
+
+    def bind_store(self, inst: Instruction):
+        return self._profiler.bind_store(inst)
+
+    def bind_call(self, procedure: Procedure, call_pc: int):
+        return self._profiler.bind_call(procedure, call_pc)
+
+    def bind_return(self, procedure: Procedure):
+        return self._profiler.bind_return(procedure)
+
+
+def _compose_hooks(hooks):
+    """Fan one event out to several bound hooks, in child order.
+
+    ``None`` children (observers that declined the event at decode
+    time) are dropped; with no takers the composition itself is
+    ``None`` so the engine skips the event entirely.
+    """
+    takers = [hook for hook in hooks if hook is not None]
+    if not takers:
+        return None
+    if len(takers) == 1:
+        return takers[0]
+
+    def fan(*args, _hooks=tuple(takers)):
+        for hook in _hooks:
+            hook(*args)
+
+    return fan
+
 
 class FanoutObserver(MachineObserver):
     """Broadcasts machine events to several observers in order.
@@ -352,3 +544,72 @@ class FanoutObserver(MachineObserver):
             flush = getattr(observer, "flush", None)
             if flush is not None:
                 flush()
+
+    # Threaded-engine binding: compose the children's bound hooks so
+    # each event is delivered in the same child order as the on_* loops
+    # above.  Duck-typed children without bind_* get a generic wrapper.
+    def bind_define(self, inst: Instruction):
+        hooks = []
+        for child in self.observers:
+            binder = getattr(child, "bind_define", None)
+            if binder is not None:
+                hooks.append(binder(inst))
+            else:
+                hooks.append(
+                    lambda value, _cb=child.on_define, _inst=inst: _cb(_inst, value)
+                )
+        return _compose_hooks(hooks)
+
+    def bind_load(self, inst: Instruction):
+        hooks = []
+        for child in self.observers:
+            binder = getattr(child, "bind_load", None)
+            if binder is not None:
+                hooks.append(binder(inst))
+            else:
+                hooks.append(
+                    lambda address, value, _cb=child.on_load, _inst=inst: _cb(
+                        _inst, address, value
+                    )
+                )
+        return _compose_hooks(hooks)
+
+    def bind_store(self, inst: Instruction):
+        hooks = []
+        for child in self.observers:
+            binder = getattr(child, "bind_store", None)
+            if binder is not None:
+                hooks.append(binder(inst))
+            else:
+                hooks.append(
+                    lambda address, value, _cb=child.on_store, _inst=inst: _cb(
+                        _inst, address, value
+                    )
+                )
+        return _compose_hooks(hooks)
+
+    def bind_call(self, procedure: Procedure, call_pc: int):
+        hooks = []
+        for child in self.observers:
+            binder = getattr(child, "bind_call", None)
+            if binder is not None:
+                hooks.append(binder(procedure, call_pc))
+            else:
+                hooks.append(
+                    lambda args, _cb=child.on_call, _proc=procedure, _pc=call_pc: _cb(
+                        _proc, args, _pc
+                    )
+                )
+        return _compose_hooks(hooks)
+
+    def bind_return(self, procedure: Procedure):
+        hooks = []
+        for child in self.observers:
+            binder = getattr(child, "bind_return", None)
+            if binder is not None:
+                hooks.append(binder(procedure))
+            else:
+                hooks.append(
+                    lambda value, _cb=child.on_return, _proc=procedure: _cb(_proc, value)
+                )
+        return _compose_hooks(hooks)

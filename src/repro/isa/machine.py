@@ -6,13 +6,25 @@ an output stream.  An optional :class:`MachineObserver` receives the
 instruction-level events the value-profiling front ends consume — the
 role ATOM's analysis routines play in the paper.
 
-The execute loop is a hand-ordered ``if``/``elif`` chain over opcode
-mnemonics rather than a handler table: on CPython this is measurably
-faster, and the simulator's speed bounds every experiment in the suite.
+Two engines share these semantics bit for bit:
+
+* ``simple`` — the reference loop below: a hand-ordered ``if``/``elif``
+  chain over opcode mnemonics, kept as the executable specification.
+* ``threaded`` — :class:`repro.isa.engine.ThreadedEngine`, which
+  pre-decodes each static instruction into a per-pc closure (operands,
+  immediates, trap messages and observer hooks bound at decode time)
+  and dispatches through a handler table.  It is the default; the
+  differential suite holds the two engines byte-identical.
+
+Select with ``Machine(engine=...)`` — ``"auto"`` (the default) follows
+the ``REPRO_ENGINE`` environment variable and falls back to
+``threaded``.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -33,12 +45,43 @@ from repro.obs.metrics import METRICS as _METRICS
 DEFAULT_MEMORY_WORDS = 1 << 20
 DEFAULT_BUDGET = 200_000_000
 
+_ENGINES = ("simple", "threaded")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an engine selector to ``"simple"`` or ``"threaded"``.
+
+    ``"auto"`` (or ``None``) follows the ``REPRO_ENGINE`` environment
+    variable and defaults to the threaded engine.
+    """
+    if engine is None:
+        engine = "auto"
+    if engine == "auto":
+        engine = os.environ.get("REPRO_ENGINE", "").strip().lower() or "threaded"
+        if engine == "auto":
+            engine = "threaded"
+    if engine not in _ENGINES:
+        raise MachineError(
+            f"unknown engine {engine!r} (choose from 'simple', 'threaded', 'auto')"
+        )
+    return engine
+
 
 class MachineObserver:
     """Instrumentation callbacks (all no-ops by default).
 
     Subclasses override only what they need; the machine checks a
     single ``observer is not None`` per event class.
+
+    The ``bind_*`` methods are the decode-time counterpart used by the
+    threaded engine: for each static instruction (or call/return edge)
+    they return either a per-event callable with the site decision
+    already made, or ``None`` when the observer does not care — in
+    which case the engine emits nothing for that instruction at all.
+    The defaults wrap the corresponding ``on_*`` method, so observers
+    that only override ``on_*`` behave identically under both engines;
+    observers may override ``bind_*`` for a faster specialized path
+    (see :class:`~repro.isa.instrument.ValueProfiler`).
     """
 
     def on_define(self, inst: Instruction, value: int) -> None:
@@ -67,9 +110,62 @@ class MachineObserver:
 
     def flush(self) -> None:
         """Drain any buffered events.  The machine calls this once when
-        the program halts so buffering observers (e.g. a buffered
+        the program halts — and before raising on any error path — so
+        buffering observers (e.g. a buffered
         :class:`~repro.isa.instrument.ValueProfiler`) never lose the
         tail of the event stream."""
+
+    # -- decode-time binding (threaded engine) -------------------------
+
+    def bind_define(self, inst: Instruction):
+        """Per-event define hook for ``inst``, or ``None`` if unwanted."""
+        if type(self).on_define is MachineObserver.on_define:
+            return None
+
+        def hook(value, _cb=self.on_define, _inst=inst):
+            _cb(_inst, value)
+
+        return hook
+
+    def bind_load(self, inst: Instruction):
+        """Per-event load hook ``f(address, value)``, or ``None``."""
+        if type(self).on_load is MachineObserver.on_load:
+            return None
+
+        def hook(address, value, _cb=self.on_load, _inst=inst):
+            _cb(_inst, address, value)
+
+        return hook
+
+    def bind_store(self, inst: Instruction):
+        """Per-event store hook ``f(address, value)``, or ``None``."""
+        if type(self).on_store is MachineObserver.on_store:
+            return None
+
+        def hook(address, value, _cb=self.on_store, _inst=inst):
+            _cb(_inst, address, value)
+
+        return hook
+
+    def bind_call(self, procedure: Procedure, call_pc: int):
+        """Per-event call hook ``f(args)`` for this call edge, or ``None``."""
+        if type(self).on_call is MachineObserver.on_call:
+            return None
+
+        def hook(args, _cb=self.on_call, _proc=procedure, _pc=call_pc):
+            _cb(_proc, args, _pc)
+
+        return hook
+
+    def bind_return(self, procedure: Procedure):
+        """Per-event return hook ``f(value)``, or ``None``."""
+        if type(self).on_return is MachineObserver.on_return:
+            return None
+
+        def hook(value, _cb=self.on_return, _proc=procedure):
+            _cb(_proc, value)
+
+        return hook
 
 
 @dataclass
@@ -96,6 +192,9 @@ class Machine:
         memory_words: data-memory size; the data image is loaded at
             address 0 and the stack starts at the top growing down.
         observer: optional instrumentation sink.
+        engine: ``"threaded"`` (pre-decoded dispatch, the default via
+            ``"auto"``), ``"simple"`` (the reference loop), or
+            ``"auto"`` (honours ``REPRO_ENGINE``).
     """
 
     def __init__(
@@ -104,6 +203,7 @@ class Machine:
         memory_words: int = DEFAULT_MEMORY_WORDS,
         observer: Optional[MachineObserver] = None,
         count_pcs: bool = False,
+        engine: str = "auto",
     ) -> None:
         if len(program.data_image) > memory_words:
             raise MachineError(
@@ -143,6 +243,8 @@ class Machine:
         self.dynamic_defines = 0
         self.procedure_calls: dict = {}
         self.registers[REG_SP] = memory_words
+        self.engine = resolve_engine(engine)
+        self._threaded = None  # lazily built ThreadedEngine
 
     # ------------------------------------------------------------------
 
@@ -173,6 +275,17 @@ class Machine:
 
     def run(self, max_instructions: int = DEFAULT_BUDGET) -> RunResult:
         """Execute until ``halt`` or the instruction budget is exhausted."""
+        if self.engine == "threaded":
+            threaded = self._threaded
+            if threaded is None:
+                from repro.isa.engine import ThreadedEngine
+
+                threaded = self._threaded = ThreadedEngine(self)
+            return threaded.run(max_instructions)
+        return self._run_simple(max_instructions)
+
+    def _run_simple(self, max_instructions: int) -> RunResult:
+        """The reference interpreter loop (``engine="simple"``)."""
         observer = self.observer
         registers = self.registers
         memory = self.memory
@@ -186,11 +299,13 @@ class Machine:
         pc = self.pc
         executed = self.instructions_executed
         executed_at_entry = executed
+        started = time.perf_counter() if _METRICS.enabled else 0.0
 
         while not self.halted:
             if executed >= max_instructions:
                 self.pc = pc
                 self.instructions_executed = executed
+                self._flush_observer()
                 raise MachineError(
                     f"{self.program.name}: instruction budget exceeded "
                     f"({max_instructions}); infinite loop?"
@@ -198,6 +313,7 @@ class Machine:
             if not 0 <= pc < code_size:
                 self.pc = pc
                 self.instructions_executed = executed
+                self._flush_observer()
                 raise MachineError(f"{self.program.name}: pc {pc} outside code segment")
             inst = instructions[pc]
             op = inst.opcode
@@ -213,6 +329,7 @@ class Machine:
                 if not 0 <= address < memory_words:
                     self.pc = pc
                     self.instructions_executed = executed
+                    self._flush_observer()
                     raise MachineError(
                         f"{self.program.name}: load out of range at pc {pc}: address {address}"
                     )
@@ -226,6 +343,7 @@ class Machine:
                 if not 0 <= address < memory_words:
                     self.pc = pc
                     self.instructions_executed = executed
+                    self._flush_observer()
                     raise MachineError(
                         f"{self.program.name}: store out of range at pc {pc}: address {address}"
                     )
@@ -285,6 +403,7 @@ class Machine:
                 if denominator == 0:
                     self.pc = pc
                     self.instructions_executed = executed
+                    self._flush_observer()
                     raise MachineError(
                         f"{self.program.name}: division by zero at pc {pc} "
                         f"({inst.render()}, line {inst.line})"
@@ -392,15 +511,25 @@ class Machine:
             # stays untouched, so disabled-mode simulation speed is
             # exactly the uninstrumented speed.
             _METRICS.inc("machine.runs")
+            _METRICS.inc("machine.engine.simple_runs")
             _METRICS.inc("machine.instructions", executed - executed_at_entry)
             _METRICS.inc("machine.loads", self.dynamic_loads)
             _METRICS.inc("machine.stores", self.dynamic_stores)
             _METRICS.inc("machine.calls", self.dynamic_calls)
             _METRICS.inc("machine.defines", self.dynamic_defines)
+            _METRICS.observe("machine.run", time.perf_counter() - started)
+        self._flush_observer()
+        return self._make_result(executed, cycles)
+
+    def _flush_observer(self) -> None:
+        """Drain the observer's buffers (halt *and* error paths)."""
+        observer = self.observer
         if observer is not None:
             flush = getattr(observer, "flush", None)
             if flush is not None:
                 flush()
+
+    def _make_result(self, executed: int, cycles: int) -> RunResult:
         return RunResult(
             program=self.program.name,
             instructions_executed=executed,

@@ -7,8 +7,13 @@ summary tables:
 * **Top time sinks** — spans ranked by *self* time (duration minus
   child durations), so a parent that merely waits on its children does
   not crowd out the phase doing the work.
+* **Interpreter throughput** — simulated instructions per second per
+  engine (the threaded engine's headline number), from the
+  ``machine.*`` counters and the ``machine.run`` timer.
 * **Cache behavior** — hit rate across the L1 memo and the persistent
   disk cache.
+* **Event-trace store** — simulate-once/replay-many effectiveness:
+  captures vs replays, store hit rate, events replayed per second.
 * **Measured sampling overhead** — per-policy fraction of dynamic
   executions that actually paid profiling cost, next to the overhead
   story the thesis reports (Ch. VIII), closing the loop on the paper's
@@ -79,6 +84,41 @@ def render_time_sinks(spans: List[dict], top: int = _TOP_SINKS) -> str:
     return table.render()
 
 
+def interpreter_stats(snapshot: dict) -> dict:
+    """Interpreter throughput figures from a metrics snapshot."""
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    run_timer = timers.get("machine.run", {})
+    seconds = run_timer.get("total_s", 0.0)
+    instructions = counters.get("machine.instructions", 0)
+    return {
+        "runs": counters.get("machine.runs", 0),
+        "threaded_runs": counters.get("machine.engine.threaded_runs", 0),
+        "simple_runs": counters.get("machine.engine.simple_runs", 0),
+        "instructions": instructions,
+        "seconds": seconds,
+        "mips": instructions / seconds / 1e6 if seconds else 0.0,
+    }
+
+
+def render_interpreter(snapshot: dict) -> str:
+    stats = interpreter_stats(snapshot)
+    table = Table(
+        ("machine runs", "threaded", "simple", "instructions", "run s", "MIPS"),
+        title="Interpreter throughput",
+        precision=3,
+    )
+    table.add_row(
+        stats["runs"],
+        stats["threaded_runs"],
+        stats["simple_runs"],
+        stats["instructions"],
+        stats["seconds"],
+        stats["mips"],
+    )
+    return table.render()
+
+
 def cache_stats(counters: Dict[str, int]) -> dict:
     memory_hits = counters.get("cache.memory_hits", 0)
     disk_hits = counters.get("cache.disk_hits", 0)
@@ -105,6 +145,57 @@ def render_cache(counters: Dict[str, int]) -> str:
         stats["disk_hits"],
         stats["misses"],
         percentage(stats["hit_rate"]),
+    )
+    return table.render()
+
+
+def tracestore_stats(snapshot: dict) -> dict:
+    """Simulate-once/replay-many effectiveness from a metrics snapshot."""
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    memory_hits = counters.get("tracestore.memory_hits", 0)
+    disk_hits = counters.get("tracestore.disk_hits", 0)
+    captures = counters.get("tracestore.captures", 0)
+    lookups = memory_hits + disk_hits + captures
+    replay_seconds = timers.get("tracestore.replay", {}).get("total_s", 0.0)
+    replay_events = counters.get("tracestore.replay_events", 0)
+    return {
+        "memory_hits": memory_hits,
+        "disk_hits": disk_hits,
+        "captures": captures,
+        "lookups": lookups,
+        "hit_rate": (memory_hits + disk_hits) / lookups if lookups else 0.0,
+        "replays": counters.get("tracestore.replays", 0),
+        "replay_events": replay_events,
+        "replay_eps": replay_events / replay_seconds if replay_seconds else 0.0,
+    }
+
+
+def render_tracestore(snapshot: dict) -> str:
+    stats = tracestore_stats(snapshot)
+    table = Table(
+        (
+            "trace lookups",
+            "L1 hits",
+            "disk hits",
+            "captures",
+            "hit rate%",
+            "replays",
+            "events replayed",
+            "replay Mev/s",
+        ),
+        title="Event-trace store (simulate once, replay many)",
+        precision=2,
+    )
+    table.add_row(
+        stats["lookups"],
+        stats["memory_hits"],
+        stats["disk_hits"],
+        stats["captures"],
+        percentage(stats["hit_rate"]),
+        stats["replays"],
+        stats["replay_events"],
+        stats["replay_eps"] / 1e6,
     )
     return table.render()
 
@@ -158,7 +249,9 @@ def render_stats(
         sections.append(render_time_sinks(spans))
     counters = (snapshot or {}).get("counters", {})
     if snapshot is not None:
+        sections.append(render_interpreter(snapshot))
         sections.append(render_cache(counters))
+        sections.append(render_tracestore(snapshot))
         sections.append(render_sampling(counters))
         sections.append(render_counters(counters))
     if not sections:

@@ -137,3 +137,49 @@ def trace_workload(
     if verify:
         _verify(workload, dataset, result)
     return collector.traces
+
+
+def capture_workload_events(
+    name: str,
+    variant: str = "train",
+    scale: float = 1.0,
+    verify: bool = True,
+) -> "EventTrace":
+    """Simulate once, capturing the full profile-event stream.
+
+    The returned :class:`~repro.core.tracestore.EventTrace` carries
+    every event family plus the run result and dataset, so profiling,
+    tracing and global-order experiments can all replay from it without
+    touching the interpreter again.
+    """
+    import time
+
+    from repro.core.tracestore import EventTrace, TraceCaptureObserver
+
+    workload = get_workload(name)
+    dataset = workload.dataset(variant, scale=scale)
+    capture = TraceCaptureObserver(workload.program())
+    machine = Machine(workload.program(), observer=capture)
+    machine.set_input(dataset.values)
+    started = time.perf_counter()
+    with TRACER.span("capture-events", workload=dataset.name, scale=scale):
+        result = machine.run()
+    elapsed = time.perf_counter() - started
+    if verify:
+        _verify(workload, dataset, result)
+    return EventTrace(
+        program=name,
+        variant=variant,
+        scale=scale,
+        sites=capture.sites,
+        site_ids=capture.site_ids,
+        values=capture.values,
+        result=result,
+        dataset=dataset,
+        meta={
+            "engine": machine.engine,
+            "events": len(capture.site_ids),
+            "instructions": result.instructions_executed,
+            "capture_seconds": elapsed,
+        },
+    )

@@ -79,7 +79,7 @@ class TestRunAllParallel:
 class TestDiskCache:
     def test_profiled_roundtrips_through_disk(self, isolated_cache):
         first = experiments.profiled("compress", scale=SCALE)
-        assert list(isolated_cache.glob("profile-*.pkl")), "expected a cache write"
+        assert list(isolated_cache.glob("events-*.pkl")), "expected a cache write"
         experiments.clear_caches()  # force the next read to come from disk
         second = experiments.profiled("compress", scale=SCALE)
         assert second.database.to_json() == first.database.to_json()
@@ -101,12 +101,12 @@ class TestDiskCache:
         experiments.profiled("compress", scale=SCALE)
         experiments.traced("compress", scale=SCALE)
         removed = experiments.clear_disk_cache()
-        assert removed >= 2
+        assert removed >= 1  # profiled and traced share one event trace
         assert not list(isolated_cache.glob("*.pkl"))
 
     def test_corrupt_entry_reads_as_miss(self, isolated_cache):
         experiments.profiled("compress", scale=SCALE)
-        for path in isolated_cache.glob("profile-*.pkl"):
+        for path in isolated_cache.glob("events-*.pkl"):
             path.write_bytes(b"not a pickle")
         experiments.clear_caches()
         run = experiments.profiled("compress", scale=SCALE)
@@ -138,7 +138,10 @@ class TestObservabilityFanout:
         assert counters["profile.sites_created"] > 0
         assert counters["tnv.batch_records"] > 0
         assert counters["machine.instructions"] > 0
-        assert counters["cache.misses"] >= len(CHEAP_IDS)
+        # Replay-era cache traffic: each worker captured its event
+        # traces fresh (the cache was bypassed) and replayed from them.
+        assert counters["tracestore.captures"] >= len(CHEAP_IDS)
+        assert counters["tracestore.replays"] >= len(CHEAP_IDS)
 
     def test_worker_spans_adopted_and_reparented(self, observed):
         with TRACER.span("run_all") as root:

@@ -1,0 +1,244 @@
+"""Differential tests: the threaded engine is bit-identical to simple.
+
+The pre-decoded direct-threaded engine re-implements every opcode as a
+bound closure; the only acceptable difference from the reference
+``simple`` loop is speed.  A randomized program generator — all opcode
+families, division by (possibly) zero, loads/stores that can leave the
+data segment, computed jumps that can leave the code segment, writes to
+the hardwired ``r0``, and budgets small enough to exhaust — drives both
+engines and asserts identical results, identical machine state,
+identical trap messages, and identical value profiles.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import ProfileDatabase
+from repro.errors import MachineError
+from repro.isa.assembler import assemble
+from repro.isa.instrument import ALL_TARGETS, ProfileTarget, ValueProfiler
+from repro.isa.machine import Machine
+
+_SCRATCH = list(range(8, 26))
+
+_BINARY = [
+    "add", "sub", "mul", "and", "or", "xor",
+    "slt", "seq", "sne", "sll", "srl", "sra",
+]
+_IMMEDIATE = [
+    "addi", "subi", "muli", "andi", "ori", "xori",
+    "slti", "seqi", "snei", "slli", "srli", "srai",
+]
+_DIVIDES = ["div", "rem"]
+_DIVIDES_IMM = ["divi", "remi"]
+
+
+def _random_program(seed: int) -> str:
+    """A random program that may trap, wander off-segment, or loop.
+
+    Unlike the fuzz-suite generator this one *wants* failure modes:
+    whatever it produces, both engines must do the same thing with it.
+    """
+    rng = random.Random(seed)
+    lines = [
+        ".program diff",
+        ".data",
+        "table: .space 64",
+        ".text",
+        ".proc main nargs=0",
+        "    la r26, table",
+    ]
+    for reg in _SCRATCH:
+        lines.append(f"    li r{reg}, {rng.randint(-1000, 1000)}")
+
+    def statements(count: int, loop_depth: int) -> None:
+        for _ in range(count):
+            choice = rng.random()
+            # rd == 0 sometimes: writes to the hardwired zero register.
+            rd = 0 if rng.random() < 0.05 else rng.choice(_SCRATCH)
+            ra = rng.choice(_SCRATCH)
+            rb = rng.choice(_SCRATCH)
+            if choice < 0.35:
+                op = rng.choice(_BINARY)
+                lines.append(f"    {op} r{rd}, r{ra}, r{rb}")
+            elif choice < 0.55:
+                op = rng.choice(_IMMEDIATE)
+                imm = rng.randint(0, 16) if op.endswith(("lli", "rli", "rai")) else rng.randint(-64, 64)
+                lines.append(f"    {op} r{rd}, r{ra}, {imm}")
+            elif choice < 0.70:
+                # division: register divisors are whatever the program
+                # computed (possibly zero); immediate divisors include
+                # zero outright.
+                if rng.random() < 0.5:
+                    lines.append(f"    {rng.choice(_DIVIDES)} r{rd}, r{ra}, r{rb}")
+                else:
+                    imm = rng.choice((0, 1, 2, 3, -5, 7))
+                    lines.append(f"    {rng.choice(_DIVIDES_IMM)} r{rd}, r{ra}, {imm}")
+            elif choice < 0.82:
+                # memory: base r26 is the table, but the offset may
+                # push the address past it, and sometimes the base is a
+                # scratch register holding an arbitrary value.
+                base = 26 if rng.random() < 0.7 else ra
+                offset = rng.randint(-8, 80)
+                if rng.random() < 0.5:
+                    lines.append(f"    st r{rb}, {offset}(r{base})")
+                else:
+                    lines.append(f"    ld r{rd}, {offset}(r{base})")
+            elif choice < 0.88:
+                lines.append("    in r%d" % rng.choice(_SCRATCH))
+                lines.append(f"    out r{ra}")
+            elif choice < 0.94 and loop_depth == 0:
+                label = f"loop_{len(lines)}"
+                lines.append(f"    li r28, {rng.randint(1, 6)}")
+                lines.append(f"{label}:")
+                statements(rng.randint(1, 3), loop_depth + 1)
+                lines.append("    subi r28, r28, 1")
+                lines.append(f"    bnez r28, {label}")
+            elif choice < 0.97:
+                lines.append(f"    mov r1, r{ra}")
+                lines.append(f"    li r2, {rng.randint(-8, 8)}")
+                lines.append("    call helper")
+                lines.append(f"    mov r{rd}, r1")
+            else:
+                # computed jump through a scratch register: lands on an
+                # arbitrary pc, very often outside the code segment.
+                lines.append(f"    jr r{ra}")
+
+    statements(rng.randint(4, 14), 0)
+    lines.append("    out r9")
+    lines.append("    halt")
+    lines.append(".endproc")
+    lines.append(".proc helper nargs=2")
+    lines.append(f"    muli r1, r1, {rng.randint(-4, 4)}")
+    lines.append("    add r1, r1, r2")
+    lines.append(f"    divi r1, r1, {rng.choice((0, 1, 3))}")
+    lines.append("    ret")
+    lines.append(".endproc")
+    return "\n".join(lines)
+
+
+def _run(program, engine: str, budget: int, buffered: bool):
+    """Full observable outcome of one run under one engine.
+
+    Returns a tuple covering everything a consumer could see: the
+    RunResult (or the exact trap message), final machine state, dynamic
+    counters, and the value-profile database contents (which also
+    witnesses that error paths flushed buffered observers).
+    """
+    database = ProfileDatabase(name="diff")
+    profiler = ValueProfiler(
+        program, database, targets=ALL_TARGETS, buffered=buffered
+    )
+    machine = Machine(program, observer=profiler, engine=engine)
+    machine.set_input([3, 1, 4, 1, 5, 9, 2, 6])
+    try:
+        result = machine.run(max_instructions=budget)
+        outcome = ("ok", result)
+    except MachineError as error:
+        outcome = ("error", str(error))
+    return (
+        outcome,
+        list(machine.registers),
+        machine.pc,
+        machine.cycles,
+        machine.halted,
+        list(machine.output),
+        (
+            machine.instructions_executed,
+            machine.dynamic_loads,
+            machine.dynamic_stores,
+            machine.dynamic_calls,
+            machine.dynamic_defines,
+            dict(machine.procedure_calls),
+        ),
+        database.to_json(),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.sampled_from([25, 400, 50_000]),
+    st.booleans(),
+)
+def test_engines_agree_on_random_programs(seed, budget, buffered):
+    program = assemble(_random_program(seed))
+    simple = _run(program, "simple", budget, buffered)
+    threaded = _run(program, "threaded", budget, buffered)
+    assert threaded == simple
+
+
+@pytest.mark.parametrize("engine", ["simple", "threaded"])
+def test_budget_error_flushes_buffered_observer(engine):
+    """Budget exhaustion must not swallow buffered profile events.
+
+    ``Machine.run`` raises on an exhausted budget, but a buffered
+    observer has events in flight; they must be flushed before the
+    raise so a partial profile of the truncated run survives.
+    """
+    source = """
+    .program spin
+    .text
+    .proc main nargs=0
+        li r8, 0
+    loop:
+        addi r8, r8, 1
+        j loop
+    .endproc
+    """
+    program = assemble(source)
+    database = ProfileDatabase(name="spin")
+    profiler = ValueProfiler(
+        program,
+        database,
+        targets=(ProfileTarget.INSTRUCTIONS,),
+        buffered=True,
+        flush_threshold=10_000,  # never reached: only the flush delivers
+    )
+    machine = Machine(program, observer=profiler, engine=engine)
+    with pytest.raises(MachineError, match="budget"):
+        machine.run(max_instructions=100)
+    assert database.total_executions() > 0, "events died in the buffer"
+
+
+@pytest.mark.parametrize("engine", ["simple", "threaded"])
+def test_trap_flushes_buffered_observer(engine):
+    source = """
+    .program zdiv
+    .text
+    .proc main nargs=0
+        li r8, 7
+        divi r9, r8, 0
+        halt
+    .endproc
+    """
+    program = assemble(source)
+    database = ProfileDatabase(name="zdiv")
+    profiler = ValueProfiler(
+        program,
+        database,
+        targets=(ProfileTarget.INSTRUCTIONS,),
+        buffered=True,
+        flush_threshold=10_000,
+    )
+    machine = Machine(program, observer=profiler, engine=engine)
+    with pytest.raises(MachineError, match="division by zero"):
+        machine.run()
+    assert database.total_executions() > 0
+
+
+def test_engine_selection_resolves_env(monkeypatch):
+    source = ".program tiny\n.text\n.proc main nargs=0\n    halt\n.endproc\n"
+    program = assemble(source)
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert Machine(program).engine == "threaded"
+    assert Machine(program, engine="simple").engine == "simple"
+    monkeypatch.setenv("REPRO_ENGINE", "simple")
+    assert Machine(program).engine == "simple"
+    assert Machine(program, engine="auto").engine == "simple"
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    with pytest.raises(MachineError):
+        Machine(program)

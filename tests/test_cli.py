@@ -128,7 +128,10 @@ class TestObservability:
         assert spans, "expected at least one span"
         names = {s["name"] for s in spans}
         assert "experiment" in names
-        assert "profile-workload" in names
+        # The replay era: a profiled run is one event capture plus a
+        # replay of the stored stream, not a live profile-workload span.
+        assert "capture-events" in names
+        assert "replay-profile" in names
         # schema: every record closed with an id/timing, parent ids valid
         ids = {s["span_id"] for s in spans}
         assert len(ids) == len(spans), "span ids must be unique"
@@ -182,7 +185,7 @@ class TestObservability:
         out = capsys.readouterr().out
         assert "time sinks" in out.lower()
         # the actual work spans dominate self time
-        assert "profile-workload" in out
+        assert "capture-events" in out
 
     def test_stats_without_inputs_fails(self, capsys):
         assert main(["stats"]) == 2
