@@ -20,6 +20,12 @@ enforces that contract two ways:
    the machine that produced the baseline, hence opt-in for local use;
    CI runners have different hardware and rely on check 1.
 
+3. **Time-series enabled (always run).**  The time-series collector
+   advances only at batch boundaries, so even *enabled* at its default
+   interval it must keep ``ProfileDatabase.record_batch`` within
+   ``TOLERANCE`` of the collector-off path.  Both loops interleave in
+   one process, like check 1.
+
 Exit status 0 on pass, 1 on regression.  Run as:
 
     PYTHONPATH=src python benchmarks/check_obs_overhead.py
@@ -100,6 +106,52 @@ def _best_of(table_factory, rounds: int) -> float:
     return min(_time_once(table_factory) for _ in range(rounds))
 
 
+def _time_batches() -> float:
+    """One round of batched profiling (the boundary the collector taps)."""
+    from repro.core.profile import ProfileDatabase
+    from repro.core.sites import instruction_site
+
+    sites = [instruction_site("bench", "main", pc, "add") for pc in range(8)]
+    batch = _VALUES[:1000]
+    database = ProfileDatabase(exact=False)
+    record_batch = database.record_batch
+    start = time.perf_counter()
+    for index in range(50):
+        record_batch(sites[index % len(sites)], batch)
+    return time.perf_counter() - start
+
+
+def check_timeseries_enabled() -> bool:
+    """Enabled-mode budget: record_batch with the collector sampling at
+    its default interval must stay within TOLERANCE of collector-off."""
+    from repro.obs.timeseries import DEFAULT_INTERVAL, TIMESERIES
+
+    _time_batches()  # warm
+    enabled = []
+    disabled = []
+    for _ in range(ROUNDS):
+        TIMESERIES.enable(interval=DEFAULT_INTERVAL)
+        try:
+            enabled.append(_time_batches())
+        finally:
+            TIMESERIES.disable()
+            TIMESERIES.reset()
+        disabled.append(_time_batches())
+    ratio = min(enabled) / min(disabled)
+    print(
+        f"record_batch timeseries-enabled: {min(enabled) * 1e3:.2f}ms "
+        f"vs disabled {min(disabled) * 1e3:.2f}ms (ratio {ratio:.3f}, "
+        f"tolerance {1 + TOLERANCE:.2f})"
+    )
+    if ratio > 1 + TOLERANCE:
+        print(
+            f"FAIL: timeseries-enabled batch path is {ratio:.3f}x the "
+            f"collector-off path (> {1 + TOLERANCE:.2f}x)"
+        )
+        return False
+    return True
+
+
 def main() -> int:
     assert not METRICS.enabled and not TRACER.enabled, (
         "guard must measure the disabled default"
@@ -140,6 +192,9 @@ def main() -> int:
         if strict_ratio > 1 + TOLERANCE:
             print("FAIL: regressed vs the committed BENCH_tnv_record.json baseline")
             failed = True
+
+    if not check_timeseries_enabled():
+        failed = True
 
     if not failed:
         print("PASS")

@@ -20,6 +20,8 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import subprocess
+import time
 
 from repro.analysis import experiments
 
@@ -27,13 +29,53 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+HISTORY_FILE = "BENCH_history.jsonl"
+
+
+def git_sha() -> str:
+    """The current commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def append_history(bench: str, metric: str, value: float, sha: str = None) -> None:
+    """Append one (bench, metric, value, git-sha) record to the history.
+
+    ``BENCH_history.jsonl`` is the consolidated bench trajectory:
+    every benchmark run appends its headline numbers here, so
+    ``repro dash`` can plot performance over commits instead of only
+    comparing against the single committed baseline.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "bench": bench,
+        "metric": metric,
+        "value": value,
+        "git_sha": sha if sha is not None else git_sha(),
+        "timestamp": time.time(),
+    }
+    with open(RESULTS_DIR / HISTORY_FILE, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True))
+        handle.write("\n")
+
 
 def write_bench_json(benchmark, name: str, **extra) -> None:
     """Persist one benchmark's timing stats as ``BENCH_<name>.json``.
 
     Best-effort: pytest-benchmark may be running with ``--benchmark-
     disable`` (the CI smoke mode), in which case there are no stats and
-    nothing is written.
+    nothing is written.  Every write also appends the mean to
+    ``BENCH_history.jsonl`` (see :func:`append_history`).
     """
     stats = getattr(getattr(benchmark, "stats", None), "stats", None)
     if stats is None:
@@ -50,6 +92,7 @@ def write_bench_json(benchmark, name: str, **extra) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    append_history(name, "mean_s", stats.mean)
 
 
 def run_experiment(benchmark, experiment_id: str, scale: float = BENCH_SCALE):

@@ -112,10 +112,21 @@ def run(id: str, scale: float = 1.0) -> ExperimentResult:
         known = ", ".join(sorted(_REGISTRY))
         raise ExperimentError(f"unknown experiment {id!r} (known: {known})")
     _LOG.info("running experiment %s (scale %s)", id, scale)
-    with TRACER.span("experiment", experiment=id, scale=scale), METRICS.time(
-        f"experiment.{id}"
-    ):
-        result = exp.runner(scale)
+    try:
+        with TRACER.span("experiment", experiment=id, scale=scale), METRICS.time(
+            f"experiment.{id}"
+        ):
+            result = exp.runner(scale)
+    except Exception:
+        # Crash forensics: dump the flight ring (a no-op unless the
+        # recorder is enabled) before the failure propagates, so the
+        # last events before the raise survive without a re-run.
+        from repro.obs.flight import FLIGHT
+
+        dumped = FLIGHT.dump_on_crash(id)
+        if dumped is not None:
+            _LOG.error("experiment %s raised; flight ring dumped to %s", id, dumped)
+        raise
     _LOG.info("finished experiment %s", id)
     return result
 

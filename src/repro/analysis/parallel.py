@@ -85,35 +85,47 @@ def _dispatch_order(ids: Sequence[str]) -> List[str]:
     return sorted(ids, key=lambda eid: rank.get(eid, -1))
 
 
-def _experiment_worker(args: Tuple[str, float, bool, bool]):
+def _experiment_worker(args: Tuple[str, float, bool, bool, Optional[int], Optional[int]]):
     """Top-level worker: run one experiment in a fresh process.
 
-    Returns ``(result, metrics_snapshot, spans)``.  When the parent had
-    observability enabled, the worker records into its own registry and
-    tracer (span ids prefixed with the experiment id so they stay
-    unique in the combined trace) and ships both home as plain dicts;
-    otherwise the last two slots are ``None``.
+    Returns ``(result, metrics_snapshot, spans, timeseries_payload)``.
+    When the parent had observability enabled, the worker records into
+    its own registry and tracer (span ids prefixed with the experiment
+    id so they stay unique in the combined trace) and ships both home
+    as plain dicts; otherwise those slots are ``None``.  With the
+    parent's time-series collector on, the worker samples its own and
+    ships the payload for an associative merge; with the flight
+    recorder on, the worker runs its own ring so a crash inside the
+    worker dumps from the process that saw the failing events.
     """
-    experiment_id, scale, use_cache, observe = args
+    experiment_id, scale, use_cache, observe, ts_interval, flight_capacity = args
     from repro.analysis import experiments
+    from repro.obs.flight import FLIGHT
+    from repro.obs.timeseries import TIMESERIES
 
     if not use_cache:
         experiments.set_cache_enabled(False)
+    if flight_capacity is not None:
+        FLIGHT.enable(capacity=flight_capacity)
     if not observe:
-        return experiments.run(experiment_id, scale=scale), None, None
+        return experiments.run(experiment_id, scale=scale), None, None, None
     METRICS.reset()
     METRICS.enable()
     TRACER.enable(prefix=experiment_id)
+    if ts_interval is not None:
+        TIMESERIES.enable(interval=ts_interval)
     try:
         result = experiments.run(experiment_id, scale=scale)
         snapshot = METRICS.snapshot()
         spans = TRACER.drain()
         for span in spans:
             span.setdefault("attrs", {})["worker"] = experiment_id
+        ts_payload = TIMESERIES.to_payload() if ts_interval is not None else None
     finally:
         METRICS.disable()
         TRACER.disable()
-    return result, snapshot, spans
+        TIMESERIES.disable()
+    return result, snapshot, spans, ts_payload
 
 
 def run_experiments(
@@ -138,22 +150,30 @@ def run_experiments(
         from repro.analysis import experiments
 
         return experiments.run_all(scale=scale, jobs=1, ids=ids, use_cache=use_cache)
-    observe = METRICS.enabled or TRACER.enabled
+    from repro.obs.flight import FLIGHT
+    from repro.obs.timeseries import TIMESERIES
+
+    observe = METRICS.enabled or TRACER.enabled or TIMESERIES.enabled
+    ts_interval = TIMESERIES.interval if TIMESERIES.enabled else None
+    flight_capacity = FLIGHT.capacity if FLIGHT.enabled else None
     _LOG.info("dispatching %d experiment(s) over %d workers", len(ids), jobs)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {
             experiment_id: pool.submit(
-                _experiment_worker, (experiment_id, scale, use_cache, observe)
+                _experiment_worker,
+                (experiment_id, scale, use_cache, observe, ts_interval, flight_capacity),
             )
             for experiment_id in _dispatch_order(ids)
         }
         results = []
         for experiment_id in ids:
-            result, snapshot, spans = futures[experiment_id].result()
+            result, snapshot, spans, ts_payload = futures[experiment_id].result()
             if snapshot is not None:
                 METRICS.merge(snapshot)
             if spans is not None:
                 TRACER.adopt(spans)
+            if ts_payload is not None:
+                TIMESERIES.merge(ts_payload)
             results.append(result)
         return results
 

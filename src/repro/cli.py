@@ -10,11 +10,22 @@ Subcommands:
   one workload, printing per-site metrics.
 * ``workloads`` — list the benchmark suite.
 * ``stats`` — summarize a ``--trace``/``--metrics`` capture: top time
-  sinks, cache hit rate, measured sampling overhead vs the thesis.
+  sinks, cache hit rate, measured sampling overhead vs the thesis
+  (``--json FILE`` writes the machine-readable form ``dash`` consumes).
+* ``inspect <workload> [--site N] [--top K]`` — per-site TNV health:
+  occupancy, churn, promotions, saturation flags; with ``--site``,
+  the table's contents and the site's Inv-Top/LVP trajectory across
+  clearing intervals.
+* ``dash`` — render a self-contained HTML dashboard from captured
+  ``--metrics``/``--trace``/``--timeseries`` artifacts plus the bench
+  result history.
 
 ``run``, ``all`` and ``profile`` accept the observability flags
 ``--trace FILE`` (JSONL span trace), ``--metrics FILE`` (counter
-snapshot) and ``--log-level LEVEL`` (progress logging to stderr).
+snapshot), ``--timeseries FILE`` (periodic counter/gauge samples on an
+event clock; ``.prom`` selects Prometheus text, anything else JSONL),
+``--flight`` / ``--flight-dump FILE`` (crash ring of the last profile
+events) and ``--log-level LEVEL`` (progress logging to stderr).
 With none of them given the observability layer stays disabled and
 experiment output is byte-identical to an uninstrumented build.
 
@@ -125,6 +136,48 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"error: could not read metrics file {args.metrics}", file=sys.stderr)
         return 1
     print(obs_stats.render_stats(spans=spans, snapshot=snapshot))
+    if args.json:
+        import json
+
+        payload = obs_stats.stats_payload(spans=spans, snapshot=snapshot)
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs.inspect import inspect_workload
+
+    kind = SiteKind(args.kind) if args.kind else None
+    try:
+        report = inspect_workload(
+            args.workload,
+            args.variant,
+            scale=args.scale,
+            kind=kind,
+            site=args.site,
+            top=args.top,
+        )
+    except IndexError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.dash import render_dashboard
+
+    html = render_dashboard(
+        metrics_path=args.metrics,
+        trace_path=args.trace,
+        timeseries_path=args.timeseries,
+        bench_dir=args.bench_dir,
+    )
+    with open(args.output, "w") as handle:
+        handle.write(html)
+    print(f"(dashboard written to {args.output})")
     return 0
 
 
@@ -174,6 +227,29 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--metrics", help="write the internal metrics snapshot to FILE as JSON"
+    )
+    parser.add_argument(
+        "--timeseries",
+        help="sample counters/gauges periodically and write the series to "
+        "FILE (.prom = Prometheus text, otherwise JSONL)",
+    )
+    parser.add_argument(
+        "--timeseries-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="events between time-series samples (default 100000)",
+    )
+    parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="keep a crash ring of the last profile events; dumped to "
+        "flight-crash-<experiment>.jsonl if an experiment raises",
+    )
+    parser.add_argument(
+        "--flight-dump",
+        metavar="FILE",
+        help="with --flight: also dump the ring to FILE at exit",
     )
     parser.add_argument(
         "--log-level",
@@ -286,7 +362,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats_parser.add_argument("--trace", help="JSONL trace written by --trace")
     stats_parser.add_argument("--metrics", help="metrics JSON written by --metrics")
+    stats_parser.add_argument(
+        "--json", help="also write the machine-readable stats to this JSON file"
+    )
     stats_parser.set_defaults(func=_cmd_stats)
+
+    inspect_parser = sub.add_parser(
+        "inspect", help="per-site TNV health for one workload"
+    )
+    inspect_parser.add_argument("workload")
+    inspect_parser.add_argument("--variant", default="train", choices=("train", "test"))
+    inspect_parser.add_argument("--scale", type=float, default=1.0)
+    inspect_parser.add_argument(
+        "--kind", default=None, help="restrict to one site kind (load, instruction, ...)"
+    )
+    inspect_parser.add_argument(
+        "--site",
+        type=int,
+        default=None,
+        metavar="N",
+        help="drill into overview row N: TNV contents + Inv-Top/LVP trajectory",
+    )
+    inspect_parser.add_argument("--top", type=int, default=10)
+    _add_obs_args(inspect_parser)
+    _add_engine_args(inspect_parser)
+    inspect_parser.set_defaults(func=_cmd_inspect)
+
+    dash_parser = sub.add_parser(
+        "dash", help="render an HTML dashboard from captured artifacts"
+    )
+    dash_parser.add_argument("--metrics", help="metrics JSON written by --metrics")
+    dash_parser.add_argument("--trace", help="JSONL trace written by --trace")
+    dash_parser.add_argument(
+        "--timeseries", help="JSONL series written by --timeseries"
+    )
+    dash_parser.add_argument(
+        "--bench-dir",
+        default="benchmarks/results",
+        help="directory holding BENCH_*.json baselines and BENCH_history.jsonl",
+    )
+    dash_parser.add_argument(
+        "-o", "--output", default="repro-dash.html", help="output HTML file"
+    )
+    dash_parser.set_defaults(func=_cmd_dash)
 
     diff_parser = sub.add_parser(
         "diff", help="diff a workload's train profile against its test profile"
@@ -324,25 +442,57 @@ def _setup_observability(args: argparse.Namespace):
     """
     trace_file = getattr(args, "trace", None)
     metrics_file = getattr(args, "metrics", None)
+    timeseries_file = getattr(args, "timeseries", None)
+    timeseries_interval = getattr(args, "timeseries_interval", None)
+    flight = getattr(args, "flight", False)
+    flight_dump = getattr(args, "flight_dump", None)
     log_level = getattr(args, "log_level", None)
-    if args.func is _cmd_stats:
-        trace_file = metrics_file = None  # stats reads files, never records
+    if args.func in (_cmd_stats, _cmd_dash):
+        # These read capture files, never record.
+        trace_file = metrics_file = timeseries_file = None
+        flight = False
+        flight_dump = None
     if log_level:
         configure_logging(log_level)
-    if trace_file or metrics_file:
+    if trace_file or metrics_file or timeseries_file:
         METRICS.reset()
         METRICS.enable()
         if trace_file:
             TRACER.enable()
+    if timeseries_file:
+        from repro.obs.timeseries import DEFAULT_INTERVAL, TIMESERIES
+
+        TIMESERIES.enable(interval=timeseries_interval or DEFAULT_INTERVAL)
+    if flight:
+        from repro.obs.flight import FLIGHT
+
+        FLIGHT.enable()
 
     def finalize() -> None:
         if trace_file:
             TRACER.write_jsonl(trace_file)
             TRACER.disable()
+        if timeseries_file:
+            from repro.obs.timeseries import TIMESERIES
+
+            # One final sample so short runs that never crossed the
+            # interval still export their end state.
+            TIMESERIES.sample()
+            if timeseries_file.endswith(".prom"):
+                TIMESERIES.write_prometheus(timeseries_file)
+            else:
+                TIMESERIES.write_jsonl(timeseries_file)
+            TIMESERIES.disable()
         if metrics_file:
             METRICS.write(metrics_file)
-        if trace_file or metrics_file:
+        if trace_file or metrics_file or timeseries_file:
             METRICS.disable()
+        if flight:
+            from repro.obs.flight import FLIGHT
+
+            if flight_dump:
+                FLIGHT.dump(flight_dump, reason="cli-exit")
+            FLIGHT.disable()
 
     return finalize
 

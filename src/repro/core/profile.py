@@ -24,6 +24,7 @@ from repro.core.sites import Site, SiteKind
 from repro.core.tnv import TNVTable
 from repro.errors import ProfileError
 from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.timeseries import TIMESERIES as _TIMESERIES
 
 Value = Hashable
 
@@ -243,6 +244,7 @@ class ProfileDatabase:
             _METRICS.inc("profile.sites_created")
         _METRICS.inc("profile.batches")
         _METRICS.inc("profile.batch_events", len(values))
+        _TIMESERIES.advance(len(values))
         profile.record_many(values)
 
     def profile_for(self, site: Site) -> SiteProfile:

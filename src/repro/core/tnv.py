@@ -60,7 +60,23 @@ class TNVTable:
             which is the strawman the paper's design improves on.
     """
 
-    __slots__ = ("capacity", "steady", "clear_interval", "_entries", "_since_clear", "_total", "_clears")
+    __slots__ = (
+        "capacity",
+        "steady",
+        "clear_interval",
+        "_entries",
+        "_since_clear",
+        "_total",
+        "_clears",
+        # -- health telemetry, maintained at clear boundaries only --
+        "_evictions",
+        "_promotions",
+        "_turnover",
+        "_last_turnover",
+        "_saturated_clears",
+        "_steady_values",
+        "_size_after_clear",
+    )
 
     def __init__(
         self,
@@ -83,6 +99,16 @@ class TNVTable:
         self._since_clear = 0
         self._total = 0
         self._clears = 0
+        # Health telemetry (thesis-style churn introspection).  All of
+        # it is derived at clear boundaries from state the record path
+        # already maintains, so the per-event hot path is untouched.
+        self._evictions = 0
+        self._promotions = 0
+        self._turnover = 0
+        self._last_turnover = 0
+        self._saturated_clears = 0
+        self._steady_values: frozenset = frozenset()
+        self._size_after_clear = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -177,15 +203,49 @@ class TNVTable:
 
         Exposed publicly so samplers can force a clear at the end of a
         profiling burst, mirroring the thesis' sampling implementation.
+
+        This is also where the table's health telemetry is folded:
+        value turnover (new values inserted since the previous clear),
+        eviction churn, clear→steady promotions and table saturation
+        are all derivable from the entry dict right here, so the record
+        path pays nothing for them.
         """
         self._since_clear = 0
         self._clears += 1
         _METRICS.inc("tnv.clears")
-        if len(self._entries) <= self.steady:
+        entries = self._entries
+        resident = len(entries)
+        # Between clears the entry dict only grows by insertions, so
+        # the size delta *is* the number of new values admitted.
+        turnover = resident - self._size_after_clear
+        self._last_turnover = turnover
+        self._turnover += turnover
+        if resident >= self.capacity:
+            self._saturated_clears += 1
+            _METRICS.inc("tnv.saturated_clears")
+        if resident <= self.steady:
+            promotions = sum(
+                1 for value in entries if value not in self._steady_values
+            )
+            self._promotions += promotions
+            if promotions:
+                _METRICS.inc("tnv.promotions", promotions)
+            self._steady_values = frozenset(entries)
+            self._size_after_clear = resident
             return
-        _METRICS.inc("tnv.bottom_evictions", len(self._entries) - self.steady)
-        survivors = sorted(self._entries.items(), key=lambda item: (-item[1], repr(item[0])))
+        evicted = resident - self.steady
+        self._evictions += evicted
+        _METRICS.inc("tnv.bottom_evictions", evicted)
+        survivors = sorted(entries.items(), key=lambda item: (-item[1], repr(item[0])))
         self._entries = dict(survivors[: self.steady])
+        promotions = sum(
+            1 for value in self._entries if value not in self._steady_values
+        )
+        self._promotions += promotions
+        if promotions:
+            _METRICS.inc("tnv.promotions", promotions)
+        self._steady_values = frozenset(self._entries)
+        self._size_after_clear = self.steady
 
     # ------------------------------------------------------------------
     # inspection
@@ -200,6 +260,64 @@ class TNVTable:
     def clears(self) -> int:
         """Number of clearing passes performed so far."""
         return self._clears
+
+    @property
+    def evictions(self) -> int:
+        """Entries evicted by clearing passes, cumulative."""
+        return self._evictions
+
+    @property
+    def promotions(self) -> int:
+        """Values newly promoted into the steady part across clears."""
+        return self._promotions
+
+    @property
+    def turnover(self) -> int:
+        """New values admitted to the table, counted at clears."""
+        return self._turnover
+
+    @property
+    def last_turnover(self) -> int:
+        """New values admitted between the last two clearing passes."""
+        return self._last_turnover
+
+    @property
+    def saturated_clears(self) -> int:
+        """Clearing passes that found the table completely full."""
+        return self._saturated_clears
+
+    def health(self) -> dict:
+        """Cheap health summary, all derived from clear-boundary state.
+
+        Keys:
+            ``resident``/``capacity``: current occupancy.
+            ``steady_occupancy``/``clear_occupancy``: how the resident
+            entries split between the surviving and evictable parts.
+            ``clears``/``evictions``/``promotions``/``turnover``/
+            ``last_turnover``/``saturated_clears``: cumulative clear
+            telemetry (see the matching properties).
+            ``churn``: mean entries evicted per clear — the fraction of
+            the clear part cycling each interval is ``churn / (capacity
+            - steady)``.
+            ``promotion_rate``: mean clear→steady promotions per clear.
+        """
+        clears = self._clears
+        resident = len(self._entries)
+        return {
+            "resident": resident,
+            "capacity": self.capacity,
+            "steady": self.steady,
+            "steady_occupancy": min(resident, self.steady),
+            "clear_occupancy": max(0, resident - self.steady),
+            "clears": clears,
+            "evictions": self._evictions,
+            "promotions": self._promotions,
+            "turnover": self._turnover,
+            "last_turnover": self._last_turnover,
+            "saturated_clears": self._saturated_clears,
+            "churn": self._evictions / clears if clears else 0.0,
+            "promotion_rate": self._promotions / clears if clears else 0.0,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -264,6 +382,15 @@ class TNVTable:
         self._entries = dict(ranked[: self.capacity])
         self._total += other._total
         self._clears += other._clears
+        self._evictions += other._evictions
+        self._promotions += other._promotions
+        self._turnover += other._turnover
+        self._saturated_clears += other._saturated_clears
+        # The merged table starts a fresh clearing phase: the steady
+        # set and size baseline describe neither input exactly, so they
+        # are re-anchored to the merged entries.
+        self._steady_values = frozenset(self._entries)
+        self._size_after_clear = len(self._entries)
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot (values must be JSON-friendly)."""
@@ -275,6 +402,14 @@ class TNVTable:
             "clears": self._clears,
             "since_clear": self._since_clear,
             "entries": [[entry.value, entry.count] for entry in self.snapshot()],
+            "health": {
+                "evictions": self._evictions,
+                "promotions": self._promotions,
+                "turnover": self._turnover,
+                "last_turnover": self._last_turnover,
+                "saturated_clears": self._saturated_clears,
+                "size_after_clear": self._size_after_clear,
+            },
         }
 
     @classmethod
@@ -292,6 +427,17 @@ class TNVTable:
         # clearing phase rather than failing to load them.
         table._clears = payload.get("clears", 0)
         table._since_clear = payload.get("since_clear", 0)
+        health = payload.get("health", {})
+        table._evictions = health.get("evictions", 0)
+        table._promotions = health.get("promotions", 0)
+        table._turnover = health.get("turnover", 0)
+        table._last_turnover = health.get("last_turnover", 0)
+        table._saturated_clears = health.get("saturated_clears", 0)
+        table._size_after_clear = health.get("size_after_clear", len(table._entries))
+        # The concrete steady set is not serialized (it would leak raw
+        # values into snapshots that only promise top entries); restored
+        # tables re-anchor promotions at their next clear.
+        table._steady_values = frozenset(table._entries)
         return table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

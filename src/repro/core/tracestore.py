@@ -35,7 +35,9 @@ from repro.core.sites import Site, SiteKind
 from repro.errors import ReproError
 from repro.isa.instrument import ALL_TARGETS, ProfileTarget, ValueProfiler
 from repro.isa.machine import MachineObserver
+from repro.obs.flight import FLIGHT as _FLIGHT
 from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.timeseries import TIMESERIES as _TIMESERIES
 
 #: which site kind each profile target's events carry.  CALL/PYTHON
 #: sites never flow through the machine-event capture path.
@@ -265,8 +267,11 @@ def replay_profile(
     """
     database = ProfileDatabase(config=config, exact=exact, name=name)
     events = 0
+    flight = _FLIGHT if _FLIGHT.enabled else None
     for site, values in trace.site_values(targets):
         events += len(values)
+        if flight is not None:
+            flight.record_batch(site, values)
         database.record_batch(site, values)
     if _METRICS.enabled:
         _METRICS.inc("tracestore.replays")
@@ -289,8 +294,11 @@ def replay_site_traces(
     traces: Dict[Site, List[int]] = {}
     dropped = 0
     events = 0
+    flight = _FLIGHT if _FLIGHT.enabled else None
     for site, values in trace.site_values(targets):
         events += len(values)
+        if flight is not None:
+            flight.record_batch(site, values)
         if max_per_site is not None and len(values) > max_per_site:
             dropped += len(values) - max_per_site
             values = values[:max_per_site]
@@ -298,6 +306,7 @@ def replay_site_traces(
     if _METRICS.enabled:
         _METRICS.inc("tracestore.replays")
         _METRICS.inc("tracestore.replay_events", events)
+    _TIMESERIES.advance(events)
     return traces, dropped
 
 
@@ -314,7 +323,10 @@ def replay_global_events(
     """
     events: List[Tuple[Site, int]] = []
     dropped = 0
+    flight = _FLIGHT if _FLIGHT.enabled else None
     for event in trace.events(targets):
+        if flight is not None:
+            flight.record(*event)
         if max_events is not None and len(events) >= max_events:
             dropped += 1
             continue
@@ -322,4 +334,5 @@ def replay_global_events(
     if _METRICS.enabled:
         _METRICS.inc("tracestore.replays")
         _METRICS.inc("tracestore.replay_events", len(events) + dropped)
+    _TIMESERIES.advance(len(events) + dropped)
     return events, dropped

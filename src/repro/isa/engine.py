@@ -40,6 +40,7 @@ from typing import Callable, List, Optional
 from repro.errors import MachineError
 from repro.isa.instructions import REG_ARGS, REG_LINK, REG_RETURN
 from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.timeseries import TIMESERIES as _TIMESERIES
 
 #: two's-complement wrap constants, bound into the hot closures so the
 #: signed wrap is three arithmetic ops instead of a function call.
@@ -212,6 +213,7 @@ class ThreadedEngine:
             _METRICS.inc("machine.calls", machine.dynamic_calls)
             _METRICS.inc("machine.defines", machine.dynamic_defines)
             _METRICS.observe("machine.run", time.perf_counter() - started)
+        _TIMESERIES.advance(executed - executed_at_entry)
         machine._flush_observer()
         return machine._make_result(executed, cycles)
 

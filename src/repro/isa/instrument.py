@@ -30,6 +30,7 @@ from repro.core.sites import (
 from repro.isa.instructions import Instruction
 from repro.isa.machine import MachineObserver
 from repro.isa.program import Procedure, Program
+from repro.obs.flight import FLIGHT as _FLIGHT
 from repro.obs.metrics import METRICS as _METRICS
 
 
@@ -112,6 +113,20 @@ class ValueProfiler(MachineObserver):
                 _base(site, value)
 
             self._emit = counting_emit
+        if _FLIGHT.enabled and not buffered:
+            # Flight recorder on: tee every event into the crash ring.
+            # Decided once at construction like the counting emit above,
+            # so the disabled-mode per-event path is unchanged.  The
+            # buffered path tees whole batches in _flush_site instead.
+            base_emit = self._emit
+
+            def flight_emit(
+                site: Site, value: Hashable, _base=base_emit, _flight=_FLIGHT.record
+            ) -> None:
+                _flight(site, value)
+                _base(site, value)
+
+            self._emit = flight_emit
         self.targets: Set[ProfileTarget] = set(targets)
         #: when set, parameter sites are keyed by calling site as well
         #: (Young & Smith-style path sensitivity; thesis future work)
@@ -156,6 +171,8 @@ class ValueProfiler(MachineObserver):
         if _METRICS.enabled:
             _METRICS.inc("profiler.buffer_flushes")
             _METRICS.inc("profiler.events", len(buffer))
+        if _FLIGHT.enabled:
+            _FLIGHT.record_batch(site, buffer)
         if self._record_batch is not None:
             self._record_batch(site, buffer)
         else:

@@ -41,6 +41,7 @@ from repro.isa.instructions import (
 )
 from repro.isa.program import Procedure, Program
 from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.timeseries import TIMESERIES as _TIMESERIES
 
 DEFAULT_MEMORY_WORDS = 1 << 20
 DEFAULT_BUDGET = 200_000_000
@@ -518,6 +519,7 @@ class Machine:
             _METRICS.inc("machine.calls", self.dynamic_calls)
             _METRICS.inc("machine.defines", self.dynamic_defines)
             _METRICS.observe("machine.run", time.perf_counter() - started)
+        _TIMESERIES.advance(executed - executed_at_entry)
         self._flush_observer()
         return self._make_result(executed, cycles)
 

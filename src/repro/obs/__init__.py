@@ -21,11 +21,18 @@ to cost (near) nothing while disabled:
   package under the ``repro`` logger with a ``NullHandler`` default,
   so library users see nothing unless they (or the CLI's
   ``--log-level`` flag) opt in.
+* :mod:`repro.obs.timeseries` — periodic snapshots of the registry's
+  counters/gauges on an event clock, merged associatively across
+  worker processes (``--timeseries FILE``; JSONL or Prometheus text).
+* :mod:`repro.obs.flight` — a fixed-size crash ring of the last N
+  (tick, site, value) profile events, dumped automatically when an
+  experiment raises (``--flight`` / ``--flight-dump FILE``).
 
-Surfaces: ``--trace FILE``, ``--metrics FILE`` and ``--log-level`` on
-the ``run``/``all``/``profile`` CLI commands, plus ``repro stats``
-(:mod:`repro.obs.stats`) which renders the collected data as summary
-tables.
+Surfaces: ``--trace FILE``, ``--metrics FILE``, ``--timeseries FILE``,
+``--flight`` and ``--log-level`` on the ``run``/``all``/``profile``
+CLI commands, plus ``repro stats`` (:mod:`repro.obs.stats`),
+``repro inspect`` (:mod:`repro.obs.inspect` — per-site TNV health) and
+``repro dash`` (:mod:`repro.obs.dash` — self-contained HTML report).
 
 Overhead guarantee: with observability disabled (the default) the hot
 per-event recording paths (``TNVTable.record``, the interpreter loop)
@@ -35,13 +42,19 @@ path keeps its measured speedup.  ``benchmarks/check_obs_overhead.py``
 guards this in CI.
 """
 
+from repro.obs.flight import FLIGHT, FlightRecorder
 from repro.obs.logconf import configure_logging, get_logger, reset_logging
 from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.timeseries import TIMESERIES, TimeSeriesCollector
 from repro.obs.trace import TRACER, Tracer
 
 __all__ = [
+    "FLIGHT",
+    "FlightRecorder",
     "METRICS",
     "MetricsRegistry",
+    "TIMESERIES",
+    "TimeSeriesCollector",
     "TRACER",
     "Tracer",
     "configure_logging",

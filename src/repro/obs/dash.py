@@ -1,0 +1,389 @@
+"""``repro dash``: a self-contained HTML dashboard from captured artifacts.
+
+Consumes the files the observability flags write — a metrics snapshot
+(``--metrics``), a span trace (``--trace``), a time-series capture
+(``--timeseries``) — plus the benchmark results directory
+(``BENCH_*.json`` baselines and the consolidated
+``BENCH_history.jsonl`` trajectory), and renders one HTML file with
+**no external dependencies**: styling is inline CSS, charts are inline
+SVG sparklines and bars, and the raw payload is embedded so the file
+is a complete record of the run.
+
+Sections (each rendered only when its input exists):
+
+* per-experiment wall clock (the ``experiment.*`` timers) as a bar list
+* cache and replay hit rates (profile cache + event-trace store)
+* measured sampling overhead vs. the thesis Ch. VIII expectations
+* time-series sparklines, one per counter/gauge, over the event clock
+* bench trajectory: one sparkline per benchmark from the history file,
+  with the latest value's delta against the committed baseline
+"""
+
+from __future__ import annotations
+
+import glob
+import html
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.stats import THESIS_OVERHEAD, stats_payload
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 64rem; color: #1a2330; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+     border-bottom: 1px solid #d5dbe3; padding-bottom: .3rem; }
+table { border-collapse: collapse; font-size: .85rem; }
+th, td { text-align: left; padding: .25rem .75rem .25rem 0; }
+th { color: #5a6675; font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { fill: #4878b8; } .spark { stroke: #4878b8; fill: none;
+       stroke-width: 1.5; } .spark-area { fill: #4878b833; stroke: none; }
+.up { color: #b04030; } .down { color: #2f7d4f; }
+.muted { color: #8a94a1; font-size: .8rem; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def sparkline(
+    points: Sequence[float], width: int = 220, height: int = 36
+) -> str:
+    """An inline-SVG sparkline of ``points`` (empty string when < 2)."""
+    if len(points) < 2:
+        return ""
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    pad = 2
+    step = (width - 2 * pad) / (len(points) - 1)
+    coords = [
+        (pad + i * step, pad + (height - 2 * pad) * (1 - (p - lo) / span))
+        for i, p in enumerate(points)
+    ]
+    path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coords)
+    area = (
+        f"{coords[0][0]:.1f},{height - pad} {path} "
+        f"{coords[-1][0]:.1f},{height - pad}"
+    )
+    return (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<polygon class="spark-area" points="{area}"/>'
+        f'<polyline class="spark" points="{path}"/></svg>'
+    )
+
+
+def hbar(fraction: float, width: int = 160, height: int = 12) -> str:
+    """An inline-SVG horizontal bar filled to ``fraction`` (clamped)."""
+    fraction = max(0.0, min(1.0, fraction))
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<rect width="{width}" height="{height}" fill="#e8ecf1"/>'
+        f'<rect class="bar" width="{fraction * width:.1f}" height="{height}"/>'
+        "</svg>"
+    )
+
+
+def _table(headers: Sequence[Tuple[str, bool]], rows: List[Sequence[str]]) -> str:
+    """HTML table; header tuples are (label, numeric). Cells are pre-escaped."""
+    head = "".join(
+        f'<th class="num">{_esc(label)}</th>' if numeric else f"<th>{_esc(label)}</th>"
+        for label, numeric in headers
+    )
+    body = []
+    for row in rows:
+        cells = "".join(
+            f'<td class="num">{cell}</td>' if headers[i][1] else f"<td>{cell}</td>"
+            for i, cell in enumerate(row)
+        )
+        body.append(f"<tr>{cells}</tr>")
+    return f'<table><tr>{head}</tr>{"".join(body)}</table>'
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+
+
+def _section_experiments(payload: dict) -> str:
+    timers = payload.get("timers", {})
+    rows = [
+        (name[len("experiment.") :], stats)
+        for name, stats in timers.items()
+        if name.startswith("experiment.")
+    ]
+    if not rows:
+        return ""
+    rows.sort(key=lambda item: -item[1].get("total_s", 0.0))
+    longest = rows[0][1].get("total_s", 0.0) or 1.0
+    table_rows = [
+        (
+            _esc(name),
+            f"{stats.get('total_s', 0.0):.3f}",
+            f"{stats.get('count', 0)}",
+            hbar(stats.get("total_s", 0.0) / longest),
+        )
+        for name, stats in rows
+    ]
+    return "<h2>Per-experiment wall clock</h2>" + _table(
+        (("experiment", False), ("total s", True), ("runs", True), ("", False)),
+        table_rows,
+    )
+
+
+def _section_caches(payload: dict) -> str:
+    cache = payload.get("cache")
+    store = payload.get("tracestore")
+    if not cache and not store:
+        return ""
+    rows = []
+    if cache:
+        rows.append(
+            (
+                "profile cache",
+                f"{cache['lookups']}",
+                f"{cache['memory_hits']}",
+                f"{cache['disk_hits']}",
+                f"{cache['misses']}",
+                f"{cache['hit_rate'] * 100:.1f}%",
+                hbar(cache["hit_rate"]),
+            )
+        )
+    if store:
+        rows.append(
+            (
+                "event-trace store",
+                f"{store['lookups']}",
+                f"{store['memory_hits']}",
+                f"{store['disk_hits']}",
+                f"{store['captures']}",
+                f"{store['hit_rate'] * 100:.1f}%",
+                hbar(store["hit_rate"]),
+            )
+        )
+    section = "<h2>Cache &amp; replay hit rates</h2>" + _table(
+        (
+            ("layer", False),
+            ("lookups", True),
+            ("L1 hits", True),
+            ("disk hits", True),
+            ("misses", True),
+            ("hit rate", True),
+            ("", False),
+        ),
+        rows,
+    )
+    if store and store.get("replay_events"):
+        section += (
+            f'<p class="muted">{store["replays"]} replays, '
+            f"{store['replay_events']:,} events replayed at "
+            f"{store['replay_eps'] / 1e6:.1f} Mev/s.</p>"
+        )
+    return section
+
+
+def _section_sampling(payload: dict) -> str:
+    sampling = payload.get("sampling") or []
+    if not sampling:
+        return ""
+    rows = [
+        (
+            _esc(row["policy"]),
+            f"{row['seen']:,}",
+            f"{row['profiled']:,}",
+            f"{row['overhead'] * 100:.2f}%",
+            hbar(row["overhead"]),
+            _esc(row.get("thesis", THESIS_OVERHEAD.get(row["policy"], "-"))),
+        )
+        for row in sampling
+    ]
+    return "<h2>Sampling overhead vs thesis Ch. VIII</h2>" + _table(
+        (
+            ("policy", False),
+            ("seen", True),
+            ("profiled", True),
+            ("measured", True),
+            ("", False),
+            ("thesis-reported", False),
+        ),
+        rows,
+    )
+
+
+def _section_interpreter(payload: dict) -> str:
+    interp = payload.get("interpreter")
+    if not interp or not interp.get("runs"):
+        return ""
+    return (
+        "<h2>Interpreter throughput</h2>"
+        + _table(
+            (
+                ("runs", True),
+                ("threaded", True),
+                ("simple", True),
+                ("instructions", True),
+                ("run s", True),
+                ("MIPS", True),
+            ),
+            [
+                (
+                    f"{interp['runs']}",
+                    f"{interp['threaded_runs']}",
+                    f"{interp['simple_runs']}",
+                    f"{interp['instructions']:,}",
+                    f"{interp['seconds']:.3f}",
+                    f"{interp['mips']:.2f}",
+                )
+            ],
+        )
+    )
+
+
+def _section_timeseries(samples: List[dict]) -> str:
+    if not samples:
+        return ""
+    series: Dict[str, List[float]] = {}
+    for sample in samples:
+        for section in ("counters", "gauges"):
+            for name, value in sample.get(section, {}).items():
+                series.setdefault(name, []).append(value)
+    rows = []
+    for name in sorted(series):
+        points = series[name]
+        spark = sparkline(points) or '<span class="muted">(one sample)</span>'
+        rows.append((_esc(name), f"{points[-1]:,.0f}", spark))
+    ticks = [sample.get("tick", 0) for sample in samples]
+    header = (
+        f'<p class="muted">{len(samples)} samples over event clock '
+        f"{min(ticks):,} &rarr; {max(ticks):,}.</p>"
+    )
+    return (
+        "<h2>Time series</h2>"
+        + header
+        + _table((("metric", False), ("last", True), ("", False)), rows)
+    )
+
+
+def _section_bench(bench_dir: str) -> str:
+    baselines: Dict[str, float] = {}
+    for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
+        if path.endswith("history.jsonl"):
+            continue
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            baselines[payload["name"]] = payload["mean_s"]
+        except (OSError, json.JSONDecodeError, KeyError):
+            continue
+    history: Dict[Tuple[str, str], List[dict]] = {}
+    history_path = os.path.join(bench_dir, "BENCH_history.jsonl")
+    try:
+        with open(history_path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    history.setdefault(
+                        (record["bench"], record["metric"]), []
+                    ).append(record)
+                except (json.JSONDecodeError, KeyError):
+                    continue
+    except OSError:
+        pass
+    if not baselines and not history:
+        return ""
+    rows = []
+    benches = sorted(set(baselines) | {bench for bench, _ in history})
+    for bench in benches:
+        records = history.get((bench, "mean_s"), [])
+        points = [record["value"] for record in records]
+        baseline = baselines.get(bench)
+        latest = points[-1] if points else baseline
+        if latest is None:
+            continue
+        if baseline:
+            delta = (latest - baseline) / baseline
+            cls = "up" if delta > 0.0 else "down"
+            delta_cell = f'<span class="{cls}">{delta * 100:+.1f}%</span>'
+        else:
+            delta_cell = '<span class="muted">no baseline</span>'
+        sha = _esc(records[-1].get("git_sha", "-")) if records else "-"
+        rows.append(
+            (
+                _esc(bench),
+                f"{latest:.3f}",
+                f"{baseline:.3f}" if baseline else "-",
+                delta_cell,
+                f"{len(points)}",
+                sha,
+                sparkline(points) if len(points) > 1 else "",
+            )
+        )
+    if not rows:
+        return ""
+    return "<h2>Bench trajectory vs baselines</h2>" + _table(
+        (
+            ("bench", False),
+            ("latest s", True),
+            ("baseline s", True),
+            ("delta", True),
+            ("runs", True),
+            ("last sha", False),
+            ("", False),
+        ),
+        rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+
+def render_dashboard(
+    metrics_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    timeseries_path: Optional[str] = None,
+    bench_dir: Optional[str] = None,
+) -> str:
+    """Render the full dashboard HTML from whichever artifacts exist."""
+    from repro.obs.metrics import load_snapshot
+    from repro.obs.timeseries import load_series
+    from repro.obs.trace import load_trace
+
+    snapshot = load_snapshot(metrics_path) if metrics_path else None
+    spans = load_trace(trace_path) if trace_path else None
+    samples = load_series(timeseries_path) if timeseries_path else None
+    payload = stats_payload(spans=spans, snapshot=snapshot)
+
+    sections = [
+        _section_experiments(payload),
+        _section_caches(payload),
+        _section_interpreter(payload),
+        _section_sampling(payload),
+        _section_timeseries(samples or []),
+        _section_bench(bench_dir) if bench_dir else "",
+    ]
+    body = "".join(section for section in sections if section)
+    if not body:
+        body = "<p>(no artifacts to report — pass --metrics/--trace/--timeseries)</p>"
+    inputs = ", ".join(
+        _esc(os.path.basename(p))
+        for p in (metrics_path, trace_path, timeseries_path)
+        if p
+    )
+    embedded = json.dumps(payload, sort_keys=True, default=str)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>value-profiling dashboard</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>Value Profiling &mdash; run dashboard</h1>"
+        f'<p class="muted">Inputs: {inputs or "(none)"}.</p>'
+        f"{body}"
+        f'<script type="application/json" id="repro-stats">{embedded}</script>'
+        "</body></html>"
+    )

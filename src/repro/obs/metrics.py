@@ -15,7 +15,7 @@ wall-clock timestamps in the comparable sections (``counters`` and
 comparable sections and diff cleanly; all timing lives under the
 separate ``timers`` key.  Snapshots from worker processes merge
 associatively: counters add, gauges take the max, timers combine
-(count adds, total adds, max takes the max).
+(count adds, total adds, max takes the max, min takes the min).
 
 The registry is not thread-safe; the package is process-parallel, not
 threaded, and each worker process owns its own registry.
@@ -75,7 +75,7 @@ class MetricsRegistry:
         self.enabled = False
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
-        #: name -> [count, total_seconds, max_seconds]
+        #: name -> [count, total_seconds, max_seconds, min_seconds]
         self._timers: Dict[str, List[float]] = {}
 
     # ------------------------------------------------------------------
@@ -117,12 +117,14 @@ class MetricsRegistry:
             return
         timer = self._timers.get(name)
         if timer is None:
-            self._timers[name] = [1, seconds, seconds]
+            self._timers[name] = [1, seconds, seconds, seconds]
         else:
             timer[0] += 1
             timer[1] += seconds
             if seconds > timer[2]:
                 timer[2] = seconds
+            if seconds < timer[3]:
+                timer[3] = seconds
 
     def time(self, name: str):
         """Context manager timing its block into timer ``name``."""
@@ -153,7 +155,12 @@ class MetricsRegistry:
             "counters": dict(sorted(self._counters.items())),
             "gauges": dict(sorted(self._gauges.items())),
             "timers": {
-                name: {"count": int(t[0]), "total_s": t[1], "max_s": t[2]}
+                name: {
+                    "count": int(t[0]),
+                    "total_s": t[1],
+                    "max_s": t[2],
+                    "min_s": t[3],
+                }
                 for name, t in sorted(self._timers.items())
             },
         }
@@ -174,14 +181,25 @@ class MetricsRegistry:
             if current is None or value > current:
                 self._gauges[name] = value
         for name, stats in snapshot.get("timers", {}).items():
+            # Snapshots predating the min_s field merge as if each
+            # observation were also the minimum — the only lossless
+            # default available.
+            min_s = stats.get("min_s", stats["max_s"])
             timer = self._timers.get(name)
             if timer is None:
-                self._timers[name] = [stats["count"], stats["total_s"], stats["max_s"]]
+                self._timers[name] = [
+                    stats["count"],
+                    stats["total_s"],
+                    stats["max_s"],
+                    min_s,
+                ]
             else:
                 timer[0] += stats["count"]
                 timer[1] += stats["total_s"]
                 if stats["max_s"] > timer[2]:
                     timer[2] = stats["max_s"]
+                if min_s < timer[3]:
+                    timer[3] = min_s
 
     def write(self, path: str) -> None:
         """Write the snapshot as sorted-key JSON (diff-friendly)."""

@@ -19,6 +19,11 @@ summary tables:
   story the thesis reports (Ch. VIII), closing the loop on the paper's
   headline cost question.
 * **Counter catalog** — every counter, for completeness.
+* **Timer catalog** — every timer with count/total/min/max/mean.
+
+:func:`stats_payload` is the machine-readable twin of
+:func:`render_stats` (``repro stats --json``), and what ``repro dash``
+consumes.
 
 This module is deliberately import-light on the analysis side (only
 the table renderer) so ``repro stats`` works on saved files without
@@ -240,6 +245,29 @@ def render_counters(counters: Dict[str, int]) -> str:
     return table.render()
 
 
+def render_timers(timers: Dict[str, dict]) -> str:
+    table = Table(
+        ("timer", "count", "total s", "min s", "max s", "mean s"),
+        title="All timers",
+        precision=4,
+    )
+    for name, stats in sorted(timers.items()):
+        count = stats.get("count", 0)
+        total = stats.get("total_s", 0.0)
+        table.add_row(
+            name,
+            count,
+            total,
+            # Snapshots written before the min_s field render "-".
+            stats["min_s"] if "min_s" in stats else "-",
+            stats.get("max_s", 0.0),
+            total / count if count else 0.0,
+        )
+    if not timers:
+        table.add_row("(empty)", 0, 0.0, 0.0, 0.0, 0.0)
+    return table.render()
+
+
 def render_stats(
     spans: Optional[List[dict]] = None, snapshot: Optional[dict] = None
 ) -> str:
@@ -254,6 +282,51 @@ def render_stats(
         sections.append(render_tracestore(snapshot))
         sections.append(render_sampling(counters))
         sections.append(render_counters(counters))
+        sections.append(render_timers(snapshot.get("timers", {})))
     if not sections:
         return "(nothing to report: no spans and no metrics)"
     return "\n\n".join(sections)
+
+
+def stats_payload(
+    spans: Optional[List[dict]] = None, snapshot: Optional[dict] = None
+) -> dict:
+    """The machine-readable form of :func:`render_stats`.
+
+    This is the structure ``repro stats --json`` writes and
+    ``repro dash`` consumes — the same derived figures the text tables
+    show (self-time sinks, cache hit rates, MIPS, sampling overhead),
+    plus the raw counter/gauge/timer sections verbatim.
+    """
+    payload: dict = {}
+    if spans:
+        payload["time_sinks"] = [
+            {
+                "span": _span_label(span),
+                "total_s": span.get("duration_s", 0.0),
+                "self_s": self_s,
+                "span_id": span.get("span_id"),
+            }
+            for span, self_s in self_times(spans)[:_TOP_SINKS]
+        ]
+    if snapshot is not None:
+        counters = snapshot.get("counters", {})
+        payload["interpreter"] = interpreter_stats(snapshot)
+        payload["cache"] = cache_stats(counters)
+        payload["tracestore"] = tracestore_stats(snapshot)
+        payload["sampling"] = [
+            {
+                "policy": policy,
+                "seen": seen,
+                "profiled": profiled,
+                "overhead": overhead,
+                "thesis": THESIS_OVERHEAD.get(policy, "-"),
+            }
+            for policy, seen, profiled, overhead in sampling_overheads(counters)
+        ]
+        payload["counters"] = dict(sorted(counters.items()))
+        payload["gauges"] = dict(sorted(snapshot.get("gauges", {}).items()))
+        payload["timers"] = {
+            name: dict(stats) for name, stats in sorted(snapshot.get("timers", {}).items())
+        }
+    return payload

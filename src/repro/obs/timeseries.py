@@ -1,0 +1,294 @@
+"""Time-series telemetry: periodic snapshots of the metrics registry.
+
+PR 3's :mod:`repro.obs.metrics` answers "what did the whole run do";
+this module answers "what was it doing *over* the run".  The
+process-wide :data:`TIMESERIES` collector snapshots the comparable
+sections of :data:`repro.obs.metrics.METRICS` (counters and gauges —
+never wall-clock timers) every ``interval`` observed events into a
+columnar ring of (tick, name, value) samples.
+
+The event clock ("tick") is advanced only at the same batch / clear /
+run boundaries the metrics layer instruments — one
+:meth:`TimeSeriesCollector.advance` call per profile batch, per
+interpreter run, per trace replay — so the per-event hot paths stay
+untouched and disabled-mode cost is a single attribute test at each
+boundary (``benchmarks/check_obs_overhead.py`` guards the enabled-mode
+cost too).
+
+Cross-process semantics mirror the registry's: worker processes run
+their own collector, ship :meth:`to_payload` home, and the parent folds
+it in with :meth:`merge`.  Samples land on a shared (tick, name) grid
+where counter values **add** and gauge values take the **max** — both
+associative and commutative, so ``--jobs N`` yields one coherent
+series regardless of completion order.
+
+Exporters: :meth:`write_jsonl` (one sample per line, diff-friendly) and
+:meth:`write_prometheus` (Prometheus text exposition format, ticks as
+timestamps), selected by the output path's extension on the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import METRICS
+
+#: default events between samples; chosen so a scale-1.0 ``repro all``
+#: (hundreds of millions of events) yields thousands of samples, not
+#: millions.
+DEFAULT_INTERVAL = 100_000
+
+#: default ring capacity: bounded memory no matter how long the run.
+DEFAULT_CAPACITY = 4096
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+class TimeSeriesCollector:
+    """Periodic (tick, counters, gauges) snapshots behind an ``enabled`` flag.
+
+    Args (set via :meth:`enable`):
+        interval: observed events between samples.
+        capacity: maximum retained samples; the ring drops the *oldest*
+            sample per overflow, so the series always covers the most
+            recent window at full resolution.
+    """
+
+    __slots__ = ("enabled", "interval", "capacity", "_grid", "_events", "_since", "_dropped")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.interval = DEFAULT_INTERVAL
+        self.capacity = DEFAULT_CAPACITY
+        #: tick -> {"counters": {...}, "gauges": {...}}
+        self._grid: Dict[int, dict] = {}
+        self._events = 0
+        self._since = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def enable(
+        self,
+        interval: int = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        """Start sampling every ``interval`` events (drops old data)."""
+        if interval < 1:
+            raise ValueError(f"timeseries interval must be >= 1, got {interval}")
+        if capacity < 1:
+            raise ValueError(f"timeseries capacity must be >= 1, got {capacity}")
+        self.enabled = True
+        self.interval = interval
+        self.capacity = capacity
+        self._grid = {}
+        self._events = 0
+        self._since = 0
+        self._dropped = 0
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all samples and rewind the event clock."""
+        self._grid = {}
+        self._events = 0
+        self._since = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def advance(self, events: int) -> None:
+        """Advance the event clock by ``events``; sample on overflow.
+
+        Called at batch/run/replay boundaries only.  A single boundary
+        advancing past several intervals still takes one sample — the
+        clock is coarse by design; resolution is bounded by the largest
+        batch, not by the interval.
+        """
+        if not self.enabled:
+            return
+        self._events += events
+        self._since += events
+        if self._since >= self.interval:
+            self._since = 0
+            self.sample()
+
+    def sample(self) -> None:
+        """Take one snapshot of the registry's comparable sections now."""
+        if not self.enabled:
+            return
+        self._store(
+            self._events,
+            {
+                "counters": dict(METRICS._counters),
+                "gauges": dict(METRICS._gauges),
+            },
+        )
+
+    def _store(self, tick: int, sample: dict) -> None:
+        grid = self._grid
+        existing = grid.get(tick)
+        if existing is not None:
+            _combine(existing, sample)
+            return
+        if len(grid) >= self.capacity:
+            oldest = min(grid)
+            del grid[oldest]
+            self._dropped += 1
+        grid[tick] = sample
+
+    # ------------------------------------------------------------------
+    # reading / combining
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._grid)
+
+    @property
+    def events(self) -> int:
+        """Observed events since enable (the current tick)."""
+        return self._events
+
+    @property
+    def dropped(self) -> int:
+        """Samples evicted by ring overflow."""
+        return self._dropped
+
+    def samples(self) -> List[dict]:
+        """All retained samples, tick-ascending, deterministic keys.
+
+        Each sample is ``{"tick": t, "counters": {...}, "gauges": {...}}``
+        with the inner sections key-sorted, mirroring the registry's
+        snapshot discipline.
+        """
+        return [
+            {
+                "tick": tick,
+                "counters": dict(sorted(self._grid[tick]["counters"].items())),
+                "gauges": dict(sorted(self._grid[tick]["gauges"].items())),
+            }
+            for tick in sorted(self._grid)
+        ]
+
+    def series(self, name: str) -> List[Tuple[int, float]]:
+        """(tick, value) pairs for one counter/gauge name, tick-ascending."""
+        points = []
+        for tick in sorted(self._grid):
+            sample = self._grid[tick]
+            value = sample["counters"].get(name)
+            if value is None:
+                value = sample["gauges"].get(name)
+            if value is not None:
+                points.append((tick, value))
+        return points
+
+    def to_payload(self) -> dict:
+        """Plain-dict form a worker process ships home for :meth:`merge`."""
+        return {
+            "interval": self.interval,
+            "events": self._events,
+            "dropped": self._dropped,
+            "samples": self.samples(),
+        }
+
+    def merge(self, payload: dict) -> None:
+        """Fold a worker collector's :meth:`to_payload` into this one.
+
+        Samples land on the shared (tick, name) grid: counters **add**,
+        gauges take the **max** — the same associative semantics as
+        :meth:`repro.obs.metrics.MetricsRegistry.merge`, so any merge
+        order yields the same series.  A disabled collector stays
+        empty, mirroring the registry's merge discipline.
+        """
+        if not self.enabled:
+            return
+        for sample in payload.get("samples", []):
+            self._store(
+                sample["tick"],
+                {
+                    "counters": dict(sample.get("counters", {})),
+                    "gauges": dict(sample.get("gauges", {})),
+                },
+            )
+        self._dropped += payload.get("dropped", 0)
+        self._events = max(self._events, payload.get("events", 0))
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+
+    def write_jsonl(self, path: str) -> None:
+        """One sorted-key JSON sample per line (see :func:`load_series`)."""
+        with open(path, "w") as handle:
+            for sample in self.samples():
+                handle.write(json.dumps(sample, sort_keys=True))
+                handle.write("\n")
+
+    def write_prometheus(self, path: str) -> None:
+        """Prometheus text exposition format, one line per sample point.
+
+        Metric names are prefixed ``repro_`` and sanitized; the sample
+        tick rides in the timestamp slot (Prometheus timestamps are
+        integers, and the event clock is the only monotonic axis the
+        deterministic snapshots carry).
+        """
+        with open(path, "w") as handle:
+            handle.write(render_prometheus(self.samples()))
+
+
+def _combine(into: dict, sample: dict) -> None:
+    counters = into["counters"]
+    for name, value in sample["counters"].items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = into["gauges"]
+    for name, value in sample["gauges"].items():
+        current = gauges.get(name)
+        if current is None or value > current:
+            gauges[name] = value
+
+
+def render_prometheus(samples: List[dict]) -> str:
+    """Render samples as Prometheus text exposition format."""
+    by_name: Dict[str, Tuple[str, List[Tuple[int, float]]]] = {}
+    for sample in samples:
+        tick = sample["tick"]
+        for section, prom_type in (("counters", "counter"), ("gauges", "gauge")):
+            for name, value in sample.get(section, {}).items():
+                prom = "repro_" + _PROM_SANITIZE.sub("_", name)
+                entry = by_name.get(prom)
+                if entry is None:
+                    entry = by_name[prom] = (prom_type, [])
+                entry[1].append((tick, value))
+    lines = []
+    for prom in sorted(by_name):
+        prom_type, points = by_name[prom]
+        lines.append(f"# TYPE {prom} {prom_type}")
+        for tick, value in points:
+            lines.append(f"{prom} {value} {tick}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_series(path: str) -> Optional[List[dict]]:
+    """Read a series written by :meth:`TimeSeriesCollector.write_jsonl`."""
+    try:
+        samples = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    samples.append(json.loads(line))
+        return samples
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+#: The process-wide collector every boundary instrumentation point
+#: advances (see docs/observability.md for the boundary catalog).
+TIMESERIES = TimeSeriesCollector()

@@ -275,3 +275,78 @@ def test_property_dominant_value_always_found(values):
     table = TNVTable(capacity=3, steady=1, clear_interval=5)
     table.record_many(stream)
     assert table.top_value() == dominant
+
+
+class TestHealth:
+    def test_fresh_table_health(self):
+        health = TNVTable(capacity=4, steady=2, clear_interval=10).health()
+        assert health["resident"] == 0
+        assert health["clears"] == 0
+        assert health["evictions"] == 0
+        assert health["churn"] == 0.0
+
+    def test_counters_cost_nothing_before_a_clear(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=None)
+        table.record_many([1, 2, 3])
+        health = table.health()
+        assert health["turnover"] == 0  # folded only at clear boundaries
+        assert health["evictions"] == 0
+
+    def test_evictions_and_turnover(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=None)
+        table.record_many([1, 1, 2, 2, 3, 4])  # full: 4 resident
+        table.clear_bottom()
+        assert table.turnover == 4  # all four values were new
+        assert table.evictions == 2  # 3 and 4 evicted
+        assert table.saturated_clears == 1
+        assert len(table) == 2
+
+    def test_promotions_track_steady_set_changes(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=None)
+        table.record_many([1, 1, 2, 2, 3])
+        table.clear_bottom()
+        assert table.promotions == 2  # {1, 2}: first steady set
+        # 3 and 4 out-count 1: the steady set shifts by one value.
+        table.record_many([3, 3, 3, 4, 4, 4])
+        table.clear_bottom()
+        assert table.promotions == 4
+        assert table.last_turnover == 2  # 3 and 4 re-admitted
+
+    def test_stable_stream_stops_promoting(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=5)
+        table.record_many([1, 1, 1, 2, 2] * 8)  # clears every 5 records
+        assert table.promotions == 2  # only the initial promotion
+        assert table.last_turnover == 0
+
+    def test_underfull_clear_is_not_saturated(self):
+        table = TNVTable(capacity=10, steady=5, clear_interval=None)
+        table.record_many([1, 2])
+        table.clear_bottom()
+        assert table.saturated_clears == 0
+        assert table.evictions == 0
+
+    def test_health_roundtrip(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=5)
+        table.record_many(list(range(8)) * 4)
+        clone = TNVTable.from_dict(table.to_dict())
+        assert clone.health() == table.health()
+
+    def test_health_roundtrip_accepts_legacy_payload(self):
+        table = TNVTable(capacity=4, steady=2, clear_interval=5)
+        table.record_many(list(range(8)) * 4)
+        payload = table.to_dict()
+        del payload["health"]
+        clone = TNVTable.from_dict(payload)
+        assert clone.evictions == 0
+        assert clone.top(4) == table.top(4)
+
+    def test_merge_adds_health_counters(self):
+        a = TNVTable(capacity=4, steady=2, clear_interval=5)
+        b = TNVTable(capacity=4, steady=2, clear_interval=5)
+        a.record_many(list(range(8)) * 2)
+        b.record_many(list(range(8)) * 2)
+        evictions = a.evictions
+        turnover = a.turnover
+        a.merge(b)
+        assert a.evictions == evictions + b.evictions
+        assert a.turnover == turnover + b.turnover

@@ -1,0 +1,75 @@
+"""Observability must never change what the experiments compute.
+
+The whole layer's founding contract (docs/observability.md): metrics,
+tracing, time series, and the flight recorder watch the run — they do
+not participate in it.  These tests pin that down by rendering the
+same deterministic experiment with everything off, everything on, and
+everything off again, and requiring byte-identical text throughout.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.obs import METRICS, TRACER
+from repro.obs.flight import FLIGHT
+from repro.obs.timeseries import TIMESERIES
+
+EXPERIMENT = "table-load-values"
+SCALE = 0.05
+
+
+def _render() -> str:
+    experiments.clear_caches()
+    with experiments.caching_disabled():
+        return experiments.run(EXPERIMENT, scale=SCALE).text
+
+
+@pytest.fixture
+def full_observability():
+    METRICS.reset()
+    METRICS.enable()
+    TRACER.enable()
+    TIMESERIES.enable(interval=1_000)
+    FLIGHT.enable(capacity=1_024)
+    yield
+    METRICS.disable()
+    METRICS.reset()
+    TRACER.disable()
+    TRACER.drain()
+    TIMESERIES.disable()
+    TIMESERIES.reset()
+    FLIGHT.disable()
+    FLIGHT.reset()
+
+
+def test_output_identical_with_observability_on_and_off(full_observability):
+    baseline = _render()
+
+    METRICS.disable()
+    TRACER.disable()
+    TIMESERIES.disable()
+    FLIGHT.disable()
+    disabled = _render()
+
+    assert disabled == baseline
+
+    METRICS.enable()
+    TRACER.enable()
+    TIMESERIES.enable(interval=1_000)
+    FLIGHT.enable(capacity=1_024)
+    observed = _render()
+
+    assert observed == baseline
+    # ... and the instrumentation did actually watch the observed run.
+    assert TIMESERIES.events > 0
+    assert FLIGHT.total_events > 0
+
+
+def test_disabled_observability_leaves_no_trace_state():
+    """With everything at the defaults, a run records nothing at all:
+    the pre-observability output is reproduced with zero side bands."""
+    text = _render()
+    assert text.strip()
+    assert METRICS.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+    assert len(TIMESERIES) == 0 and TIMESERIES.events == 0
+    assert FLIGHT.total_events == 0

@@ -1,0 +1,132 @@
+"""Tests for ``repro inspect``: TNV health flags and the report views.
+
+The report's contract: flags fire on the documented thresholds and
+only with enough clearing passes to mean something, the trajectory is
+a pure function of the value stream, and the full report is
+deterministic (golden-stable) for a deterministic workload.
+"""
+
+import pytest
+
+from repro.core.sites import SiteKind
+from repro.core.tnv import TNVTable
+from repro.obs.inspect import (
+    health_flags,
+    inspect_workload,
+    render_overview,
+    window_trajectory,
+)
+
+
+def _health(**overrides):
+    base = {
+        "resident": 10,
+        "capacity": 10,
+        "steady": 5,
+        "steady_occupancy": 1.0,
+        "clear_occupancy": 1.0,
+        "clears": 10,
+        "evictions": 0,
+        "promotions": 3,
+        "turnover": 0,
+        "last_turnover": 0,
+        "saturated_clears": 0,
+        "churn": 0.0,
+        "promotion_rate": 0.3,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestHealthFlags:
+    def test_healthy_site_has_no_flags(self):
+        assert health_flags(_health()) == []
+
+    def test_high_churn(self):
+        # 5 clear slots, > 2.5 evicted per clearing pass on average
+        assert "high-churn" in health_flags(_health(churn=3.0))
+        assert "high-churn" not in health_flags(_health(churn=2.0))
+
+    def test_high_churn_needs_two_clears(self):
+        assert health_flags(_health(churn=5.0, clears=1)) == []
+
+    def test_saturated(self):
+        assert "saturated" in health_flags(_health(saturated_clears=5))
+        assert "saturated" not in health_flags(_health(saturated_clears=4))
+
+    def test_never_promoted(self):
+        flagged = _health(promotions=0, turnover=7)
+        assert "never-promoted" in health_flags(flagged)
+        # no turnover means nothing ever competed for promotion: healthy
+        assert "never-promoted" not in health_flags(_health(promotions=0, turnover=0))
+
+    def test_flags_from_real_table(self):
+        # 12 distinct values cycling through a 4-slot table every
+        # interval: the clear part churns and nothing ever promotes.
+        table = TNVTable(capacity=4, steady=2, clear_interval=8)
+        for round_index in range(6):
+            for value in range(12):
+                table.record((round_index * 12 + value) % 24)
+        flags = health_flags(table.health())
+        assert "high-churn" in flags
+        assert "saturated" in flags
+
+
+class TestWindowTrajectory:
+    def test_invariant_stream(self):
+        rows = window_trajectory([7] * 10, window=5)
+        assert len(rows) == 2
+        assert all(row["inv_top1"] == 1.0 for row in rows)
+        assert all(row["lvp"] == 1.0 for row in rows)
+        assert all(row["top_value"] == 7 for row in rows)
+
+    def test_phase_change_shows_in_windows(self):
+        rows = window_trajectory([1] * 8 + [2] * 8, window=8)
+        assert rows[0]["top_value"] == 1
+        assert rows[1]["top_value"] == 2
+        assert rows[0]["distinct"] == rows[1]["distinct"] == 1
+
+    def test_alternating_stream_has_zero_lvp(self):
+        rows = window_trajectory([1, 2] * 4, window=8)
+        assert rows[0]["inv_top1"] == 0.5
+        assert rows[0]["lvp"] == 0.0
+
+    def test_ragged_final_window(self):
+        rows = window_trajectory([1, 1, 1, 2, 2], window=3)
+        assert [row["events"] for row in rows] == [3, 2]
+        assert rows[1]["window"] == 1
+
+
+class TestReport:
+    SCALE = 0.05
+
+    def test_overview_renders_and_is_deterministic(self):
+        first = inspect_workload("compress", scale=self.SCALE)
+        second = inspect_workload("compress", scale=self.SCALE)
+        assert first == second  # golden-stable
+        assert "TNV health, hottest all sites" in first
+        assert "drill down with --site N" in first
+
+    def test_overview_kind_filter(self):
+        report = inspect_workload("compress", scale=self.SCALE, kind=SiteKind.LOAD)
+        assert "hottest load sites" in report
+
+    def test_site_detail_sections(self):
+        report = inspect_workload("compress", scale=self.SCALE, site=0)
+        assert "TNV contents" in report
+        assert "health counter" in report
+        assert "trajectory per 2000-event clearing interval" in report
+
+    def test_site_detail_is_deterministic(self):
+        first = inspect_workload("compress", scale=self.SCALE, site=0)
+        assert first == inspect_workload("compress", scale=self.SCALE, site=0)
+
+    def test_site_out_of_range(self):
+        with pytest.raises(IndexError, match="out of range"):
+            inspect_workload("compress", scale=self.SCALE, site=10_000)
+
+    def test_overview_empty_database(self):
+        from repro.core.profile import ProfileDatabase
+
+        rendered = render_overview(ProfileDatabase(name="empty"))
+        assert "(no sites profiled)" in rendered

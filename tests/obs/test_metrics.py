@@ -71,6 +71,14 @@ class TestCounting:
         assert timer["count"] == 2
         assert timer["total_s"] >= timer["max_s"] >= 0.0
 
+    def test_timer_tracks_min(self, registry):
+        registry.observe("phase", 0.5)
+        registry.observe("phase", 0.1)
+        registry.observe("phase", 0.3)
+        timer = registry.snapshot()["timers"]["phase"]
+        assert timer["min_s"] == pytest.approx(0.1)
+        assert timer["max_s"] == pytest.approx(0.5)
+
     def test_reset_clears_everything(self, registry):
         registry.inc("a")
         registry.gauge("g", 1)
@@ -138,6 +146,34 @@ class TestMerge:
         assert timer["count"] == 3
         assert timer["total_s"] == pytest.approx(0.7)
         assert timer["max_s"] == pytest.approx(0.4)
+
+    def test_timers_merge_min(self, registry):
+        registry.observe("phase", 0.2)
+        registry.merge(
+            {
+                "counters": {},
+                "gauges": {},
+                "timers": {
+                    "phase": {"count": 1, "total_s": 0.05, "max_s": 0.05, "min_s": 0.05}
+                },
+            }
+        )
+        timer = registry.snapshot()["timers"]["phase"]
+        assert timer["min_s"] == pytest.approx(0.05)
+        assert timer["max_s"] == pytest.approx(0.2)
+
+    def test_timers_merge_legacy_snapshot_without_min(self, registry):
+        registry.observe("phase", 0.2)
+        registry.merge(
+            {
+                "counters": {},
+                "gauges": {},
+                "timers": {"phase": {"count": 1, "total_s": 0.4, "max_s": 0.4}},
+            }
+        )
+        # Pre-min_s snapshots fall back to max_s as the merged minimum.
+        timer = registry.snapshot()["timers"]["phase"]
+        assert timer["min_s"] == pytest.approx(0.2)
 
     def test_merge_respects_disabled(self):
         reg = MetricsRegistry()

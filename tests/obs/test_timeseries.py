@@ -1,0 +1,228 @@
+"""Tests for the time-series collector.
+
+The collector's contract: disabled is a no-op (the event clock does not
+even advance), enabled it samples the registry's comparable sections on
+interval crossings only, the ring bounds memory by dropping the oldest
+sample, and merge is associative/commutative on the shared (tick, name)
+grid so ``--jobs N`` yields one coherent series regardless of merge
+order.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.obs.timeseries import (
+    TIMESERIES,
+    TimeSeriesCollector,
+    load_series,
+    render_prometheus,
+)
+
+
+@pytest.fixture
+def collector():
+    col = TimeSeriesCollector()
+    col.enable(interval=10, capacity=8)
+    return col
+
+
+@pytest.fixture
+def registry():
+    """The process-wide registry, enabled and restored around the test."""
+    METRICS.reset()
+    METRICS.enable()
+    yield METRICS
+    METRICS.disable()
+    METRICS.reset()
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not TimeSeriesCollector().enabled
+
+    def test_disabled_advance_is_noop(self):
+        col = TimeSeriesCollector()
+        col.advance(10_000_000)
+        assert col.events == 0
+        assert len(col) == 0
+
+    def test_disabled_sample_is_noop(self):
+        col = TimeSeriesCollector()
+        col.sample()
+        assert len(col) == 0
+
+    def test_disabled_merge_is_noop(self):
+        col = TimeSeriesCollector()
+        col.merge({"samples": [{"tick": 1, "counters": {"x": 1}, "gauges": {}}]})
+        assert len(col) == 0
+
+    def test_enable_validates_arguments(self):
+        col = TimeSeriesCollector()
+        with pytest.raises(ValueError):
+            col.enable(interval=0)
+        with pytest.raises(ValueError):
+            col.enable(capacity=0)
+
+
+class TestSampling:
+    def test_samples_on_interval_crossing(self, collector, registry):
+        registry.inc("events", 7)
+        collector.advance(9)
+        assert len(collector) == 0  # below the interval: no sample yet
+        collector.advance(1)
+        assert len(collector) == 1
+        (sample,) = collector.samples()
+        assert sample["tick"] == 10
+        assert sample["counters"]["events"] == 7
+
+    def test_one_boundary_crossing_many_intervals_samples_once(self, collector):
+        collector.advance(1_000)  # 100 intervals in one batch boundary
+        assert len(collector) == 1
+
+    def test_ring_drops_oldest(self, registry):
+        col = TimeSeriesCollector()
+        col.enable(interval=1, capacity=3)
+        for _ in range(5):
+            col.advance(1)
+        assert len(col) == 3
+        assert col.dropped == 2
+        assert [s["tick"] for s in col.samples()] == [3, 4, 5]
+
+    def test_samples_key_sorted(self, collector, registry):
+        registry.inc("zebra")
+        registry.inc("alpha")
+        collector.advance(10)
+        (sample,) = collector.samples()
+        assert list(sample["counters"]) == sorted(sample["counters"])
+
+    def test_series_extracts_one_name(self, collector, registry):
+        for round_index in range(3):
+            registry.inc("events", 5)
+            registry.gauge("depth", round_index)
+            collector.advance(10)
+        assert collector.series("events") == [(10, 5), (20, 10), (30, 15)]
+        assert collector.series("depth") == [(10, 0), (20, 1), (30, 2)]
+        assert collector.series("missing") == []
+
+
+class TestMerge:
+    @staticmethod
+    def _payload(tick, counters, gauges=None, events=None):
+        return {
+            "interval": 10,
+            "events": events if events is not None else tick,
+            "dropped": 0,
+            "samples": [{"tick": tick, "counters": counters, "gauges": gauges or {}}],
+        }
+
+    def test_counters_add_on_shared_tick(self, collector):
+        collector.merge(self._payload(10, {"events": 3}))
+        collector.merge(self._payload(10, {"events": 4}))
+        assert collector.series("events") == [(10, 7)]
+
+    def test_gauges_take_max_on_shared_tick(self, collector):
+        collector.merge(self._payload(10, {}, gauges={"peak": 5}))
+        collector.merge(self._payload(10, {}, gauges={"peak": 3}))
+        assert collector.series("peak") == [(10, 5)]
+
+    def test_merge_is_associative_and_commutative(self):
+        payloads = [
+            self._payload(10, {"events": 1}, gauges={"peak": 2}),
+            self._payload(10, {"events": 5}, gauges={"peak": 9}),
+            self._payload(20, {"events": 3}, gauges={"peak": 1}),
+        ]
+        import itertools
+
+        rendered = set()
+        for order in itertools.permutations(payloads):
+            col = TimeSeriesCollector()
+            col.enable(interval=10)
+            for payload in order:
+                col.merge(payload)
+            rendered.add(json.dumps(col.samples(), sort_keys=True))
+        assert len(rendered) == 1  # every merge order yields one series
+
+    def test_merge_takes_max_events_and_sums_dropped(self, collector):
+        collector.advance(10)
+        collector.merge(
+            {"interval": 10, "events": 50, "dropped": 2, "samples": []}
+        )
+        assert collector.events == 50
+        assert collector.dropped == 2
+
+    def test_payload_roundtrip(self, collector, registry):
+        registry.inc("events", 2)
+        collector.advance(10)
+        other = TimeSeriesCollector()
+        other.enable(interval=10)
+        other.merge(collector.to_payload())
+        assert other.samples() == collector.samples()
+
+
+class TestExporters:
+    def test_jsonl_roundtrip(self, collector, registry, tmp_path):
+        registry.inc("events", 2)
+        collector.advance(10)
+        path = tmp_path / "series.jsonl"
+        collector.write_jsonl(str(path))
+        assert load_series(str(path)) == collector.samples()
+
+    def test_load_series_missing_file(self, tmp_path):
+        assert load_series(str(tmp_path / "nope.jsonl")) is None
+
+    def test_load_series_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        assert load_series(str(path)) is None
+
+    def test_prometheus_format(self):
+        text = render_prometheus(
+            [
+                {"tick": 10, "counters": {"cache.misses": 3}, "gauges": {"pool size": 2}},
+                {"tick": 20, "counters": {"cache.misses": 5}, "gauges": {}},
+            ]
+        )
+        lines = text.splitlines()
+        assert "# TYPE repro_cache_misses counter" in lines
+        assert "repro_cache_misses 3 10" in lines
+        assert "repro_cache_misses 5 20" in lines
+        assert "# TYPE repro_pool_size gauge" in lines
+        assert "repro_pool_size 2 10" in lines
+
+    def test_write_prometheus(self, collector, registry, tmp_path):
+        registry.inc("events")
+        collector.advance(10)
+        path = tmp_path / "series.prom"
+        collector.write_prometheus(str(path))
+        assert path.read_text().startswith("# TYPE repro_events counter")
+
+
+class TestParallelMerge:
+    def test_jobs_2_yields_one_merged_series(self, registry):
+        """``--jobs 2`` acceptance: workers run their own collectors and
+        the parent folds every payload into one coherent series."""
+        from repro.analysis import experiments
+        from repro.analysis.parallel import run_experiments
+
+        # Fork-started workers inherit this process's L1 memo; start
+        # cold so they actually simulate (and so advance the clock).
+        experiments.clear_caches()
+        TIMESERIES.enable(interval=1_000)
+        try:
+            with experiments.caching_disabled():
+                results = run_experiments(
+                    ["table-load-values", "table-top-procedures"],
+                    scale=0.05,
+                    jobs=2,
+                    use_cache=False,
+                )
+            assert len(results) == 2
+            assert len(TIMESERIES) > 0  # both workers' samples merged home
+            assert TIMESERIES.events > 0
+            samples = TIMESERIES.samples()
+            assert [s["tick"] for s in samples] == sorted(s["tick"] for s in samples)
+        finally:
+            TIMESERIES.disable()
+            TIMESERIES.reset()

@@ -194,3 +194,134 @@ class TestObservability:
     def test_stats_unreadable_metrics_fails(self, tmp_path, capsys):
         assert main(["stats", "--metrics", str(tmp_path / "missing.json")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestTelemetryCommands:
+    """The PR-5 surfaces: --timeseries/--flight capture, stats --json,
+    inspect, and dash."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro.analysis import experiments
+        from repro.obs.flight import FLIGHT
+        from repro.obs.timeseries import TIMESERIES
+
+        experiments.clear_caches()
+        yield
+        METRICS.disable()
+        METRICS.reset()
+        TRACER.disable()
+        TRACER.drain()
+        TIMESERIES.disable()
+        TIMESERIES.reset()
+        FLIGHT.disable()
+        FLIGHT.reset()
+        reset_logging()
+
+    def test_run_writes_timeseries_jsonl(self, tmp_path, capsys):
+        series_file = tmp_path / "series.jsonl"
+        code = main(
+            ["run", "table-load-values", "--scale", "0.1", "--no-cache",
+             "--timeseries", str(series_file),
+             "--timeseries-interval", "1000"]
+        )
+        assert code == 0
+        samples = [json.loads(line) for line in series_file.read_text().splitlines()]
+        assert samples, "expected at least one sample"
+        ticks = [s["tick"] for s in samples]
+        assert ticks == sorted(ticks)
+        assert any(s["counters"] for s in samples)
+
+    def test_run_writes_timeseries_prometheus(self, tmp_path, capsys):
+        series_file = tmp_path / "series.prom"
+        code = main(
+            ["run", "table-load-values", "--scale", "0.1", "--no-cache",
+             "--timeseries", str(series_file),
+             "--timeseries-interval", "1000"]
+        )
+        assert code == 0
+        text = series_file.read_text()
+        assert "# TYPE repro_" in text
+
+    def test_run_writes_flight_dump(self, tmp_path, capsys):
+        dump_file = tmp_path / "flight.jsonl"
+        code = main(
+            ["run", "table-load-values", "--scale", "0.1", "--no-cache",
+             "--flight", "--flight-dump", str(dump_file)]
+        )
+        assert code == 0
+        lines = dump_file.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["flight"] is True
+        assert header["reason"] == "cli-exit"
+        assert header["total_events"] > 0
+        event = json.loads(lines[1])
+        assert "site" in event and "value" in event and "tick" in event
+
+    def test_telemetry_disabled_after_main_returns(self, tmp_path, capsys):
+        from repro.obs.flight import FLIGHT
+        from repro.obs.timeseries import TIMESERIES
+
+        main(["run", "table-load-values", "--scale", "0.1",
+              "--timeseries", str(tmp_path / "s.jsonl"), "--flight"])
+        assert not TIMESERIES.enabled
+        assert not FLIGHT.enabled
+
+    def test_stats_json_export(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        main(["run", "table-load-values", "--scale", "0.1", "--no-cache",
+              "--metrics", str(metrics_file)])
+        capsys.readouterr()
+        json_file = tmp_path / "stats.json"
+        assert main(
+            ["stats", "--metrics", str(metrics_file), "--json", str(json_file)]
+        ) == 0
+        payload = json.loads(json_file.read_text())
+        for key in ("interpreter", "cache", "tracestore", "sampling",
+                    "counters", "gauges", "timers"):
+            assert key in payload
+        assert payload["interpreter"]["instructions"] > 0
+
+    def test_stats_json_does_not_change_text(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        main(["run", "table-load-values", "--scale", "0.1",
+              "--metrics", str(metrics_file)])
+        capsys.readouterr()
+        assert main(["stats", "--metrics", str(metrics_file)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["stats", "--metrics", str(metrics_file),
+                     "--json", str(tmp_path / "s.json")]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_inspect_overview(self, capsys):
+        assert main(["inspect", "compress", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "TNV health" in out
+        assert "drill down with --site N" in out
+
+    def test_inspect_site_detail(self, capsys):
+        assert main(["inspect", "compress", "--scale", "0.1", "--site", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "TNV contents" in out
+        assert "trajectory" in out
+
+    def test_inspect_site_out_of_range(self, capsys):
+        assert main(
+            ["inspect", "compress", "--scale", "0.1", "--site", "9999"]
+        ) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_dash_writes_html(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.json"
+        main(["run", "table-load-values", "--scale", "0.1", "--no-cache",
+              "--metrics", str(metrics_file)])
+        capsys.readouterr()
+        out_file = tmp_path / "dash.html"
+        assert main(
+            ["dash", "--metrics", str(metrics_file),
+             "--bench-dir", str(tmp_path), "-o", str(out_file)]
+        ) == 0
+        html = out_file.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "repro-stats" in html
+        assert str(out_file) in capsys.readouterr().out
