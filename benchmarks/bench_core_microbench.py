@@ -10,14 +10,19 @@ so the speedup of the batched fast path is tracked over time.
 """
 
 import random
+import time
+from array import array
+from collections import Counter
 
-from helpers import write_bench_json
+from helpers import append_history, write_bench_json
 
+from repro.core import fold as foldmod
 from repro.core.metrics import ValueStreamStats
 from repro.core.profile import ProfileDatabase
 from repro.core.sampling import ConvergentSampling, SamplingProfiler
 from repro.core.sites import load_site
 from repro.core.tnv import TNVTable
+from repro.core.tracestore import EventTrace, replay_profile
 from repro.isa.instrument import ProfileTarget, ValueProfiler
 from repro.isa.machine import Machine
 from repro.workloads.registry import get_workload
@@ -105,6 +110,125 @@ def test_sampled_record_batch_throughput(benchmark):
     profiler = benchmark(record_all)
     assert profiler.seen() == len(_VALUES)
     write_bench_json(benchmark, "sampled_record_batch")
+
+
+def test_tnv_record_grouped_throughput(benchmark):
+    """The columnar fast path: pre-deduplicated pairs, no re-count."""
+    interval = TNVTable().clear_interval
+    chunks = [
+        Counter(_VALUES[start : start + interval])
+        for start in range(0, len(_VALUES), interval)
+    ]
+
+    def record_all():
+        table = TNVTable()
+        for counts in chunks:
+            table.record_grouped(counts)
+        return table
+
+    table = benchmark(record_all)
+    assert table.total == len(_VALUES)
+    write_bench_json(benchmark, "tnv_record_grouped")
+
+
+# ----------------------------------------------------------------------
+# replay → fold throughput (the columnar hot path's headline number)
+# ----------------------------------------------------------------------
+
+_REPLAY_EVENTS = 400_000
+_REPLAY_SITES = 30
+
+
+def _synthetic_trace(events: int = _REPLAY_EVENTS, sites: int = _REPLAY_SITES) -> EventTrace:
+    """A realistic interleaved trace: hot sites, skewed repetitive values."""
+    rng = random.Random(20_260_807)
+    site_objs = [load_site("bench", "replay", pc) for pc in range(sites)]
+    site_ids = array("I", (rng.randrange(sites) for _ in range(events)))
+    values = array("q", (rng.randrange(64) if rng.random() < 0.7 else rng.randrange(1 << 20) for _ in range(events)))
+    return EventTrace(
+        program="bench",
+        variant="train",
+        scale=1.0,
+        sites=site_objs,
+        site_ids=site_ids,
+        values=values,
+        result=None,
+        dataset=None,
+    )
+
+
+_TARGETS = (ProfileTarget.LOADS,)
+
+
+def _events_per_second(trace: EventTrace, fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(trace)
+        best = min(best, time.perf_counter() - start)
+    return len(trace) / best
+
+
+def _replay_per_event(trace: EventTrace) -> ProfileDatabase:
+    """The pre-fold per-event reference: one ``record`` call per event."""
+    database = ProfileDatabase()
+    record = database.record
+    for site, value in trace.events(_TARGETS):
+        record(site, value)
+    return database
+
+
+def test_replay_fold_throughput(benchmark):
+    """Replay→fold pipeline: grouped columnar folds vs per-event replay.
+
+    Emits ``BENCH_replay_fold.json`` with events/s for the per-event
+    reference, the pure-Python grouped kernel, and (when installed) the
+    numpy kernel, plus the pure-Python speedup the PR is gated on.
+    """
+    trace = _synthetic_trace()
+    saved = foldmod.fold_mode()
+    try:
+        foldmod.set_fold_mode(foldmod.FOLD_PYTHON)
+        reference = replay_profile(trace, _TARGETS)
+
+        def fold_python():
+            return replay_profile(trace, _TARGETS)
+
+        database = benchmark(fold_python)
+        assert database.to_json() == reference.to_json()
+
+        event_eps = _events_per_second(trace, _replay_per_event)
+        numpy_eps = None
+        if foldmod.have_numpy():
+            foldmod.set_fold_mode(foldmod.FOLD_NUMPY)
+            assert replay_profile(trace, _TARGETS).to_json() == reference.to_json()
+            numpy_eps = _events_per_second(
+                trace, lambda t: replay_profile(t, _TARGETS)
+            )
+    finally:
+        foldmod.set_fold_mode(saved)
+
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return
+    # Best-vs-best: the reference numbers above are best-of-N, so the
+    # fold number uses the benchmark's min too.
+    python_eps = len(trace) / stats.min
+    write_bench_json(
+        benchmark,
+        "replay_fold",
+        events=len(trace),
+        sites=_REPLAY_SITES,
+        events_per_s_python=python_eps,
+        events_per_s_python_mean=len(trace) / stats.mean,
+        events_per_s_event=event_eps,
+        events_per_s_numpy=numpy_eps,
+        speedup_python_vs_event=python_eps / event_eps,
+    )
+    append_history("replay_fold", "events_per_s_python", python_eps)
+    append_history("replay_fold", "events_per_s_event", event_eps)
+    if numpy_eps is not None:
+        append_history("replay_fold", "events_per_s_numpy", numpy_eps)
 
 
 def _run_go(observer=None):

@@ -272,6 +272,13 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         help="re-simulate for every consumer instead of replaying from "
         "the simulate-once event-trace store",
     )
+    parser.add_argument(
+        "--fold",
+        choices=("grouped", "numpy", "python", "event"),
+        help="replay fold path (default: grouped = columnar folds, numpy "
+        "kernel when available; event = legacy per-site event batches; "
+        "REPRO_FOLD says otherwise)",
+    )
 
 
 def _apply_engine_args(args: argparse.Namespace):
@@ -283,18 +290,25 @@ def _apply_engine_args(args: argparse.Namespace):
     """
     import os
 
+    from repro.core import fold as foldmod
+
     engine = getattr(args, "engine", None)
     no_replay = getattr(args, "no_replay", False)
+    fold = getattr(args, "fold", None)
     saved = {
         key: os.environ.get(key)
-        for key in ("REPRO_ENGINE", "REPRO_NO_REPLAY")
+        for key in ("REPRO_ENGINE", "REPRO_NO_REPLAY", "REPRO_FOLD")
     }
     replay_before = experiments.replay_enabled()
+    fold_before = foldmod.fold_mode()
     if engine:
         os.environ["REPRO_ENGINE"] = engine
     if no_replay:
         os.environ["REPRO_NO_REPLAY"] = "1"
         experiments.set_replay_enabled(False)
+    if fold:
+        os.environ["REPRO_FOLD"] = fold
+        foldmod.set_fold_mode(fold)
 
     def restore() -> None:
         for key, value in saved.items():
@@ -303,6 +317,7 @@ def _apply_engine_args(args: argparse.Namespace):
             else:
                 os.environ[key] = value
         experiments.set_replay_enabled(replay_before)
+        foldmod.set_fold_mode(fold_before)
 
     return restore
 

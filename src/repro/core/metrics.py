@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from itertools import islice
+from operator import eq
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
 Value = Hashable
 
@@ -98,20 +100,80 @@ class ValueStreamStats:
         if not values:
             return
         counts = Counter(values)
-        self._histogram.update(counts)
-        self._total += len(values)
         zeros = 0
         for value, count in counts.items():
             if is_zero(value):
                 zeros += count
+        # map+operator.eq runs the adjacency scan at C speed; the old
+        # zip genexpr paid a Python-level comparison per event.
+        hits = sum(map(eq, values, islice(values, 1, None))) if len(values) > 1 else 0
+        self.record_parts(
+            counts=counts,
+            n=len(values),
+            zeros=zeros,
+            lvp_hits=hits,
+            first=values[0],
+            last=values[-1],
+        )
+
+    def record_run(self, value: Value, count: int) -> None:
+        """Record ``count`` consecutive executions producing ``value``.
+
+        State-identical to ``count`` :meth:`record` calls: the run
+        contributes ``count - 1`` internal last-value hits, plus the
+        run-boundary hit when it continues the previous value.
+        """
+        if count <= 0:
+            return
+        self.record_parts(
+            counts={value: count},
+            n=count,
+            zeros=count if is_zero(value) else 0,
+            lvp_hits=count - 1,
+            first=value,
+            last=value,
+        )
+
+    def record_grouped(self, pairs: Iterable[Tuple[Value, int]]) -> None:
+        """Record run-length ``(value, count)`` pairs in stream order.
+
+        Each pair stands for ``count`` consecutive executions of
+        ``value``; the expanded stream is recorded exactly, including
+        last-value hits across pair boundaries (adjacent pairs may
+        carry equal values).
+        """
+        for value, count in pairs:
+            self.record_run(value, count)
+
+    def record_parts(
+        self,
+        counts: Dict[Value, int],
+        n: int,
+        zeros: int,
+        lvp_hits: int,
+        first: Value,
+        last: Value,
+    ) -> None:
+        """Fold an already-reduced run into the statistics.
+
+        The columnar fast path: a run's histogram, zero count and
+        *internal* adjacency hits arrive precomputed (one reduction,
+        shared with the TNV table — see :mod:`repro.core.fold`); this
+        method only splices the run onto the stream recorded so far by
+        adding the boundary last-value hit and advancing first/last.
+        """
+        if n == 0:
+            return
+        self._histogram.update(counts)
+        self._total += n
         self._zeros += zeros
-        hits = 1 if (self._has_last and values[0] == self._last) else 0
-        hits += sum(1 for prev, cur in zip(values, values[1:]) if cur == prev)
-        self._lvp_hits += hits
+        self._lvp_hits += lvp_hits
+        if self._has_last and first == self._last:
+            self._lvp_hits += 1
         if not self._has_first:
-            self._first = values[0]
+            self._first = first
             self._has_first = True
-        self._last = values[-1]
+        self._last = last
         self._has_last = True
 
     # ------------------------------------------------------------------

@@ -15,10 +15,10 @@ needs only the previous value, which real value profilers also keep).
 from __future__ import annotations
 
 import json
-from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.fold import SiteFold, fold_values
 from repro.core.metrics import TOP_N, SiteMetrics, ValueStreamStats, aggregate_metrics, is_zero
 from repro.core.sites import Site, SiteKind
 from repro.core.tnv import TNVTable
@@ -99,32 +99,97 @@ class SiteProfile:
     def record_many(self, values: Iterable[Value]) -> None:
         """Record a run of dynamic values for this site, in order.
 
-        State-identical to per-value :meth:`record` calls, but the
-        zero/LVP bookkeeping runs as local-variable passes over the run
-        and the TNV table and exact statistics each consume the whole
-        run at once, collapsing the per-event call chain.
+        State-identical to per-value :meth:`record` calls, but the run
+        is reduced exactly once (:func:`repro.core.fold.fold_values` —
+        one dedup pass split at this table's clearing boundaries, one
+        adjacency pass) and the reduction feeds every structure through
+        :meth:`record_fold`.  The old path deduplicated three times:
+        here for zeros, in the TNV table per chunk, and again in the
+        exact statistics.
         """
         if not isinstance(values, (list, tuple)):
             values = list(values)
         if not values:
             return
-        self._total += len(values)
-        zeros = 0
-        for value, count in Counter(values).items():
-            if is_zero(value):
-                zeros += count
-        self._zeros += zeros
-        hits = 1 if (self._has_last and values[0] == self._last) else 0
-        hits += sum(1 for prev, cur in zip(values, values[1:]) if cur == prev)
+        self.record_fold(
+            fold_values(values, self.tnv.clear_interval, self.tnv._since_clear)
+        )
+
+    def record_run(self, value: Value, count: int) -> None:
+        """Record ``count`` consecutive executions producing ``value``.
+
+        State-identical to ``count`` :meth:`record` calls: ``count - 1``
+        internal last-value hits plus the run-boundary hit, with the
+        TNV table splitting the run at clearing boundaries.
+        """
+        if count <= 0:
+            return
+        self._total += count
+        if is_zero(value):
+            self._zeros += count
+        hits = count - 1
+        if self._has_last and value == self._last:
+            hits += 1
         self._lvp_hits += hits
         if not self._has_first:
-            self._first = values[0]
+            self._first = value
             self._has_first = True
-        self._last = values[-1]
+        self._last = value
         self._has_last = True
-        self.tnv.record_many(values)
+        self.tnv.record_run(value, count)
         if self.exact is not None:
-            self.exact.record_many(values)
+            self.exact.record_run(value, count)
+
+    def record_grouped(self, pairs: Iterable[Tuple[Value, int]]) -> None:
+        """Record run-length ``(value, count)`` pairs in stream order.
+
+        Each pair stands for ``count`` consecutive executions of
+        ``value``; recording is state-identical to the expanded stream.
+        """
+        for value, count in pairs:
+            self.record_run(value, count)
+
+    def record_fold(self, fold: SiteFold) -> None:
+        """Fold an already-reduced value run into this profile.
+
+        The columnar fast path: the run arrives as a
+        :class:`~repro.core.fold.SiteFold` whose chunks were split for
+        exactly this profile's TNV table, so the scalars splice on
+        directly and the TNV/exact structures consume grouped counts
+        with no further dedup.
+        """
+        if fold.n == 0:
+            return
+        tnv = self.tnv
+        if fold.interval != tnv.clear_interval or fold.since != tnv._since_clear:
+            raise ProfileError(
+                f"fold split for clear_interval={fold.interval} at "
+                f"since={fold.since} cannot feed a table at "
+                f"clear_interval={tnv.clear_interval} "
+                f"since={tnv._since_clear}"
+            )
+        self._total += fold.n
+        self._zeros += fold.zeros
+        hits = fold.lvp_hits
+        if self._has_last and fold.first == self._last:
+            hits += 1
+        self._lvp_hits += hits
+        if not self._has_first:
+            self._first = fold.first
+            self._has_first = True
+        self._last = fold.last
+        self._has_last = True
+        for counts, chunk_n in fold.chunks:
+            tnv.record_grouped(counts, chunk_n)
+        if self.exact is not None:
+            self.exact.record_parts(
+                counts=fold.counts,
+                n=fold.n,
+                zeros=fold.zeros,
+                lvp_hits=fold.lvp_hits,
+                first=fold.first,
+                last=fold.last,
+            )
 
     @property
     def executions(self) -> int:
@@ -246,6 +311,27 @@ class ProfileDatabase:
         _METRICS.inc("profile.batch_events", len(values))
         _TIMESERIES.advance(len(values))
         profile.record_many(values)
+
+    def record_fold(self, site: Site, fold: SiteFold) -> None:
+        """Record an already-reduced value run for ``site``.
+
+        The columnar replay path: the trace store folds each site's run
+        once (:meth:`repro.core.tracestore.EventTrace.site_folds`) and
+        this method splices the reduction in with the same batch
+        accounting :meth:`record_batch` pays — no per-event objects
+        anywhere in between.
+        """
+        if fold.n == 0:
+            return
+        profile = self._profiles.get(site)
+        if profile is None:
+            profile = SiteProfile(site, self.config, exact=self.exact)
+            self._profiles[site] = profile
+            _METRICS.inc("profile.sites_created")
+        _METRICS.inc("profile.batches")
+        _METRICS.inc("profile.batch_events", fold.n)
+        _TIMESERIES.advance(fold.n)
+        profile.record_fold(fold)
 
     def profile_for(self, site: Site) -> SiteProfile:
         """The profile for ``site``; raises if the site was never seen."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.errors import ProfileError
 from repro.obs.metrics import METRICS as _METRICS
@@ -135,68 +135,127 @@ class TNVTable:
         Semantically identical to calling :meth:`record` once per value
         — including the exact positions of clearing passes — but far
         faster: the stream is split into runs that contain no clearing
-        boundary, and each run is folded into the table with local
-        loops and a single counting pass instead of one attribute-heavy
-        call per event.
+        boundary and each run is deduplicated once (one ``Counter``
+        pass) and folded through :meth:`record_grouped`.
         """
         if not isinstance(values, (list, tuple)):
             values = list(values)
         n = len(values)
         if n == 0:
             return
-        # Batch-boundary instrumentation: one call per batch, never per
+        interval = self.clear_interval
+        if interval is None:
+            self.record_grouped(Counter(values), n)
+            return
+        start = 0
+        while start < n:
+            end = start + (interval - self._since_clear)
+            if end > n:
+                end = n
+            chunk = values if end - start == n else values[start:end]
+            self.record_grouped(Counter(chunk), end - start)
+            start = end
+
+    def record_grouped(
+        self,
+        pairs: "Dict[Value, int] | Iterable[Tuple[Value, int]]",
+        n: int | None = None,
+    ) -> None:
+        """Fold pre-deduplicated ``(value, count)`` pairs into the table.
+
+        This is the columnar fast path: one clear-free group of ``n``
+        events arrives already counted, so the table is updated with one
+        dict operation per *distinct* value instead of one call per
+        event.  For bit-identity with per-event recording the pairs must
+        be in **first-appearance order** of the underlying stream —
+        which value claims the last free slot depends only on the order
+        distinct values first arrive, never on their counts
+        (``Counter`` over a run yields exactly this order).
+
+        The group must not span a clearing boundary; callers split runs
+        first (:func:`repro.core.fold.fold_values` emits chunks aligned
+        to ``clear_interval``).  A clearing pass fires when the group
+        lands exactly on the boundary, matching per-event behavior.
+
+        Args:
+            pairs: mapping or iterable of ``(value, count)`` pairs with
+                positive counts, first-appearance ordered.
+            n: total event count of the group (sum of the counts);
+                computed when omitted.
+        """
+        items = pairs.items() if isinstance(pairs, dict) else list(pairs)
+        if n is None:
+            n = sum(count for _, count in items)
+        if n == 0:
+            return
+        interval = self.clear_interval
+        if interval is not None and self._since_clear + n > interval:
+            raise ProfileError(
+                f"grouped record of {n} events would cross a clearing "
+                f"boundary ({self._since_clear}/{interval} since last "
+                "clear); split the group at the boundary first"
+            )
+        # Batch-boundary instrumentation: one call per group, never per
         # event, which is what keeps the disabled-mode overhead at zero
         # on the per-event path (see docs/observability.md).
         _METRICS.inc("tnv.batch_records", n)
+        entries = self._entries
+        if isinstance(pairs, dict):
+            # Resident bumps and admissions are independent: bumping
+            # never changes occupancy and admitting never evicts, so
+            # probing the handful of residents against the group first
+            # and then admitting the first ``free`` unseen values is
+            # state-identical (entry order included) to the per-event
+            # interleaving — without walking every distinct value.
+            if entries:
+                get = pairs.get
+                for value in entries:
+                    count = get(value)
+                    if count is not None:
+                        entries[value] += count
+            free = self.capacity - len(entries)
+            if free:
+                for value, count in items:
+                    if value not in entries:
+                        entries[value] = count
+                        free -= 1
+                        if not free:
+                            break
+        else:
+            free = self.capacity - len(entries)
+            for value, count in items:
+                if value in entries:
+                    entries[value] += count
+                elif free:
+                    entries[value] = count
+                    free -= 1
+                # else: full; the value is dropped — the periodic clear
+                # is what re-opens slots.
+        self._total += n
+        if interval is not None:
+            self._since_clear += n
+            if self._since_clear >= interval:
+                self.clear_bottom()
+
+    def record_run(self, value: Value, count: int) -> None:
+        """Record ``count`` consecutive executions producing ``value``.
+
+        State-identical to ``count`` :meth:`record` calls: the run is
+        split at clearing boundaries and each piece folds as a
+        single-pair group.
+        """
+        if count <= 0:
+            return
         interval = self.clear_interval
         if interval is None:
-            self._total += n
-            self._record_run(values, 0, n)
+            self.record_grouped(((value, count),), count)
             return
-        start = 0
-        since = self._since_clear
-        while start < n:
-            end = start + (interval - since)
-            if end > n:
-                end = n
-            self._total += end - start
-            self._record_run(values, start, end)
-            since += end - start
-            if since >= interval:
-                self.clear_bottom()
-                since = 0
-            start = end
-        self._since_clear = since
-
-    def _record_run(self, values: Sequence[Value], start: int, end: int) -> None:
-        """Fold ``values[start:end]`` — a run with no clearing pass
-        inside it — into the table.
-
-        While the table has free slots, values must be processed in
-        order (which value fills the last slot depends on arrival
-        order).  Once the table is full no insertion can happen until
-        the next clear, so the rest of the run collapses to one
-        duplicate-counting pass that bumps resident entries and drops
-        everything else, exactly like per-event recording would.
-        """
-        entries = self._entries
-        capacity = self.capacity
-        i = start
-        if len(entries) < capacity:
-            while i < end:
-                value = values[i]
-                if value in entries:
-                    entries[value] += 1
-                elif len(entries) < capacity:
-                    entries[value] = 1
-                else:
-                    break
-                i += 1
-        if i >= end:
-            return
-        for value, count in Counter(values[i:end]).items():
-            if value in entries:
-                entries[value] += count
+        while count:
+            take = interval - self._since_clear
+            if take > count:
+                take = count
+            self.record_grouped(((value, take),), take)
+            count -= take
 
     def clear_bottom(self) -> None:
         """Evict the clear part: keep only the ``steady`` hottest entries.

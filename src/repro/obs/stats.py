@@ -14,6 +14,9 @@ summary tables:
   disk cache.
 * **Event-trace store** — simulate-once/replay-many effectiveness:
   captures vs replays, store hit rate, events replayed per second.
+* **Replay fold** — the columnar hot path: events/sites folded, runs
+  split at clearing boundaries, and which kernel (numpy or pure
+  Python) folded them.
 * **Measured sampling overhead** — per-policy fraction of dynamic
   executions that actually paid profiling cost, next to the overhead
   story the thesis reports (Ch. VIII), closing the loop on the paper's
@@ -205,6 +208,41 @@ def render_tracestore(snapshot: dict) -> str:
     return table.render()
 
 
+#: ``tracestore.fold_mode`` gauge values → human-readable path names
+#: (kept in sync with :data:`repro.core.fold.FOLD_MODE_GAUGE`).
+_FOLD_MODE_NAMES = {0.0: "event", 1.0: "python", 2.0: "numpy"}
+
+
+def fold_stats(snapshot: dict) -> dict:
+    """Columnar replay-fold effectiveness from a metrics snapshot."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    mode_gauge = gauges.get("tracestore.fold_mode")
+    return {
+        "events_folded": counters.get("tracestore.fold_events", 0),
+        "sites_folded": counters.get("tracestore.fold_sites", 0),
+        "runs_split": counters.get("tracestore.fold_chunks", 0),
+        "mode": _FOLD_MODE_NAMES.get(mode_gauge, "-"),
+        "numpy_active": mode_gauge == 2.0,
+    }
+
+
+def render_fold(snapshot: dict) -> str:
+    stats = fold_stats(snapshot)
+    table = Table(
+        ("events folded", "sites", "runs split", "kernel", "numpy active"),
+        title="Replay fold (columnar hot path)",
+    )
+    table.add_row(
+        stats["events_folded"],
+        stats["sites_folded"],
+        stats["runs_split"],
+        stats["mode"],
+        "yes" if stats["numpy_active"] else "no",
+    )
+    return table.render()
+
+
 def sampling_overheads(counters: Dict[str, int]) -> List[Tuple[str, int, int, float]]:
     """(policy, seen, profiled, overhead_fraction) rows, policy-sorted."""
     rows = []
@@ -280,6 +318,7 @@ def render_stats(
         sections.append(render_interpreter(snapshot))
         sections.append(render_cache(counters))
         sections.append(render_tracestore(snapshot))
+        sections.append(render_fold(snapshot))
         sections.append(render_sampling(counters))
         sections.append(render_counters(counters))
         sections.append(render_timers(snapshot.get("timers", {})))
@@ -314,6 +353,7 @@ def stats_payload(
         payload["interpreter"] = interpreter_stats(snapshot)
         payload["cache"] = cache_stats(counters)
         payload["tracestore"] = tracestore_stats(snapshot)
+        payload["fold"] = fold_stats(snapshot)
         payload["sampling"] = [
             {
                 "policy": policy,

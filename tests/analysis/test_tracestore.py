@@ -149,6 +149,56 @@ class TestReplayEquivalence:
         assert dropped == collector.dropped > 0
 
 
+class TestFoldModeEquivalence:
+    """Every fold mode must replay to byte-identical profile databases.
+
+    ``grouped`` (kernel auto-selected), forced ``python``, and the
+    legacy ``event`` path all sit behind ``replay_profile``; the CI
+    equivalence job additionally diffs whole-experiment output between
+    ``REPRO_FOLD=grouped`` and ``REPRO_FOLD=event``.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _restore_mode(self):
+        from repro.core import fold as foldmod
+
+        before = foldmod.fold_mode()
+        yield
+        foldmod.set_fold_mode(before)
+
+    @pytest.mark.parametrize("mode", ["grouped", "python", "event"])
+    @pytest.mark.parametrize(
+        "targets",
+        [(ProfileTarget.LOADS,), tuple(ALL_TARGETS)],
+        ids=["loads", "all"],
+    )
+    def test_replay_profile_matches_live_in_every_mode(self, captured, mode, targets):
+        from repro.core import fold as foldmod
+
+        live = ProfileDatabase(name=NAME)
+        _live_machine(
+            ValueProfiler(get_workload(NAME).program(), live, targets=targets)
+        )
+        foldmod.set_fold_mode(mode)
+        replayed = replay_profile(captured, targets, name=NAME)
+        assert replayed.to_json() == live.to_json()
+
+    def test_site_folds_order_matches_site_values(self, captured):
+        """Fold gather (numpy path included) must yield sites in the
+        same first-appearance order as the list gather."""
+        targets = tuple(ALL_TARGETS)
+        by_values = [site for site, _ in captured.site_values(targets)]
+        by_folds = [site for site, _ in captured.site_folds(targets, 2000)]
+        assert by_folds == by_values
+
+    def test_site_folds_counts_are_python_ints(self, captured):
+        for _, fold in captured.site_folds((ProfileTarget.LOADS,), 2000):
+            value, count = next(iter(fold.counts.items()))
+            assert type(value) is int
+            assert type(count) is int
+            break
+
+
 class TestValueTraceCollectorDropped:
     def test_uncapped_collection_drops_nothing(self):
         collector = ValueTraceCollector(get_workload(NAME).program())
