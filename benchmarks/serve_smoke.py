@@ -1,0 +1,182 @@
+"""Multi-client serving smoke: 2 shards, 3 producers, live queries.
+
+This is the CI face of ``docs/serving.md``: it stands up a sharded
+serve cluster, streams three concurrent producers into it — one
+replaying a *real* captured workload trace (compress/train) and two
+synthetic value streams — while a query thread hits the HTTP surface
+the whole time, then asserts the served ``/profile`` is byte-identical
+to an offline fold of the exact same events.
+
+Exit status is the verdict (assertions fail loudly); ``--log-dir``
+captures the harness event log plus a machine-readable summary so CI
+can upload them as artifacts.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src:. python benchmarks/serve_smoke.py --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.analysis.experiments import load_events  # noqa: E402
+from repro.core.tracestore import TARGET_KINDS  # noqa: E402
+
+from tests.serve.harness import (  # noqa: E402
+    ServeCluster,
+    assert_same_profile_state,
+    make_stream,
+    offline_reference,
+)
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="compress/train input scale (default 0.1)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--runtime", choices=("inline", "process"),
+                        default="inline")
+    parser.add_argument("--queue-size", type=int, default=32)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--synthetic-events", type=int, default=4000,
+                        help="events per synthetic producer")
+    parser.add_argument("--log-dir", default=None,
+                        help="write harness log + summary JSON here")
+    return parser.parse_args(argv)
+
+
+def synthetic_stream(program: str, num_events: int, seed: int):
+    """A synthetic producer stream on its own (disjoint) site space."""
+    return [
+        (dataclasses.replace(site, program=program), value)
+        for site, value in make_stream(
+            num_sites=10, num_events=num_events, seed=seed
+        )
+    ]
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    log_dir = pathlib.Path(args.log_dir) if args.log_dir else None
+    if log_dir:
+        log_dir.mkdir(parents=True, exist_ok=True)
+
+    # The real-workload producer replays the same event stream the
+    # offline pipeline folds (every profiled family, in trace order).
+    trace = load_events("compress", "train", args.scale)
+    compress_events = list(trace.events(list(TARGET_KINDS)))
+    producers = [
+        ("compress", "compress.train", compress_events),
+        ("synth-1", "smoke.one",
+         synthetic_stream("smoke1", args.synthetic_events, seed=101)),
+        ("synth-2", "smoke.two",
+         synthetic_stream("smoke2", args.synthetic_events, seed=202)),
+    ]
+    total_events = sum(len(events) for _, _, events in producers)
+    print(f"serve smoke: {args.shards} shards ({args.runtime} runtime), "
+          f"{len(producers)} producers, {total_events} events")
+
+    query_counts = {"stats": 0, "profile": 0, "depth_gauge_seen": 0}
+    errors = []
+    with ServeCluster(
+        log_path=str(log_dir / "serve-smoke-harness.log") if log_dir else None,
+        shards=args.shards,
+        runtime=args.runtime,
+        queue_size=args.queue_size,
+    ) as cluster:
+        done = threading.Event()
+
+        def produce(client_id, stream, events):
+            try:
+                cluster.push_events(
+                    client_id, events, stream=stream,
+                    batch_size=args.batch_size,
+                )
+            except Exception as error:  # surfaced after join
+                errors.append(f"{client_id}: {error!r}")
+
+        def query_while_ingesting():
+            while not done.is_set():
+                stats = cluster.http_json("/stats")
+                query_counts["stats"] += 1
+                # The depth gauge appears with the first routed batch.
+                if "serve.queue_depth" in stats["gauges"]:
+                    query_counts["depth_gauge_seen"] += 1
+                cluster.http("/profile?kind=load&top=5")
+                query_counts["profile"] += 1
+                time.sleep(0.02)
+
+        threads = [
+            threading.Thread(target=produce, args=spec, name=spec[0])
+            for spec in producers
+        ]
+        querier = threading.Thread(target=query_while_ingesting)
+        querier.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        done.set()
+        querier.join()
+        if errors:
+            raise SystemExit("producer failures: " + "; ".join(errors))
+
+        # One settled poll: the depth gauge must be exported (it updates
+        # with every routed batch; mid-ingest polls can miss it only when
+        # the whole ingest outpaces the query thread).
+        final_stats = cluster.http_json("/stats")
+        if "serve.queue_depth" in final_stats["gauges"]:
+            query_counts["depth_gauge_seen"] += 1
+
+        merged = cluster.merged_database()
+        got_json = cluster.http("/profile?format=json")
+        counters = dict(cluster.server.counters)
+
+    # Offline control: one database folding every producer's events.
+    # Producers own disjoint site sets, so cross-producer interleaving
+    # cannot affect any per-site state; the database name mirrors the
+    # server's merged-stream naming so the JSON is byte-comparable.
+    all_events = [pair for _, _, events in producers for pair in events]
+    streams = sorted(stream for _, stream, _ in producers)
+    offline = offline_reference(all_events, name="+".join(streams))
+
+    assert counters.get("serve.events") == total_events, counters
+    assert query_counts["profile"] >= 1, "no queries landed mid-ingest"
+    assert query_counts["depth_gauge_seen"] >= 1, "depth gauge never surfaced"
+    assert_same_profile_state(merged, offline)
+    expected_json = offline.to_json() + "\n"
+    assert got_json == expected_json, "served /profile JSON diverged"
+
+    summary = {
+        "shards": args.shards,
+        "runtime": args.runtime,
+        "producers": len(producers),
+        "events": total_events,
+        "queries_mid_ingest": dict(query_counts),
+        "counters": counters,
+        "byte_identical": True,
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if log_dir:
+        (log_dir / "serve-smoke-summary.json").write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        )
+    print("serve smoke: OK — served profile byte-identical to offline fold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -101,3 +101,24 @@ def metrics_row(name: str, metrics, precision_executions_in_millions: bool = Tru
 
 
 METRICS_COLUMNS = ("program", "execs", "LVP%", "Inv-Top1%", "Inv-All%", "Diff", "%Zeros")
+
+
+def profile_table(database, kind, top: int = 20, name: Optional[str] = None):
+    """The canonical per-site metrics table of one profile database.
+
+    Single construction site shared by ``repro profile`` and the serve
+    daemon's ``/profile`` endpoint: live service output is
+    byte-comparable to offline output because both render through this
+    function, not because two formatters happen to agree.
+
+    ``database`` is a :class:`repro.core.profile.ProfileDatabase`;
+    ``name`` overrides the title label (defaults to ``database.name``).
+    """
+    rows = database.metrics_by_site(kind)
+    title = f"{name or database.name}: per-site {kind.value} metrics"
+    table = Table(METRICS_COLUMNS, title=title)
+    for site, metrics in rows[:top]:
+        table.add_row(*metrics_row(site.qualified_name(), metrics))
+    table.add_separator()
+    table.add_row(*metrics_row("TOTAL", database.summary(kind)))
+    return table

@@ -19,6 +19,12 @@ Subcommands:
 * ``dash`` — render a self-contained HTML dashboard from captured
   ``--metrics``/``--trace``/``--timeseries`` artifacts plus the bench
   result history.
+* ``serve [--shards N]`` — the sharded live-profiling service: ingests
+  batched event streams from concurrent producers and answers
+  ``/profile``, ``/inspect``, ``/stats``, ``/timeseries`` over HTTP
+  from merged snapshots (see ``docs/serving.md``).
+* ``push <workload>`` — replay a stored workload trace into a running
+  ``serve`` daemon as one producer.
 
 ``run``, ``all`` and ``profile`` accept the observability flags
 ``--trace FILE`` (JSONL span trace), ``--metrics FILE`` (counter
@@ -44,7 +50,7 @@ from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.analysis import experiments
-from repro.analysis.tables import METRICS_COLUMNS, Table, metrics_row
+from repro.analysis.tables import Table, profile_table
 from repro.core.sites import SiteKind
 from repro.errors import ReproError
 from repro.obs import METRICS, TRACER, configure_logging
@@ -94,17 +100,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     run = profile_workload(args.workload, args.variant, scale=args.scale)
     kind = SiteKind(args.kind) if args.kind else SiteKind.LOAD
-    rows = run.database.metrics_by_site(kind)
-    table = Table(METRICS_COLUMNS, title=f"{run.name}: per-site {kind.value} metrics")
-    for site, metrics in rows[: args.top]:
-        table.add_row(*metrics_row(site.qualified_name(), metrics))
-    table.add_separator()
-    table.add_row(*metrics_row("TOTAL", run.database.summary(kind)))
-    print(table.render())
+    print(profile_table(run.database, kind, top=args.top, name=run.name).render())
     if args.json:
         import dataclasses
         import json
 
+        rows = run.database.metrics_by_site(kind)
         payload = {
             "workload": args.workload,
             "variant": args.variant,
@@ -207,6 +208,76 @@ def _cmd_report(args: argparse.Namespace) -> int:
     run = profile_workload(args.workload, args.variant, scale=args.scale)
     report = build_report(run.database, kind=kind)
     print(report.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.server import ServeServer
+
+    server = ServeServer(
+        shards=args.shards,
+        host=args.host,
+        ingest_port=args.port,
+        http_port=args.http_port,
+        queue_size=args.queue_size,
+        checkpoint_interval=args.checkpoint_interval or None,
+        snapshot_dir=args.snapshot_dir,
+        restore=args.restore,
+        runtime=args.runtime,
+        timeseries_interval=getattr(args, "timeseries_interval", None),
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {args.shards} shard(s) [{args.runtime}]: "
+            f"ingest {server.host}:{server.ingest_port}, "
+            f"http {server.host}:{server.http_port}",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler platforms
+        pass
+    return 0
+
+
+def _cmd_push(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import load_events
+    from repro.serve.client import ServeClient
+
+    stream = f"{args.workload}.{args.variant}"
+    trace = load_events(args.workload, args.variant, scale=args.scale)
+    client = ServeClient(
+        args.host,
+        args.port,
+        client_id=args.client or stream,
+        stream=stream,
+        window=args.window,
+        timeout=args.timeout,
+    )
+    with client:
+        events = client.push_trace(trace, batch_size=args.batch_size)
+    print(
+        f"pushed {events} events in {client.counters['batches']} batches "
+        f"({client.counters['retries']} retries, "
+        f"{client.counters['reconnects']} reconnects)"
+    )
     return 0
 
 
@@ -440,6 +511,85 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--scale", type=float, default=1.0)
     report_parser.add_argument("--kind", default="load")
     report_parser.set_defaults(func=_cmd_report)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the sharded live-profiling service"
+    )
+    serve_parser.add_argument("--shards", type=int, default=2)
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=7571, help="ingest listener port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--http-port", type=int, default=7572, help="query listener port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--runtime",
+        choices=("inline", "process"),
+        default="process",
+        help="shard execution model: worker processes (default) or "
+        "asyncio tasks in the server process",
+    )
+    serve_parser.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-shard bounded queue; the backpressure knob",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=200,
+        metavar="N",
+        help="batches between automatic shard checkpoints (0 = only on "
+        "/checkpoint and graceful stop)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-dir",
+        help="where snapshots + journals live (default: a temporary "
+        "directory, discarded on exit)",
+    )
+    serve_parser.add_argument(
+        "--restore",
+        action="store_true",
+        help="load shard snapshots/journals from --snapshot-dir on "
+        "startup (rolling restart)",
+    )
+    serve_parser.add_argument(
+        "--timeseries-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="enable the /timeseries collector, sampling every N events",
+    )
+    serve_parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        help="enable progress logging to stderr at this level",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    push_parser = sub.add_parser(
+        "push", help="replay a workload trace into a running serve daemon"
+    )
+    push_parser.add_argument("workload")
+    push_parser.add_argument("--variant", default="train", choices=("train", "test"))
+    push_parser.add_argument("--scale", type=float, default=1.0)
+    push_parser.add_argument("--host", default="127.0.0.1")
+    push_parser.add_argument("--port", type=int, default=7571)
+    push_parser.add_argument(
+        "--client", help="producer identity (default: <workload>.<variant>)"
+    )
+    push_parser.add_argument("--batch-size", type=int, default=1024)
+    push_parser.add_argument("--window", type=int, default=32)
+    push_parser.add_argument("--timeout", type=float, default=10.0)
+    push_parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        help="enable progress logging to stderr at this level",
+    )
+    push_parser.set_defaults(func=_cmd_push)
 
     sub.add_parser("workloads", help="list the benchmark suite").set_defaults(
         func=_cmd_workloads

@@ -1,0 +1,1016 @@
+"""The asyncio profiling service: ingest, shards, queries.
+
+Data path
+---------
+
+Client connections speak the length-prefixed frame protocol
+(:mod:`repro.serve.protocol`).  The router keeps one session per
+client id with the client's interned site table, the next expected
+batch sequence number, a bounded reorder buffer for batches that
+arrive ahead of a gap, and the set of batches routed but not yet
+acknowledged.  Every batch fans out to **every** shard — the events
+whose sites a shard owns, or an empty sub-batch — so each shard sees a
+gapless per-client sequence (see :mod:`repro.serve.shard` for why that
+invariant carries the whole consistency story).  A batch is
+acknowledged when all shards report it done (journaled + folded, or
+recognized as an already-applied duplicate).
+
+Backpressure is the shard queue: it is bounded, the router ``await``s
+the put, and a saturated queue therefore stops the router reading from
+client sockets (TCP backpressure) — while a high-watermark crossing
+additionally broadcasts an explicit ``flow: pause`` frame so
+well-behaved producers stop *before* the kernel buffers fill.
+
+Shard runtimes
+--------------
+
+* ``inline`` (default) — each shard is an asyncio task in the server
+  process draining an ``asyncio.Queue``.  Deterministic, cheap, fully
+  fault-injectable (the test harness's mode); profiling folds run on
+  the loop, which is fine because folds are batched C-level passes.
+* ``process`` — each shard is a spawned worker process draining a
+  bounded ``multiprocessing.Queue``, acks and query responses flowing
+  back over a result queue serviced by one reader thread per shard.
+  This is the multi-core deployment shape; queries ship the shard's
+  pickled database home for merging.
+
+Queries
+-------
+
+A second listener answers plain HTTP/1.1 GETs from merged snapshots:
+``/profile`` (the exact ``repro profile`` table, or the database JSON),
+``/inspect`` (TNV health overview), ``/stats`` (service counters,
+queue depths, per-shard state), ``/timeseries`` (the global collector's
+samples when enabled), ``/healthz`` and ``/checkpoint``.  Site spaces
+are disjoint across shards, so the merge is a pure union and per-site
+numbers are exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import tempfile
+import threading
+import urllib.parse
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import Site, SiteKind
+from repro.errors import ReproError
+from repro.obs import get_logger
+from repro.obs.metrics import METRICS as _METRICS
+from repro.serve import protocol as proto
+from repro.serve.protocol import ProtocolError
+from repro.serve.shard import ShardCore, resume_seq
+
+_LOG = get_logger(__name__)
+
+DEFAULT_QUEUE_SIZE = 64
+DEFAULT_CHECKPOINT_INTERVAL = 200
+DEFAULT_REORDER_WINDOW = 64
+
+#: queue-depth fractions that trigger client-visible flow control.
+FLOW_HIGH_FRACTION = 0.75
+FLOW_LOW_FRACTION = 0.25
+
+
+class ServeError(ReproError):
+    """The service could not start or answer."""
+
+
+class _Pending:
+    """One routed batch awaiting done-reports from every shard."""
+
+    __slots__ = ("remaining", "writer", "events")
+
+    def __init__(self, shards: int, writer, events: int) -> None:
+        self.remaining: Set[int] = set(range(shards))
+        self.writer = writer
+        self.events = events
+
+
+class _Session:
+    """Per-client routing state (survives reconnects)."""
+
+    __slots__ = (
+        "id",
+        "stream",
+        "sites",
+        "payloads",
+        "shard_of",
+        "expected_seq",
+        "reorder",
+        "pending",
+    )
+
+    def __init__(self, client_id: str, stream: str) -> None:
+        self.id = client_id
+        self.stream = stream
+        self.sites: List[Site] = []
+        self.payloads: List[list] = []
+        self.shard_of: List[int] = []
+        self.expected_seq = 0
+        #: seq -> (sids, values, writer) parked until the gap closes.
+        self.reorder: Dict[int, tuple] = {}
+        #: seq -> _Pending, routed but not fully acknowledged.
+        self.pending: Dict[int, _Pending] = {}
+
+    def add_sites(self, base: int, payloads: List[list], shards: int) -> None:
+        """Extend (or idempotently verify) the client's site table."""
+        if base != len(self.sites) and base + len(payloads) <= len(self.sites):
+            # Full replay from a reconnecting client: verify the prefix.
+            for offset, payload in enumerate(payloads):
+                if self.payloads[base + offset] != payload:
+                    raise ProtocolError(
+                        f"site id {base + offset} redefined inconsistently"
+                    )
+            return
+        if base > len(self.sites):
+            raise ProtocolError(
+                f"site table gap: base {base} with {len(self.sites)} defined"
+            )
+        for offset, payload in enumerate(payloads):
+            sid = base + offset
+            if sid < len(self.sites):
+                if self.payloads[sid] != payload:
+                    raise ProtocolError(f"site id {sid} redefined inconsistently")
+                continue
+            site = proto.site_from_payload(payload)
+            self.sites.append(site)
+            self.payloads.append(list(payload))
+            self.shard_of.append(proto.shard_for_site(site, shards))
+
+
+# ----------------------------------------------------------------------
+# shard runtimes
+# ----------------------------------------------------------------------
+
+
+class InlineShardRunner:
+    """One shard as an asyncio task draining a bounded queue.
+
+    ``kill`` models SIGKILL: the worker stops and everything not yet
+    journaled — queued sub-batches and the in-memory fold state since
+    the last checkpoint — is discarded.  ``restart`` rebuilds the core
+    from snapshot + journal.  ``delay`` injects per-batch latency (the
+    slow-consumer fault).
+    """
+
+    runtime = "inline"
+
+    def __init__(self, server: "ServeServer", index: int) -> None:
+        self.server = server
+        self.index = index
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=server.queue_size)
+        self.core: Optional[ShardCore] = self._make_core(restore=server.restore)
+        self.delay = 0.0
+        self.alive = False
+        self._task: Optional[asyncio.Task] = None
+
+    def _make_core(self, restore: bool) -> ShardCore:
+        return ShardCore(
+            self.index,
+            self.server.snapshot_dir,
+            config=self.server.config,
+            exact=self.server.exact,
+            restore=restore,
+        )
+
+    async def start(self) -> None:
+        self._task = asyncio.get_running_loop().create_task(self._run())
+        self.alive = True
+
+    async def _run(self) -> None:
+        while True:
+            client, seq, payloads, sidx, values = await self.queue.get()
+            if self.delay:
+                await asyncio.sleep(self.delay)
+            core = self.core
+            if core is not None:
+                done = core.submit(client, seq, payloads, sidx, values)
+                core.maybe_checkpoint(self.server.checkpoint_interval)
+                for done_seq in done:
+                    self.server._on_done(self.index, client, done_seq)
+            self.queue.task_done()
+            self.server._update_depth()
+
+    async def submit(self, item: tuple) -> None:
+        await self.queue.put(item)
+        self.server._update_depth()
+
+    def depth(self) -> int:
+        return self.queue.qsize()
+
+    async def query(self) -> Tuple[Optional[ProfileDatabase], dict]:
+        if self.core is None:
+            return None, {"index": self.index, "dead": True}
+        return self.core.db, self.core.stats()
+
+    async def applied_high(self, client: str) -> int:
+        if self.core is None:
+            return -1
+        return self.core.applied.get(client, -1)
+
+    async def checkpoint(self) -> None:
+        if self.core is not None:
+            self.core.checkpoint()
+
+    async def kill(self) -> int:
+        """Abrupt death: drop queued work and all un-journaled state."""
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        dropped = 0
+        while True:
+            try:
+                self.queue.get_nowait()
+                dropped += 1
+            except asyncio.QueueEmpty:
+                break
+        if self.core is not None:
+            self.core.close()
+            self.core = None
+        self.alive = False
+        self.server._update_depth()
+        return dropped
+
+    async def restart(self) -> None:
+        """Rolling restart: rebuild from snapshot + journal tail."""
+        if self._task is not None:
+            self._task.cancel()
+        self.core = self._make_core(restore=True)
+        self._task = asyncio.get_running_loop().create_task(self._run())
+        self.alive = True
+
+    async def stop(self, checkpoint: bool = True) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        if self.core is not None:
+            if checkpoint:
+                self.core.checkpoint()
+            self.core.close()
+        self.alive = False
+
+
+def _shard_process_main(
+    index: int,
+    directory: str,
+    config_tuple: tuple,
+    exact: bool,
+    restore: bool,
+    checkpoint_interval: Optional[int],
+    in_queue,
+    out_queue,
+) -> None:
+    """Worker-process entry point: drain sub-batches, report done seqs."""
+    core = ShardCore(
+        index,
+        directory,
+        config=TNVConfig(*config_tuple),
+        exact=exact,
+        restore=restore,
+    )
+    while True:
+        message = in_queue.get()
+        kind = message[0]
+        if kind == "batch":
+            _, client, seq, payloads, sidx, values = message
+            done = core.submit(client, seq, payloads, sidx, values)
+            core.maybe_checkpoint(checkpoint_interval)
+            for done_seq in done:
+                out_queue.put(("done", index, client, done_seq))
+        elif kind == "query":
+            out_queue.put(("query", message[1], core.db, core.stats()))
+        elif kind == "applied":
+            out_queue.put(("applied", message[1], core.applied.get(message[2], -1)))
+        elif kind == "checkpoint":
+            core.checkpoint()
+            out_queue.put(("checkpointed", message[1]))
+        elif kind == "stop":
+            core.checkpoint()
+            core.close()
+            out_queue.put(("stopped", index))
+            return
+
+
+class ProcessShardRunner:
+    """One shard as a spawned worker process behind bounded queues.
+
+    The multi-core deployment shape.  Acks, query responses and
+    checkpoint confirmations flow back over an out-queue; one daemon
+    reader thread per worker generation relays them onto the event
+    loop.  ``spawn`` (not ``fork``) keeps the child free of the
+    parent's loop and threads.
+
+    Kill discipline: SIGKILLing a child that holds a shared queue lock
+    poisons the lock for everyone else, so a killed generation's queues
+    are *abandoned*, never reused — each spawn gets fresh queues and a
+    fresh reader, and everything is generation-tagged so stragglers
+    from a dead worker are ignored.  For the same reason the router
+    never blocks a thread on ``Queue.put``: a full queue is retried
+    with short async sleeps, re-reading the current queue so a restart
+    redirects waiting batches to the new worker.
+    """
+
+    runtime = "process"
+
+    def __init__(self, server: "ServeServer", index: int) -> None:
+        import multiprocessing
+
+        self.server = server
+        self.index = index
+        self._ctx = multiprocessing.get_context("spawn")
+        self.in_queue = None
+        self.out_queue = None
+        self._gen = 0
+        self._process = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._responses: Dict[int, asyncio.Future] = {}
+        self._request_ids = itertools.count()
+        self.alive = False
+        self.delay = 0.0  # unsupported in process runtime (documented)
+
+    def _spawn(self, restore: bool) -> None:
+        config = self.server.config
+        self._gen += 1
+        self.in_queue = self._ctx.Queue(maxsize=self.server.queue_size)
+        self.out_queue = self._ctx.Queue()
+        self._process = self._ctx.Process(
+            target=_shard_process_main,
+            args=(
+                self.index,
+                self.server.snapshot_dir,
+                (config.capacity, config.steady, config.clear_interval),
+                self.server.exact,
+                restore,
+                self.server.checkpoint_interval,
+                self.in_queue,
+                self.out_queue,
+            ),
+            daemon=True,
+        )
+        self._process.start()
+        threading.Thread(
+            target=self._read_loop,
+            args=(self._gen, self.out_queue),
+            name=f"shard-{self.index}-reader-g{self._gen}",
+            daemon=True,
+        ).start()
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._spawn(restore=self.server.restore)
+        self.alive = True
+
+    def _read_loop(self, gen: int, out_queue) -> None:
+        while gen == self._gen:
+            try:
+                message = out_queue.get()
+            except (OSError, EOFError, ValueError):
+                return  # queue torn down under us: this generation is over
+            if message is None or gen != self._gen:
+                return
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            loop.call_soon_threadsafe(self._dispatch, gen, message)
+
+    def _dispatch(self, gen: int, message: tuple) -> None:
+        kind = message[0]
+        if kind == "done":
+            # Done reports are durable facts (journaled before reported)
+            # and stay valid even if their worker died since.
+            _, index, client, seq = message
+            self.server._on_done(index, client, seq)
+            self.server._update_depth()
+        elif gen != self._gen:
+            return  # stale response from a killed generation
+        elif kind in ("query", "applied", "checkpointed"):
+            future = self._responses.pop(message[1], None)
+            if future is not None and not future.done():
+                future.set_result(message[2:])
+        elif kind == "stopped":
+            self.alive = False
+
+    async def _request(self, *message) -> tuple:
+        request_id = next(self._request_ids)
+        future = asyncio.get_running_loop().create_future()
+        self._responses[request_id] = future
+        await self._put((message[0], request_id, *message[1:]))
+        return await future
+
+    async def _put(self, item: tuple) -> None:
+        import queue as _queue
+
+        while True:
+            target = self.in_queue
+            if target is None:
+                return  # runner torn down: the client's retry redelivers
+            try:
+                target.put_nowait(item)
+                return
+            except _queue.Full:
+                if not self.alive and target is self.in_queue:
+                    # Dead worker behind a saturated queue: drop — the
+                    # batch stays unacked, so the client resends it
+                    # once the shard is back.
+                    return
+                await asyncio.sleep(0.005)
+                # Loop re-reads self.in_queue: a restart swaps in the
+                # new worker's queue and we deliver there instead.
+
+    async def submit(self, item: tuple) -> None:
+        await self._put(("batch", *item))
+        self.server._update_depth()
+
+    def depth(self) -> int:
+        try:
+            return self.in_queue.qsize() if self.in_queue is not None else 0
+        except (NotImplementedError, OSError):  # pragma: no cover - macOS
+            return 0
+
+    async def query(self) -> Tuple[Optional[ProfileDatabase], dict]:
+        if not self.alive:
+            return None, {"index": self.index, "dead": True}
+        db, stats = await self._request("query")
+        return db, stats
+
+    async def applied_high(self, client: str) -> int:
+        if not self.alive:
+            return -1
+        (high,) = await self._request("applied", client)
+        return high
+
+    async def checkpoint(self) -> None:
+        if self.alive:
+            await self._request("checkpoint")
+
+    def _abandon_queues(self) -> int:
+        """Detach from a dead generation's queues; returns depth lost."""
+        dropped = self.depth()
+        self._gen += 1  # invalidates the reader thread and stale messages
+        for old in (self.in_queue, self.out_queue):
+            if old is not None:
+                old.close()
+                old.cancel_join_thread()
+        self.in_queue = None
+        self.out_queue = None
+        return dropped
+
+    async def kill(self) -> int:
+        process, self._process = self._process, None
+        if process is not None:
+            process.kill()
+            await asyncio.get_running_loop().run_in_executor(None, process.join)
+        dropped = self._abandon_queues()
+        for future in self._responses.values():
+            if not future.done():
+                future.cancel()
+        self._responses.clear()
+        self.alive = False
+        self.server._update_depth()
+        return dropped
+
+    async def restart(self) -> None:
+        if self._process is not None:
+            await self.kill()
+        self._spawn(restore=True)
+        self.alive = True
+
+    async def stop(self, checkpoint: bool = True) -> None:
+        import queue as _queue
+
+        process, self._process = self._process, None
+        if process is not None and process.is_alive():
+            graceful = False
+            if checkpoint and self.in_queue is not None:
+                try:
+                    self.in_queue.put_nowait(("stop",))
+                    graceful = True
+                except _queue.Full:
+                    pass
+            if not graceful:
+                process.kill()
+            await asyncio.get_running_loop().run_in_executor(None, process.join)
+        self._abandon_queues()
+        self.alive = False
+
+
+# ----------------------------------------------------------------------
+# the server
+# ----------------------------------------------------------------------
+
+
+class ServeServer:
+    """The profiling-as-a-service daemon.
+
+    Args:
+        shards: number of shard workers the site space hashes across.
+        host / ingest_port / http_port: listener addresses (port 0 =
+            ephemeral; the bound ports are exposed after ``start``).
+        queue_size: bound of each shard's sub-batch queue — the
+            backpressure knob.
+        checkpoint_interval: batches a shard applies between automatic
+            checkpoints (``None`` disables; ``/checkpoint`` and
+            graceful stop still checkpoint).
+        snapshot_dir: where snapshots + journals live (a temporary
+            directory when omitted).
+        restore: load shard snapshots/journals on startup (rolling
+            restart); sessions resume at ``min`` applied + 1.
+        config / exact: profile knobs, as in :class:`ProfileDatabase`.
+        runtime: ``"inline"`` or ``"process"`` (see module docstring).
+        timeseries_interval: if set, enable the global time-series
+            collector for this server's lifetime (``/timeseries``).
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        host: str = "127.0.0.1",
+        ingest_port: int = 0,
+        http_port: int = 0,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        checkpoint_interval: Optional[int] = DEFAULT_CHECKPOINT_INTERVAL,
+        snapshot_dir: Optional[str] = None,
+        restore: bool = False,
+        config: Optional[TNVConfig] = None,
+        exact: bool = True,
+        runtime: str = "inline",
+        reorder_window: int = DEFAULT_REORDER_WINDOW,
+        timeseries_interval: Optional[int] = None,
+    ) -> None:
+        if shards < 1:
+            raise ServeError(f"need at least one shard, got {shards}")
+        if runtime not in ("inline", "process"):
+            raise ServeError(f"unknown shard runtime {runtime!r}")
+        self.nshards = shards
+        self.host = host
+        self._ingest_port = ingest_port
+        self._http_port = http_port
+        self.queue_size = queue_size
+        self.checkpoint_interval = checkpoint_interval
+        self.restore = restore
+        self.config = config or TNVConfig()
+        self.exact = exact
+        self.runtime = runtime
+        self.reorder_window = reorder_window
+        self.timeseries_interval = timeseries_interval
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        if snapshot_dir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+            snapshot_dir = self._tmpdir.name
+        self.snapshot_dir = snapshot_dir
+        self.runners: List = []
+        self.sessions: Dict[str, _Session] = {}
+        self._conns: Set[asyncio.StreamWriter] = set()
+        self._ingest_server: Optional[asyncio.base_events.Server] = None
+        self._http_server: Optional[asyncio.base_events.Server] = None
+        self._paused = False
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {"serve.shards": float(shards)}
+        self._flow_high = max(1, int(queue_size * FLOW_HIGH_FRACTION))
+        self._flow_low = max(0, int(queue_size * FLOW_LOW_FRACTION))
+
+    # ------------------------------------------------------------------
+    # metrics plumbing (always-on internal dicts, mirrored to the
+    # global registry when the obs layer is enabled)
+    # ------------------------------------------------------------------
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+        _METRICS.inc(name, n)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+        _METRICS.gauge(name, value)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def ingest_port(self) -> int:
+        return self._ingest_port
+
+    @property
+    def http_port(self) -> int:
+        return self._http_port
+
+    def _make_runner(self, index: int):
+        if self.runtime == "process":
+            return ProcessShardRunner(self, index)
+        return InlineShardRunner(self, index)
+
+    async def start(self) -> None:
+        self.runners = [self._make_runner(index) for index in range(self.nshards)]
+        for runner in self.runners:
+            await runner.start()
+        self._ingest_server = await asyncio.start_server(
+            self._handle_ingest, self.host, self._ingest_port
+        )
+        self._http_server = await asyncio.start_server(
+            self._handle_http, self.host, self._http_port
+        )
+        self._ingest_port = self._ingest_server.sockets[0].getsockname()[1]
+        self._http_port = self._http_server.sockets[0].getsockname()[1]
+        if self.timeseries_interval is not None:
+            from repro.obs.timeseries import TIMESERIES
+
+            TIMESERIES.enable(interval=self.timeseries_interval)
+        _LOG.info(
+            "serving %d shard(s) [%s]: ingest on %s:%d, http on %s:%d",
+            self.nshards,
+            self.runtime,
+            self.host,
+            self._ingest_port,
+            self.host,
+            self._http_port,
+        )
+
+    async def stop(self, checkpoint: bool = True) -> None:
+        for server in (self._ingest_server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._ingest_server = self._http_server = None
+        for writer in list(self._conns):
+            writer.close()
+        self._conns.clear()
+        for runner in self.runners:
+            await runner.stop(checkpoint=checkpoint)
+        if self.timeseries_interval is not None:
+            from repro.obs.timeseries import TIMESERIES
+
+            TIMESERIES.disable()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    # ------------------------------------------------------------------
+    # ingest path
+    # ------------------------------------------------------------------
+
+    async def _handle_ingest(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._conns.add(writer)
+        self._inc("serve.connections")
+        session: Optional[_Session] = None
+        try:
+            while True:
+                message = await proto.read_frame(reader)
+                if message is None:
+                    break
+                kind = message["t"]
+                if kind == "hello":
+                    session = await self._hello(message, writer)
+                elif session is None:
+                    self._send(writer, proto.error("hello must come first"))
+                    break
+                elif kind == "sites":
+                    session.add_sites(
+                        message.get("base", 0),
+                        message.get("sites", []),
+                        self.nshards,
+                    )
+                elif kind == "batch":
+                    seq, sids, values = proto.check_batch(message)
+                    await self._handle_batch(session, writer, seq, sids, values)
+                elif kind == "bye":
+                    break
+                else:
+                    self._send(writer, proto.error(f"unknown message type {kind!r}"))
+                    break
+        except ProtocolError as error:
+            self._send(writer, proto.error(str(error)))
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conns.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _hello(self, message: dict, writer) -> _Session:
+        client = message.get("client")
+        if not isinstance(client, str) or not client:
+            raise ProtocolError("hello needs a non-empty client id")
+        session = self.sessions.get(client)
+        if session is None:
+            session = _Session(client, message.get("stream", ""))
+            # A server restored from snapshots has applied state for
+            # clients it has never talked to in this process; the
+            # resume point is min(applied) + 1 across shards.
+            highs = [await runner.applied_high(client) for runner in self.runners]
+            session.expected_seq = resume_seq(highs)
+            self.sessions[client] = session
+            self._gauge("serve.sessions", float(len(self.sessions)))
+        elif message.get("stream"):
+            session.stream = message["stream"]
+        self._send(writer, proto.welcome(self.nshards, session.expected_seq))
+        if self._paused:
+            self._send(writer, proto.flow("pause"))
+        return session
+
+    async def _handle_batch(
+        self, session: _Session, writer, seq: int, sids: List[int], values: List[int]
+    ) -> None:
+        self._inc("serve.batches")
+        if seq == session.expected_seq:
+            await self._route(session, writer, seq, sids, values, fresh=True)
+            session.expected_seq += 1
+            while session.expected_seq in session.reorder:
+                parked_sids, parked_values, parked_writer = session.reorder.pop(
+                    session.expected_seq
+                )
+                await self._route(
+                    session,
+                    parked_writer,
+                    session.expected_seq,
+                    parked_sids,
+                    parked_values,
+                    fresh=True,
+                )
+                session.expected_seq += 1
+        elif seq > session.expected_seq:
+            too_far = seq - session.expected_seq > self.reorder_window
+            if too_far or len(session.reorder) >= self.reorder_window:
+                # Dropped un-acked: the client's retry loop redelivers
+                # once the gap closes.  Bounding here is what keeps a
+                # wildly misordered producer from ballooning memory.
+                self._inc("serve.reorder_overflow")
+            else:
+                session.reorder[seq] = (sids, values, writer)
+                self._inc("serve.reordered_batches")
+        elif seq in session.pending:
+            # Routed but not fully acknowledged — a retry racing a slow
+            # or crashed shard.  Re-fan-out: shards that applied it
+            # dedup, the one that lost it applies it.
+            self._inc("serve.retried_batches")
+            await self._route(session, writer, seq, sids, values, fresh=False)
+        else:
+            # Fully applied long ago: just re-ack.
+            self._inc("serve.duplicate_batches")
+            self._send(writer, proto.ack(seq))
+
+    async def _route(
+        self,
+        session: _Session,
+        writer,
+        seq: int,
+        sids: List[int],
+        values: List[int],
+        fresh: bool,
+    ) -> None:
+        buckets: List[Optional[tuple]] = [None] * self.nshards
+        shard_of = session.shard_of
+        payloads = session.payloads
+        for sid, value in zip(sids, values):
+            if not 0 <= sid < len(shard_of):
+                raise ProtocolError(f"batch references undefined site id {sid}")
+            shard = shard_of[sid]
+            bucket = buckets[shard]
+            if bucket is None:
+                bucket = buckets[shard] = ([], {}, [], [])
+            local_payloads, local_index, local_sidx, local_values = bucket
+            local = local_index.get(sid)
+            if local is None:
+                local = local_index[sid] = len(local_payloads)
+                local_payloads.append(payloads[sid])
+            local_sidx.append(local)
+            local_values.append(value)
+        if fresh:
+            self._inc("serve.events", len(sids))
+        session.pending[seq] = _Pending(self.nshards, writer, len(sids))
+        for index, runner in enumerate(self.runners):
+            bucket = buckets[index]
+            if bucket is None:
+                item = (session.id, seq, [], [], [])
+            else:
+                item = (session.id, seq, bucket[0], bucket[2], bucket[3])
+            await runner.submit(item)
+
+    def _on_done(self, shard_index: int, client: str, seq: int) -> None:
+        session = self.sessions.get(client)
+        if session is None:
+            return
+        pending = session.pending.get(seq)
+        if pending is None:
+            return
+        pending.remaining.discard(shard_index)
+        if not pending.remaining:
+            del session.pending[seq]
+            self._inc("serve.acks")
+            self._send(pending.writer, proto.ack(seq))
+
+    def _send(self, writer, message: dict) -> None:
+        if writer is None or writer.is_closing():
+            return
+        try:
+            writer.write(proto.encode_frame(message))
+        except (ConnectionError, RuntimeError):  # pragma: no cover - races
+            pass
+
+    # ------------------------------------------------------------------
+    # flow control
+    # ------------------------------------------------------------------
+
+    def _update_depth(self) -> None:
+        depth = max((runner.depth() for runner in self.runners), default=0)
+        self._gauge("serve.queue_depth", float(depth))
+        if not self._paused and depth >= self._flow_high:
+            self._paused = True
+            self._inc("serve.flow_pauses")
+            self._broadcast(proto.flow("pause"))
+        elif self._paused and depth <= self._flow_low:
+            self._paused = False
+            self._broadcast(proto.flow("resume"))
+
+    def _broadcast(self, message: dict) -> None:
+        frame_writers = list(self._conns)
+        for writer in frame_writers:
+            self._send(writer, message)
+
+    # ------------------------------------------------------------------
+    # fault-injection / admin surface (also used by rolling restarts)
+    # ------------------------------------------------------------------
+
+    async def kill_shard(self, index: int) -> int:
+        """SIGKILL semantics; returns the number of queued batches lost."""
+        dropped = await self.runners[index].kill()
+        self._inc("serve.shard_kills")
+        return dropped
+
+    async def restart_shard(self, index: int) -> None:
+        """Restore a shard from its snapshot + journal."""
+        await self.runners[index].restart()
+        self._inc("serve.shard_restarts")
+
+    def set_shard_delay(self, index: int, seconds: float) -> None:
+        """Inject per-batch latency (slow-consumer fault; inline only)."""
+        runner = self.runners[index]
+        if runner.runtime != "inline":
+            raise ServeError("shard delay injection requires the inline runtime")
+        runner.delay = seconds
+
+    async def checkpoint_all(self) -> int:
+        for runner in self.runners:
+            await runner.checkpoint()
+        self._inc("serve.checkpoints")
+        return self.nshards
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _stream_name(self) -> str:
+        streams = sorted({s.stream for s in self.sessions.values() if s.stream})
+        return "+".join(streams)
+
+    async def merged_database(self) -> ProfileDatabase:
+        """A merged view of every shard's profiles.
+
+        Shards own disjoint site sets, so the merge is a union and all
+        per-site state is exact.  In the inline runtime this references
+        live shard profiles and is rendered without yielding to the
+        loop, i.e. it is a consistent snapshot; in the process runtime
+        each shard ships a pickled copy (per-shard consistent).
+        """
+        merged = ProfileDatabase(
+            config=self.config, exact=self.exact, name=self._stream_name()
+        )
+        for runner in self.runners:
+            db, _ = await runner.query()
+            if db is not None:
+                merged.merge(db)
+        return merged
+
+    async def stats_payload(self) -> dict:
+        shard_stats = []
+        for runner in self.runners:
+            _, stats = await runner.query()
+            stats["queue_depth"] = runner.depth()
+            stats["alive"] = runner.alive
+            shard_stats.append(stats)
+        return {
+            "runtime": self.runtime,
+            "paused": self._paused,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "clients": {
+                client: {
+                    "stream": session.stream,
+                    "expected_seq": session.expected_seq,
+                    "pending": len(session.pending),
+                    "reorder_buffered": len(session.reorder),
+                    "sites": len(session.sites),
+                }
+                for client, session in sorted(self.sessions.items())
+            },
+            "shards": shard_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP listener
+    # ------------------------------------------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if not request_line:
+                writer.close()
+                return
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                raise ProtocolError("malformed request line")
+            method, target = parts[0], parts[1]
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            if method != "GET":
+                status, ctype, body = 405, "text/plain", "only GET is supported\n"
+            else:
+                path, _, query = target.partition("?")
+                params = urllib.parse.parse_qs(query)
+                status, ctype, body = await self._http_route(path, params)
+        except ProtocolError as error:
+            status, ctype, body = 400, "text/plain", f"bad request: {error}\n"
+        except Exception as error:  # noqa: BLE001 - a query must never kill the loop
+            _LOG.exception("query failed")
+            status, ctype, body = 500, "text/plain", f"internal error: {error}\n"
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 500: "Internal Server Error"}
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: {ctype}; charset=utf-8\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    def _param(params: dict, name: str, default: str) -> str:
+        values = params.get(name)
+        return values[0] if values else default
+
+    async def _http_route(self, path: str, params: dict) -> Tuple[int, str, str]:
+        self._inc("serve.queries")
+        if path == "/healthz":
+            body = json.dumps(
+                {
+                    "status": "ok",
+                    "shards": self.nshards,
+                    "runtime": self.runtime,
+                    "alive": [runner.alive for runner in self.runners],
+                }
+            )
+            return 200, "application/json", body + "\n"
+        if path == "/stats":
+            payload = await self.stats_payload()
+            return 200, "application/json", json.dumps(payload, indent=2) + "\n"
+        if path == "/checkpoint":
+            count = await self.checkpoint_all()
+            return 200, "application/json", json.dumps({"checkpointed": count}) + "\n"
+        if path == "/profile":
+            merged = await self.merged_database()
+            if self._param(params, "format", "text") == "json":
+                return 200, "application/json", merged.to_json() + "\n"
+            from repro.analysis.tables import profile_table
+
+            kind = SiteKind(self._param(params, "kind", "load"))
+            top = int(self._param(params, "top", "20"))
+            return 200, "text/plain", profile_table(merged, kind, top=top).render() + "\n"
+        if path == "/inspect":
+            from repro.obs.inspect import render_overview
+
+            merged = await self.merged_database()
+            kind_name = self._param(params, "kind", "")
+            kind = SiteKind(kind_name) if kind_name else None
+            top = int(self._param(params, "top", "10"))
+            return 200, "text/plain", render_overview(merged, kind=kind, top=top) + "\n"
+        if path == "/timeseries":
+            from repro.obs.timeseries import TIMESERIES
+
+            if not TIMESERIES.enabled:
+                body = json.dumps({"enabled": False, "samples": []})
+                return 200, "application/json", body + "\n"
+            TIMESERIES.sample()
+            payload = TIMESERIES.to_payload()
+            payload["enabled"] = True
+            return 200, "application/json", json.dumps(payload) + "\n"
+        return 404, "text/plain", f"no such endpoint: {path}\n"

@@ -1,0 +1,353 @@
+"""The runtime-agnostic shard engine.
+
+One :class:`ShardCore` owns the profiles of every site that hashes to
+its index.  The server fans **every** client batch out to **every**
+shard — sub-batches carrying only the events whose sites the shard
+owns, empty ones included — so each shard observes a gapless, strictly
+increasing per-client sequence.  That single invariant buys the whole
+consistency story:
+
+* **Dedup** is a per-client high-water mark: a retried batch at or
+  below the mark is reported done without touching the profiles.
+* **In-order apply** is ``seq == high + 1``; anything further ahead is
+  a batch whose predecessor was lost in a crash, so it parks in a
+  bounded reorder buffer until the client's retry fills the gap.
+  Without the buffer, a retry racing a newer in-flight batch could
+  apply events out of stream order — the profiles' LVP/TNV state is
+  order-sensitive, so order is load-bearing, not cosmetic.
+* **Restart resume** is ``min`` over shards of the high-water mark:
+  every batch below it is applied everywhere, everything else the
+  client still holds.
+
+Durability is write-ahead: a batch is journaled before it is folded,
+and the server acks only after every shard has journaled+folded it.  A
+checkpoint serializes the full shard state (profiles *with* exact
+reference statistics — a pickle, same as the experiment disk cache)
+and truncates the journal; restore loads the snapshot and replays the
+journal tail through the normal dedup path, so a crash between
+snapshot-rename and journal-truncate double-applies nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import Site
+from repro.errors import ReproError
+from repro.serve.protocol import site_from_payload
+
+#: bumped when the snapshot or journal layout changes.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_LEN = struct.Struct(">I")
+
+#: per-client bound on batches parked ahead of a sequence gap.  An
+#: overflowing batch is dropped un-acked — the client's retry loop
+#: redelivers it once the gap closes, so the bound trades memory for
+#: one extra round trip, never for data.
+DEFAULT_AHEAD_WINDOW = 64
+
+
+class ShardStateError(ReproError):
+    """A snapshot or journal could not be loaded."""
+
+
+class ShardCore:
+    """All profiling state and durability logic of one shard.
+
+    Pure synchronous code with no event-loop or process assumptions:
+    the inline runtime drives it from an asyncio task, the process
+    runtime from a worker process's receive loop, and the test harness
+    directly.
+
+    Args:
+        index: this shard's position in the cluster.
+        directory: where the snapshot and journal live.
+        config: TNV knobs for every site profile.
+        exact: keep exact reference statistics (needed for
+            ground-truth metrics in query responses).
+        restore: load ``shard-<index>.snap`` + journal tail on
+            construction instead of starting empty.
+        ahead_window: per-client reorder-buffer bound.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        directory: str,
+        config: Optional[TNVConfig] = None,
+        exact: bool = True,
+        restore: bool = False,
+        ahead_window: int = DEFAULT_AHEAD_WINDOW,
+    ) -> None:
+        self.index = index
+        self.directory = Path(directory)
+        self.config = config or TNVConfig()
+        self.exact = exact
+        self.ahead_window = ahead_window
+        self.db = ProfileDatabase(config=self.config, exact=exact)
+        #: client id -> highest contiguously applied seq (-1 = none).
+        self.applied: Dict[str, int] = {}
+        #: client id -> {seq: (site_payloads, sidx, values)} parked ahead.
+        self._ahead: Dict[str, Dict[int, tuple]] = {}
+        #: decoded-site cache: payload tuple -> Site (amortizes decode).
+        self._site_cache: Dict[tuple, Site] = {}
+        self.counters: Dict[str, int] = {
+            "batches": 0,
+            "events": 0,
+            "duplicates": 0,
+            "ahead_buffered": 0,
+            "ahead_dropped": 0,
+            "wal_records": 0,
+            "checkpoints": 0,
+            "restores": 0,
+        }
+        self._wal_file = None
+        self._batches_since_checkpoint = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if restore:
+            self._restore()
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / f"shard-{self.index:03d}.snap"
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / f"shard-{self.index:03d}.wal"
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        client: str,
+        seq: int,
+        site_payloads: List[list],
+        sidx: List[int],
+        values: List[int],
+        journal: bool = True,
+    ) -> List[int]:
+        """Offer one sub-batch; returns the seqs now *done* on this shard.
+
+        "Done" means safe to count toward an ack: either freshly
+        journaled+applied (possibly releasing parked successors, whose
+        seqs are included) or recognized as an already-applied
+        duplicate.  A batch parked ahead of a gap — or dropped because
+        the reorder buffer is full — returns no seqs, which withholds
+        the ack and leaves redelivery to the client.
+
+        ``site_payloads`` is the sub-batch's local site dictionary;
+        ``sidx`` indexes into it.  Shipping the dictionary per batch
+        keeps sub-batches self-contained, so a journal record replays
+        without any shared interning state.
+        """
+        done: List[int] = []
+        high = self.applied.get(client, -1)
+        if seq <= high:
+            self.counters["duplicates"] += 1
+            done.append(seq)
+            return done
+        if seq > high + 1:
+            parked = self._ahead.setdefault(client, {})
+            if seq in parked:
+                self.counters["duplicates"] += 1
+            elif len(parked) >= self.ahead_window:
+                self.counters["ahead_dropped"] += 1
+            else:
+                parked[seq] = (site_payloads, sidx, values)
+                self.counters["ahead_buffered"] += 1
+            return done
+        self._apply(client, seq, site_payloads, sidx, values, journal)
+        done.append(seq)
+        parked = self._ahead.get(client)
+        if parked:
+            next_seq = seq + 1
+            while next_seq in parked:
+                payloads, parked_sidx, parked_values = parked.pop(next_seq)
+                self._apply(client, next_seq, payloads, parked_sidx, parked_values, journal)
+                done.append(next_seq)
+                next_seq += 1
+        return done
+
+    def _apply(
+        self,
+        client: str,
+        seq: int,
+        site_payloads: List[list],
+        sidx: List[int],
+        values: List[int],
+        journal: bool,
+    ) -> None:
+        if journal:
+            self._journal_append((client, seq, site_payloads, sidx, values))
+        sites = self._decode_sites(site_payloads)
+        if sidx:
+            # Group the sub-batch per site in first-appearance order and
+            # fold each run through the batched hot path: one site
+            # lookup per run, then the columnar SiteFold reduction.
+            runs: List[Optional[List[int]]] = [None] * len(sites)
+            order: List[int] = []
+            for local, value in zip(sidx, values):
+                run = runs[local]
+                if run is None:
+                    run = runs[local] = []
+                    order.append(local)
+                run.append(value)
+            for local in order:
+                self.db.record_batch(sites[local], runs[local])
+        self.applied[client] = seq
+        self.counters["batches"] += 1
+        self.counters["events"] += len(sidx)
+        self._batches_since_checkpoint += 1
+
+    def _decode_sites(self, site_payloads: List[list]) -> List[Site]:
+        cache = self._site_cache
+        sites = []
+        for payload in site_payloads:
+            key = tuple(payload)
+            site = cache.get(key)
+            if site is None:
+                site = cache[key] = site_from_payload(payload)
+            sites.append(site)
+        return sites
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    def _journal_append(self, record: tuple) -> None:
+        if self._wal_file is None:
+            self._wal_file = open(self.wal_path, "ab")
+        body = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self._wal_file.write(_LEN.pack(len(body)) + body)
+        self._wal_file.flush()
+        self.counters["wal_records"] += 1
+
+    def checkpoint(self) -> None:
+        """Serialize full state and truncate the journal.
+
+        Write-to-temp + rename keeps the old snapshot valid until the
+        new one is complete; truncating the journal *after* the rename
+        means a crash in between replays journal records the snapshot
+        already contains — which the dedup high-water mark absorbs.
+        """
+        payload = {
+            "format": SNAPSHOT_FORMAT_VERSION,
+            "index": self.index,
+            "config": (
+                self.config.capacity,
+                self.config.steady,
+                self.config.clear_interval,
+            ),
+            "exact": self.exact,
+            "applied": dict(self.applied),
+            "counters": dict(self.counters),
+            "db": self.db,
+        }
+        tmp = self.snapshot_path.with_suffix(".snap.tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self.snapshot_path)
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None
+        with open(self.wal_path, "wb"):
+            pass
+        self._batches_since_checkpoint = 0
+        self.counters["checkpoints"] += 1
+
+    def maybe_checkpoint(self, every: Optional[int]) -> bool:
+        """Checkpoint if ``every`` batches have been applied since the last."""
+        if every is not None and self._batches_since_checkpoint >= every:
+            self.checkpoint()
+            return True
+        return False
+
+    def _restore(self) -> None:
+        if self.snapshot_path.exists():
+            try:
+                with open(self.snapshot_path, "rb") as handle:
+                    payload = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError) as error:
+                raise ShardStateError(
+                    f"unreadable snapshot {self.snapshot_path}: {error}"
+                ) from None
+            if payload.get("format") != SNAPSHOT_FORMAT_VERSION:
+                raise ShardStateError(
+                    f"unsupported snapshot format {payload.get('format')!r}"
+                )
+            if payload["index"] != self.index:
+                raise ShardStateError(
+                    f"snapshot belongs to shard {payload['index']}, "
+                    f"loaded as shard {self.index}"
+                )
+            self.db = payload["db"]
+            self.applied = dict(payload["applied"])
+            saved = payload.get("counters", {})
+            for key in ("batches", "events", "checkpoints", "wal_records"):
+                self.counters[key] = saved.get(key, 0)
+        for client, seq, site_payloads, sidx, values in self._read_journal():
+            # Replay through the normal dedup path (no re-journaling):
+            # records that predate the snapshot skip as duplicates.
+            self.submit(client, seq, site_payloads, sidx, values, journal=False)
+        self.counters["restores"] += 1
+
+    def _read_journal(self) -> List[tuple]:
+        records: List[tuple] = []
+        if not self.wal_path.exists():
+            return records
+        with open(self.wal_path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset + _LEN.size <= len(data):
+            (length,) = _LEN.unpack_from(data, offset)
+            end = offset + _LEN.size + length
+            if end > len(data):
+                break  # torn final record (crash mid-append): not applied, not acked
+            records.append(pickle.loads(data[offset + _LEN.size:end]))
+            offset = end
+        return records
+
+    def close(self) -> None:
+        if self._wal_file is not None:
+            self._wal_file.close()
+            self._wal_file = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Plain-dict shard statistics for ``/stats`` responses."""
+        return {
+            "index": self.index,
+            "sites": len(self.db),
+            "clients": {
+                client: high for client, high in sorted(self.applied.items())
+            },
+            "counters": dict(self.counters),
+            "pending_ahead": sum(len(parked) for parked in self._ahead.values()),
+        }
+
+
+def resume_seq(applied_highs: List[int]) -> int:
+    """The session resume point given every shard's high-water mark.
+
+    A batch is ack-safe only when *every* shard applied it, so the
+    resume point is the smallest mark plus one; shards ahead of it
+    dedup the client's resends.
+    """
+    if not applied_highs:
+        return 0
+    return min(applied_highs) + 1

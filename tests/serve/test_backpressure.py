@@ -1,0 +1,84 @@
+"""Backpressure: a slow shard must throttle producers, not eat memory."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ClientError
+
+from tests.serve.harness import (
+    ServeCluster,
+    assert_same_profile_state,
+    make_stream,
+    offline_reference,
+)
+
+
+def test_slow_shard_propagates_flow_control():
+    """Saturating one shard pauses producers via flow frames; every
+    queue stays bounded and the depth gauge is observable throughout."""
+    events = make_stream(num_sites=8, num_events=1400, seed=12)
+    queue_size = 8
+    with ServeCluster(shards=2, queue_size=queue_size) as cluster:
+        cluster.set_shard_delay(0, 0.008)
+        client = cluster.client(
+            "c1", stream="s", window=16, timeout=60, retry_interval=30
+        )
+        samples = []
+        unacked_samples = []
+        stop_sampling = threading.Event()
+
+        def sample():
+            while not stop_sampling.is_set():
+                samples.append(cluster.queue_depth())
+                unacked_samples.append(client.unacked)
+                time.sleep(0.002)
+
+        sampler = threading.Thread(target=sample)
+        sampler.start()
+        try:
+            client.push_events(events, batch_size=10)
+            # While still saturated, the gauge must be live over HTTP too.
+            stats = cluster.http_json("/stats")
+            assert "serve.queue_depth" in stats["gauges"]
+            client.flush()
+        finally:
+            stop_sampling.set()
+            sampler.join()
+        cluster.set_shard_delay(0, 0.0)
+        client.close()
+        merged = cluster.merged_database()
+        counters = dict(cluster.server.counters)
+    # The queue saturated (watermark crossed) but never exceeded its bound.
+    assert max(samples) >= int(queue_size * 0.75)
+    assert max(samples) <= queue_size
+    # Flow control reached the client and actually paused it.
+    assert counters.get("serve.flow_pauses", 0) >= 1
+    assert client.counters["flow_pauses"] >= 1
+    # Bounded client memory: the unacked window never grew past its cap.
+    assert max(unacked_samples) <= 16
+    # And none of this throttling cost any data.
+    assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_client_times_out_without_acks_then_recovers():
+    """A dead shard stalls acks: the client retries, then raises after
+    its timeout; restarting the shard lets the same batch complete."""
+    events = make_stream(num_sites=6, num_events=40, seed=13)
+    with ServeCluster(shards=2, queue_size=16) as cluster:
+        cluster.kill_shard(0)  # acks now impossible: one shard never reports
+        client = cluster.client(
+            "c1", stream="s", timeout=0.8, retry_interval=0.2
+        )
+        client.push_events(events, batch_size=40)  # single batch
+        with pytest.raises(ClientError, match="no progress"):
+            client.flush()
+        assert client.counters["retries"] >= 1
+        assert client.unacked == 1
+        cluster.restart_shard(0)  # drains the queued sub-batch
+        client.flush()  # now completes inside the same timeout budget
+        assert client.unacked == 0
+        client.close()
+        merged = cluster.merged_database()
+    assert_same_profile_state(merged, offline_reference(events))

@@ -1,0 +1,182 @@
+"""Sharded-fold equivalence: any partition == single-process fold.
+
+The property the whole service stands on: per-site profile state
+depends only on the site's own value subsequence, so hashing the site
+space across shards and folding per-shard sub-batches yields state
+identical to one process recording the stream event by event — TNV
+entry order, health counters and exact statistics included.
+"""
+
+import tempfile
+import threading
+
+import pytest
+
+from repro.analysis.tables import profile_table
+from repro.core.profile import ProfileDatabase, TNVConfig
+from repro.core.sites import SiteKind
+from repro.serve import protocol as proto
+from repro.serve.shard import ShardCore
+
+from tests.serve.harness import (
+    ServeCluster,
+    assert_same_profile_state,
+    make_sites,
+    make_stream,
+    offline_reference,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+def fold_through_shards(events, batch_sizes, shards, config, client="c"):
+    """Route an event stream through real ShardCores, return the merge.
+
+    Mirrors the server's routing exactly: every batch fans out to every
+    shard as a self-contained (site-dictionary, indices, values)
+    sub-batch, empty ones included, so per-shard sequences stay gapless.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        cores = [
+            ShardCore(index, tmp, config=config, exact=True)
+            for index in range(shards)
+        ]
+        position = 0
+        seq = 0
+        sizes = list(batch_sizes)
+        while position < len(events):
+            size = sizes[seq % len(sizes)] if sizes else 64
+            batch = events[position : position + max(1, size)]
+            position += max(1, size)
+            buckets = [([], {}, [], []) for _ in range(shards)]
+            for site, value in batch:
+                owner = proto.shard_for_site(site, shards)
+                payloads, index_of, sidx, values = buckets[owner]
+                local = index_of.get(site)
+                if local is None:
+                    local = index_of[site] = len(payloads)
+                    payloads.append(proto.site_to_payload(site))
+                sidx.append(local)
+                values.append(value)
+            for index, core in enumerate(cores):
+                payloads, _, sidx, values = buckets[index]
+                done = core.submit(client, seq, payloads, sidx, values, journal=False)
+                assert done == [seq]
+            seq += 1
+        merged = ProfileDatabase(config=config, exact=True)
+        for core in cores:
+            merged.merge(core.db)
+        for core in cores:
+            core.close()
+        return merged
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_any_partition_matches_single_process(data):
+    sites = make_sites(6)
+    events = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 7)),
+            min_size=0,
+            max_size=120,
+        ),
+        label="events",
+    )
+    stream = [(sites[index], value) for index, value in events]
+    shards = data.draw(st.integers(1, 3), label="shards")
+    batch_sizes = data.draw(
+        st.lists(st.integers(1, 17), min_size=1, max_size=5), label="batch_sizes"
+    )
+    # Small TNV knobs so clearing/steady-state logic actually fires
+    # inside these short streams.
+    config = TNVConfig(capacity=4, steady=2, clear_interval=16)
+    merged = fold_through_shards(stream, batch_sizes, shards, config)
+    reference = offline_reference(stream, config=config, exact=True)
+    assert_same_profile_state(merged, reference)
+
+
+def test_record_batch_grouping_matches_per_event():
+    """Pin the grouping identity the shard apply path relies on."""
+    events = make_stream(num_sites=5, num_events=400, seed=11)
+    config = TNVConfig(capacity=6, steady=3, clear_interval=50)
+    per_event = offline_reference(events, config=config)
+    grouped = ProfileDatabase(config=config, exact=True)
+    # Whole-stream per-site grouping in first-appearance order — the
+    # coarsest partition the service can produce.
+    runs, order = {}, []
+    for site, value in events:
+        if site not in runs:
+            runs[site] = []
+            order.append(site)
+        runs[site].append(value)
+    for site in order:
+        grouped.record_batch(site, runs[site])
+    assert_same_profile_state(grouped, per_event)
+
+
+def test_end_to_end_profile_byte_identity():
+    """Acceptance: served /profile output is byte-identical to offline."""
+    events = make_stream(num_sites=10, num_events=1500, seed=3)
+    with ServeCluster(shards=3, queue_size=16, checkpoint_interval=100) as cluster:
+        cluster.push_events("c1", events, stream="synth.train", batch_size=37)
+        merged = cluster.merged_database()
+        got_text = cluster.profile_text(kind="load", top=20)
+        got_json = cluster.http("/profile?format=json")
+    expected = offline_reference(events, name="synth.train")
+    assert_same_profile_state(merged, expected)
+    expected_text = profile_table(expected, SiteKind.LOAD, top=20).render()
+    assert got_text == expected_text + "\n"
+    assert got_json == expected.to_json() + "\n"
+
+
+def test_concurrent_producers_with_queries_mid_stream():
+    """Three disjoint producers at once, queried while ingesting."""
+    streams = {
+        f"client{index}": [
+            (site, value)
+            for site, value in make_stream(num_sites=6, num_events=800, seed=index)
+        ]
+        for index in range(3)
+    }
+    # Disjoint site spaces per producer (distinct program names).
+    import dataclasses
+
+    for index, (name, events) in enumerate(sorted(streams.items())):
+        streams[name] = [
+            (dataclasses.replace(site, program=f"prog{index}"), value)
+            for site, value in events
+        ]
+    with ServeCluster(shards=2, queue_size=16) as cluster:
+        errors = []
+
+        def push(name, events):
+            try:
+                cluster.push_events(name, events, stream=name, batch_size=29)
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append((name, error))
+
+        threads = [
+            threading.Thread(target=push, args=(name, events))
+            for name, events in streams.items()
+        ]
+        for thread in threads:
+            thread.start()
+        # Query while ingest is in flight: must answer, not crash.
+        mid_stats = cluster.http_json("/stats")
+        assert mid_stats["runtime"] == "inline"
+        cluster.http("/profile?kind=load&top=5")
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        merged = cluster.merged_database()
+        final = cluster.http_json("/stats")
+    reference = ProfileDatabase(exact=True)
+    for name in sorted(streams):
+        for site, value in streams[name]:
+            reference.record(site, value)
+    assert_same_profile_state(merged, reference)
+    assert final["counters"]["serve.events"] == sum(
+        len(events) for events in streams.values()
+    )

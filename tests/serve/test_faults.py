@@ -1,0 +1,191 @@
+"""Fault injection: worker death, mid-stream disconnects, wire chaos.
+
+Every test here asserts the same end state — merged profiles identical
+to the offline fold of the same stream — because the service's whole
+failure contract is "faults cost retries and latency, never data that
+was acknowledged."
+"""
+
+import threading
+import time
+
+from tests.serve.harness import (
+    DropFirstSend,
+    DuplicateEverySend,
+    ServeCluster,
+    SwapAdjacentSends,
+    assert_same_profile_state,
+    make_sites,
+    make_stream,
+    offline_reference,
+)
+
+
+def _wait_for(predicate, timeout=15.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_kill_and_restore_loses_nothing_acked(tmp_path):
+    """Everything flushed (= acked) survives a SIGKILL + restore."""
+    events = make_stream(num_sites=8, num_events=1000, seed=5)
+    with ServeCluster(
+        shards=2,
+        queue_size=16,
+        checkpoint_interval=7,  # odd on purpose: WAL tail + snapshot both live
+        snapshot_dir=str(tmp_path),
+    ) as cluster:
+        client = cluster.client("c1", stream="s")
+        client.push_events(events[:500], batch_size=25)
+        client.flush()
+        cluster.kill_shard(0)
+        cluster.restart_shard(0)
+        client.push_events(events[500:], batch_size=25)
+        client.flush()
+        client.close()
+        merged = cluster.merged_database()
+    assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_kill_mid_ingest_recovers_via_retries(tmp_path):
+    """Kill a shard while batches are in flight: the unacked window is
+    re-delivered by the client, acked batches come back from disk, and
+    the final state is exact."""
+    events = make_stream(num_sites=8, num_events=1200, seed=6)
+    with ServeCluster(
+        shards=2,
+        queue_size=8,
+        checkpoint_interval=5,
+        snapshot_dir=str(tmp_path),
+    ) as cluster:
+        cluster.set_shard_delay(0, 0.01)  # keep batches in flight at kill time
+        failures = []
+
+        def produce():
+            try:
+                client = cluster.client(
+                    "c1", stream="s", retry_interval=0.1, timeout=30, window=8
+                )
+                client.push_events(events, batch_size=24)
+                client.flush()
+                client.close()
+            except Exception as error:  # pragma: no cover - surfaced below
+                failures.append(error)
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        assert _wait_for(
+            lambda: cluster.server.counters.get("serve.batches", 0) >= 5
+        ), "producer never got going"
+        dropped = cluster.kill_shard(0)
+        cluster.log(f"killed mid-ingest; {dropped} queued batches dropped")
+        time.sleep(0.1)
+        cluster.set_shard_delay(0, 0.0)
+        cluster.restart_shard(0)
+        producer.join(timeout=60)
+        assert not producer.is_alive(), "producer wedged after shard kill"
+        assert not failures, failures
+        merged = cluster.merged_database()
+        stats = cluster.http_json("/stats")
+    assert_same_profile_state(merged, offline_reference(events))
+    assert stats["counters"]["serve.shard_kills"] == 1
+    assert stats["counters"]["serve.shard_restarts"] == 1
+
+
+def test_disconnect_mid_batch_leaves_no_partial_fold():
+    """A frame truncated by connection loss must apply zero events."""
+    sites = make_sites(4)
+    full_batches = [
+        ([sites[0], sites[1], sites[0]], [1, 2, 1]),
+        ([sites[2]], [7]),
+    ]
+    with ServeCluster(shards=2) as cluster:
+        cluster.half_frame_disconnect(
+            "ghost", full_batches, [sites[3], sites[0]], [99, 99]
+        )
+        assert _wait_for(
+            lambda: cluster.server.counters.get("serve.events", 0) >= 4
+        ), "complete batches never applied"
+        time.sleep(0.2)  # give a partial fold every chance to appear
+        merged = cluster.merged_database()
+        stats = cluster.http_json("/stats")
+    expected = offline_reference(
+        [(site, value) for sites_, values in full_batches
+         for site, value in zip(sites_, values)]
+    )
+    assert_same_profile_state(merged, expected)
+    assert sites[3] not in merged  # the truncated batch's new site never appeared
+    assert stats["counters"]["serve.events"] == 4
+
+
+def test_dropped_frames_are_recovered_by_retry():
+    events = make_stream(num_sites=6, num_events=300, seed=7)
+    hook = DropFirstSend({1, 4})
+    with ServeCluster(shards=2) as cluster:
+        client = cluster.client(
+            "c1", retry_interval=0.05, timeout=20, frame_hook=hook
+        )
+        client.push_events(events, batch_size=30)
+        client.flush()
+        client.close()
+        merged = cluster.merged_database()
+    assert hook.dropped == [1, 4]
+    assert client.counters["retries"] >= 1
+    assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_duplicated_frames_are_deduplicated():
+    events = make_stream(num_sites=6, num_events=300, seed=8)
+    hook = DuplicateEverySend()
+    with ServeCluster(shards=2) as cluster:
+        client = cluster.client("c1", timeout=20, frame_hook=hook)
+        client.push_events(events, batch_size=30)
+        client.flush()
+        client.close()
+        merged = cluster.merged_database()
+        counters = cluster.http_json("/stats")["counters"]
+    assert hook.duplicated == client.counters["batches"]
+    # every second copy is either a full duplicate or a redundant retry
+    assert (
+        counters.get("serve.duplicate_batches", 0)
+        + counters.get("serve.retried_batches", 0)
+        >= 1
+    )
+    assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_reordered_frames_are_applied_in_order():
+    events = make_stream(num_sites=6, num_events=300, seed=9)
+    hook = SwapAdjacentSends()
+    with ServeCluster(shards=2) as cluster:
+        client = cluster.client(
+            "c1", retry_interval=0.1, timeout=20, frame_hook=hook
+        )
+        client.push_events(events, batch_size=30)  # 10 batches: 5 swapped pairs
+        client.flush()
+        client.close()
+        merged = cluster.merged_database()
+        counters = cluster.http_json("/stats")["counters"]
+    assert hook.swapped >= 4
+    assert counters.get("serve.reordered_batches", 0) >= 1
+    assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_client_reconnect_resumes_from_welcome():
+    """Abort mid-stream, reconnect with the same identity, finish."""
+    events = make_stream(num_sites=6, num_events=600, seed=10)
+    with ServeCluster(shards=2) as cluster:
+        client = cluster.client("c1", stream="s", timeout=20)
+        client.push_events(events[:300], batch_size=30)
+        client.flush()
+        client.abort()  # hard drop, no goodbye
+        client.connect()  # same object: unacked empty, welcome resyncs seq
+        client.push_events(events[300:], batch_size=30)
+        client.flush()
+        client.close()
+        merged = cluster.merged_database()
+    assert_same_profile_state(merged, offline_reference(events))

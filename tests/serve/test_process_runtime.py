@@ -1,0 +1,52 @@
+"""The worker-process shard runtime: same contract, real processes.
+
+The inline runtime carries the heavy equivalence/fault matrix (it is
+deterministic and cheap); these tests pin that the multiprocessing
+deployment shape — spawn workers, bounded mp queues, pickled query
+responses — honors the identical exactness and restart semantics.
+"""
+
+from tests.serve.harness import (
+    ServeCluster,
+    assert_same_profile_state,
+    make_stream,
+    offline_reference,
+)
+
+
+def test_process_runtime_end_to_end(tmp_path):
+    events = make_stream(num_sites=8, num_events=800, seed=30)
+    with ServeCluster(
+        shards=2,
+        runtime="process",
+        queue_size=16,
+        checkpoint_interval=10,
+        snapshot_dir=str(tmp_path),
+    ) as cluster:
+        cluster.push_events("c1", events, stream="synth.train", batch_size=40)
+        merged = cluster.merged_database()
+        stats = cluster.http_json("/stats")
+        assert stats["runtime"] == "process"
+        assert [shard["alive"] for shard in stats["shards"]] == [True, True]
+    assert_same_profile_state(merged, offline_reference(events, name="synth.train"))
+
+
+def test_process_runtime_kill_and_restore(tmp_path):
+    events = make_stream(num_sites=8, num_events=800, seed=31)
+    with ServeCluster(
+        shards=2,
+        runtime="process",
+        queue_size=16,
+        checkpoint_interval=5,
+        snapshot_dir=str(tmp_path),
+    ) as cluster:
+        client = cluster.client("c1", stream="s", timeout=30)
+        client.push_events(events[:400], batch_size=25)
+        client.flush()
+        cluster.kill_shard(0)  # real SIGKILL on a real process
+        cluster.restart_shard(0)
+        client.push_events(events[400:], batch_size=25)
+        client.flush()
+        client.close()
+        merged = cluster.merged_database()
+    assert_same_profile_state(merged, offline_reference(events))

@@ -1,0 +1,101 @@
+"""Wire-protocol unit tests: framing, site payloads, shard routing."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.core.sites import Site, SiteKind
+from repro.serve import protocol as proto
+from repro.serve.protocol import FrameDecoder, ProtocolError
+
+from tests.serve.harness import make_sites
+
+
+def test_frame_round_trip():
+    message = proto.batch(7, [0, 1, 0], [10, 20, 30])
+    frames = list(FrameDecoder().feed(proto.encode_frame(message)))
+    assert frames == [message]
+
+
+def test_decoder_handles_byte_by_byte_delivery():
+    messages = [proto.hello("c", "s"), proto.batch(0, [0], [1]), proto.bye()]
+    blob = b"".join(proto.encode_frame(m) for m in messages)
+    decoder = FrameDecoder()
+    out = []
+    for index in range(len(blob)):
+        out.extend(decoder.feed(blob[index : index + 1]))
+    assert out == messages
+    assert decoder.pending_bytes == 0
+
+
+def test_truncated_frame_is_never_yielded():
+    frame = proto.encode_frame(proto.batch(3, [0, 0], [1, 2]))
+    decoder = FrameDecoder()
+    assert list(decoder.feed(frame[:-1])) == []
+    assert decoder.pending_bytes == len(frame) - 1
+    # the remaining byte completes it — atomicity, not loss
+    assert list(decoder.feed(frame[-1:])) == [proto.batch(3, [0, 0], [1, 2])]
+
+
+def test_oversized_frame_rejected():
+    huge = struct.pack(">I", proto.MAX_FRAME + 1)
+    with pytest.raises(ProtocolError):
+        list(FrameDecoder().feed(huge))
+
+
+def test_non_object_frame_rejected():
+    frame = struct.pack(">I", 2) + b"[]"
+    with pytest.raises(ProtocolError):
+        list(FrameDecoder().feed(frame))
+
+
+def test_site_payload_round_trip():
+    site = Site(
+        kind=SiteKind.LOAD, program="p", procedure="f", label="L1", opcode="load"
+    )
+    assert proto.site_from_payload(proto.site_to_payload(site)) == site
+
+
+def test_bad_site_payload_raises():
+    with pytest.raises(ProtocolError):
+        proto.site_from_payload(["not-a-kind", "p", "f", "L", "op"])
+    with pytest.raises(ProtocolError):
+        proto.site_from_payload(["load", "p"])
+
+
+def test_shard_routing_is_stable_and_in_range():
+    sites = make_sites(50)
+    for shards in (1, 2, 3, 7):
+        for site in sites:
+            index = proto.shard_for_site(site, shards)
+            assert 0 <= index < shards
+            assert index == proto.shard_for_site(site, shards)  # deterministic
+
+
+def test_shard_routing_matches_crc32_of_identity():
+    site = make_sites(1)[0]
+    key = f"{site.kind.value}|{site.program}|{site.procedure}|{site.label}"
+    assert proto.shard_for_site(site, 5) == zlib.crc32(key.encode()) % 5
+
+
+def test_shard_routing_ignores_opcode():
+    a = Site(kind=SiteKind.LOAD, program="p", procedure="f", label="L", opcode="x")
+    b = Site(kind=SiteKind.LOAD, program="p", procedure="f", label="L", opcode="y")
+    assert proto.shard_for_site(a, 13) == proto.shard_for_site(b, 13)
+
+
+def test_shard_routing_spreads_sites():
+    sites = make_sites(200)
+    owners = {proto.shard_for_site(site, 4) for site in sites}
+    assert owners == {0, 1, 2, 3}
+
+
+def test_check_batch_validation():
+    assert proto.check_batch(proto.batch(0, [1], [2])) == (0, [1], [2])
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": -1, "sids": [], "values": []})
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": 0, "sids": [1], "values": []})
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": 0, "sids": 3, "values": []})

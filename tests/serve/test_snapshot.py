@@ -1,0 +1,174 @@
+"""Snapshot/restore: checkpoints, journal replay, and the golden test.
+
+The contract: restore(snapshot + journal tail) reconstructs exactly the
+state the server acked — so a rolling restart is invisible in every
+query surface, byte for byte.
+"""
+
+import pytest
+
+from repro.core.profile import TNVConfig
+from repro.core.sites import SiteKind
+from repro.serve import protocol as proto
+from repro.serve.shard import ShardCore, ShardStateError, resume_seq
+
+from tests.serve.harness import (
+    ServeCluster,
+    assert_same_profile_state,
+    db_state,
+    make_stream,
+    offline_reference,
+)
+
+
+def _feed_core(core, events, seq_base=0, batch_size=20, client="c"):
+    """Push a stream into one core as single-shard batches."""
+    seq = seq_base
+    for start in range(0, len(events), batch_size):
+        batch = events[start : start + batch_size]
+        payloads, index_of, sidx, values = [], {}, [], []
+        for site, value in batch:
+            local = index_of.get(site)
+            if local is None:
+                local = index_of[site] = len(payloads)
+                payloads.append(proto.site_to_payload(site))
+            sidx.append(local)
+            values.append(value)
+        assert core.submit(client, seq, payloads, sidx, values) == [seq]
+        seq += 1
+    return seq
+
+
+def test_core_checkpoint_restore_round_trip(tmp_path):
+    events = make_stream(num_sites=6, num_events=500, seed=20)
+    config = TNVConfig(capacity=6, steady=3, clear_interval=64)
+    core = ShardCore(0, str(tmp_path), config=config, exact=True)
+    seq = _feed_core(core, events[:300])
+    core.checkpoint()
+    _feed_core(core, events[300:], seq_base=seq)  # journal-only tail
+    straight_state = db_state(core.db)
+    applied = dict(core.applied)
+    core.close()
+
+    restored = ShardCore(0, str(tmp_path), config=config, exact=True, restore=True)
+    assert db_state(restored.db) == straight_state
+    assert restored.applied == applied
+    assert restored.counters["restores"] == 1
+    restored.close()
+
+
+def test_core_restore_is_idempotent_and_dedups_overlap(tmp_path):
+    """Crash between snapshot-rename and journal-truncate: the journal
+    still holds pre-snapshot records, which replay as duplicates."""
+    events = make_stream(num_sites=5, num_events=200, seed=21)
+    core = ShardCore(0, str(tmp_path), exact=True)
+    seq = _feed_core(core, events)
+    # Snapshot *without* truncating the journal — the crash window.
+    wal_bytes = core.wal_path.read_bytes()
+    core.checkpoint()
+    core.close()
+    core.wal_path.write_bytes(wal_bytes)  # resurrect the stale journal
+
+    restored = ShardCore(0, str(tmp_path), exact=True, restore=True)
+    assert restored.counters["duplicates"] >= seq  # every record deduped
+    assert_same_profile_state(restored.db, offline_reference(events))
+    restored.close()
+
+
+def test_core_restore_tolerates_torn_journal_tail(tmp_path):
+    events = make_stream(num_sites=5, num_events=200, seed=22)
+    core = ShardCore(0, str(tmp_path), exact=True)
+    _feed_core(core, events)
+    core.close()
+    with open(core.wal_path, "ab") as handle:
+        handle.write(b"\x00\x00\x10\x00partial-record-then-crash")
+    restored = ShardCore(0, str(tmp_path), exact=True, restore=True)
+    assert_same_profile_state(restored.db, offline_reference(events))
+    restored.close()
+
+
+def test_snapshot_identity_checks(tmp_path):
+    core = ShardCore(0, str(tmp_path), exact=True)
+    _feed_core(core, make_stream(num_sites=3, num_events=50, seed=23))
+    core.checkpoint()
+    core.close()
+    wrong = tmp_path / "shard-001.snap"
+    wrong.write_bytes(core.snapshot_path.read_bytes())
+    with pytest.raises(ShardStateError, match="belongs to shard"):
+        ShardCore(1, str(tmp_path), exact=True, restore=True)
+    core.snapshot_path.write_bytes(b"not a pickle")
+    with pytest.raises(ShardStateError, match="unreadable"):
+        ShardCore(0, str(tmp_path), exact=True, restore=True)
+
+
+def test_resume_seq_is_min_over_shards():
+    assert resume_seq([]) == 0
+    assert resume_seq([-1, -1]) == 0
+    assert resume_seq([4, 7, 4]) == 5
+
+
+def test_golden_restore_profile_byte_identical(tmp_path):
+    """checkpoint → kill server → --restore: /profile is byte-identical
+    to an uninterrupted run over the same stream."""
+    events = make_stream(num_sites=10, num_events=1200, seed=24)
+    snapdir = str(tmp_path / "snaps")
+    kwargs = dict(shards=2, queue_size=16, checkpoint_interval=None)
+
+    # Interrupted run: part 1 checkpointed, part 2 journal-only, then a
+    # stop with no final checkpoint (the crash).
+    with ServeCluster(snapshot_dir=snapdir, **kwargs) as first:
+        client = first.client("c1", stream="synth.train")
+        client.push_events(events[:700], batch_size=35)
+        client.flush()
+        first.checkpoint()
+        client.push_events(events[700:900], batch_size=35)
+        client.flush()
+        client.close()
+        first.stop(checkpoint=False)
+
+    # Restored run finishes the stream.
+    with ServeCluster(snapshot_dir=snapdir, restore=True, **kwargs) as second:
+        client = second.client("c1", stream="synth.train")
+        # The welcome resume point is exactly the batches already applied.
+        assert client._next_seq == 26  # 20 + 6 batches of 35
+        client.push_events(events[900:], batch_size=35)
+        client.flush()
+        client.close()
+        restored_text = second.profile_text(kind="load", top=15)
+        restored_json = second.http("/profile?format=json")
+        restored_db = second.merged_database()
+
+    # Uninterrupted control run over the same stream.
+    with ServeCluster(**kwargs) as control:
+        control.push_events("c1", events, stream="synth.train", batch_size=35)
+        control_text = control.profile_text(kind="load", top=15)
+        control_json = control.http("/profile?format=json")
+
+    assert restored_text == control_text
+    assert restored_json == control_json
+    assert_same_profile_state(
+        restored_db, offline_reference(events, name="synth.train")
+    )
+
+
+def test_http_endpoints_surface(tmp_path):
+    """The query surface: health, inspect, timeseries, checkpoint, 404."""
+    events = make_stream(num_sites=6, num_events=400, seed=25)
+    with ServeCluster(
+        shards=2, snapshot_dir=str(tmp_path), timeseries_interval=100
+    ) as cluster:
+        cluster.push_events("c1", events, stream="s", batch_size=40)
+        health = cluster.http_json("/healthz")
+        assert health["status"] == "ok" and health["alive"] == [True, True]
+        inspect = cluster.http("/inspect?kind=load&top=5")
+        assert "site" in inspect.lower()
+        series = cluster.http_json("/timeseries")
+        assert series["enabled"] is True and series["samples"]
+        assert cluster.http_json("/checkpoint") == {"checkpointed": 2}
+        assert (tmp_path / "shard-000.snap").exists()
+        assert (tmp_path / "shard-001.snap").exists()
+        try:
+            cluster.http("/nope")
+            assert False, "expected 404"
+        except Exception as error:
+            assert "404" in str(error)
