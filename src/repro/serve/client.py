@@ -120,48 +120,70 @@ class ServeClient:
     # ------------------------------------------------------------------
 
     def connect(self) -> "ServeClient":
-        self._establish()
+        self._establish(time.monotonic() + self.timeout)
         return self
 
-    def _establish(self) -> None:
-        """Open a socket, say hello, resync from the welcome frame."""
-        self._close_socket()
-        deadline = time.monotonic() + self.timeout
+    def _establish(self, deadline: float) -> bool:
+        """Open a socket, say hello, resync from the welcome frame.
+
+        One flat loop — connect, hello, welcome, resync — retried until
+        the whole handshake lands on a single connection or ``deadline``
+        passes, so a server that repeatedly accepts and drops cannot
+        grow the stack or stretch the caller's timeout.  Returns True
+        if the resume point acknowledged any buffered batch.
+        """
+        before = len(self._unacked)
         while True:
+            self._close_socket()
             try:
                 self._sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout
                 )
-                break
             except OSError as error:
                 if time.monotonic() >= deadline:
                     raise ClientError(
                         f"cannot reach {self.host}:{self.port}: {error}"
                     ) from None
                 time.sleep(_POLL_INTERVAL)
-        self._sock.settimeout(_POLL_INTERVAL)
-        self._decoder = FrameDecoder()
-        self._welcome = None
-        self._paused = False
-        self._defined = 0
-        self._raw_send(proto.hello(self.client_id, self.stream))
-        self._await(lambda: self._welcome is not None, "welcome")
-        welcome = self._welcome or {}
-        self.shards = welcome.get("shards", 0)
-        next_seq = welcome.get("next", 0)
-        # Everything below the resume point is applied on every shard.
-        for seq in [s for s in self._unacked if s < next_seq]:
-            del self._unacked[seq]
-            self.counters["acks"] += 1
-        self._next_seq = max(self._next_seq, next_seq)
-        self._send_pending_sites()
-        for seq in sorted(self._unacked):
-            self._transmit(seq)
+                continue
+            self._sock.settimeout(_POLL_INTERVAL)
+            self._decoder = FrameDecoder()
+            self._welcome = None
+            self._paused = False
+            self._defined = 0
+            try:
+                self._raw_send(proto.hello(self.client_id, self.stream))
+                while self._welcome is None:
+                    if time.monotonic() >= deadline:
+                        raise ClientError(
+                            f"no welcome from {self.host}:{self.port} "
+                            f"within the timeout"
+                        )
+                    self._pump(block=True)
+                welcome = self._welcome
+                self.shards = welcome.get("shards", 0)
+                next_seq = welcome.get("next", 0)
+                # Everything below the resume point is applied on every shard.
+                for seq in [s for s in self._unacked if s < next_seq]:
+                    del self._unacked[seq]
+                    self.counters["acks"] += 1
+                self._next_seq = max(self._next_seq, next_seq)
+                self._send_pending_sites()
+                for seq in sorted(self._unacked):
+                    self._transmit(seq)
+            except ConnectionError:
+                if time.monotonic() >= deadline:
+                    raise ClientError(
+                        f"connection to {self.host}:{self.port} kept "
+                        f"dropping during the handshake"
+                    ) from None
+                continue
+            return len(self._unacked) < before
 
-    def _reconnect(self) -> None:
+    def _reconnect(self, deadline: float) -> bool:
         self.counters["reconnects"] += 1
         _LOG.info("client %s reconnecting to %s:%d", self.client_id, self.host, self.port)
-        self._establish()
+        return self._establish(deadline)
 
     def _close_socket(self) -> None:
         if self._sock is not None:
@@ -287,8 +309,10 @@ class ServeClient:
             try:
                 progressed = self._pump(block=True)
             except ConnectionError:
-                self._reconnect()
-                progressed = True
+                # Reconnect within the *original* deadline; progress is
+                # measured by acks from the resume point, not by the
+                # server merely accepting the connection again.
+                progressed = self._reconnect(deadline)
             now = time.monotonic()
             if progressed:
                 deadline = now + self.timeout

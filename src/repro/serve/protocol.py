@@ -246,4 +246,12 @@ def check_batch(message: dict) -> Tuple[int, List[int], List[int]]:
         raise ProtocolError(
             f"batch column mismatch: {len(sids)} sids vs {len(values)} values"
         )
+    # Element types are checked here, at the wire boundary, so nothing
+    # downstream (routing, folds) ever sees a surprise type.  ``type is
+    # int`` rather than isinstance: JSON true/false decode to bool, and
+    # a bool in an event column is a client bug, not a value.
+    for name, column in (("sids", sids), ("values", values)):
+        if not all(type(item) is int for item in column):
+            bad = next(item for item in column if type(item) is not int)
+            raise ProtocolError(f"batch {name} must all be ints, got {bad!r}")
     return seq, sids, values

@@ -51,6 +51,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import pickle
 import tempfile
 import threading
 import urllib.parse
@@ -189,8 +190,18 @@ class InlineShardRunner:
                 await asyncio.sleep(self.delay)
             core = self.core
             if core is not None:
-                done = core.submit(client, seq, payloads, sidx, values)
-                core.maybe_checkpoint(self.server.checkpoint_interval)
+                done: List[int] = []
+                try:
+                    done = core.submit(client, seq, payloads, sidx, values)
+                    core.maybe_checkpoint(self.server.checkpoint_interval)
+                except Exception:  # noqa: BLE001 - a poisoned batch must not wedge the shard
+                    _LOG.exception(
+                        "shard %d failed applying batch %s/%d; dropped un-acked",
+                        self.index,
+                        client,
+                        seq,
+                    )
+                    self.server._inc("serve.poisoned_batches")
                 for done_seq in done:
                     self.server._on_done(self.index, client, done_seq)
             self.queue.task_done()
@@ -278,12 +289,26 @@ def _shard_process_main(
         kind = message[0]
         if kind == "batch":
             _, client, seq, payloads, sidx, values = message
-            done = core.submit(client, seq, payloads, sidx, values)
-            core.maybe_checkpoint(checkpoint_interval)
+            done = []
+            try:
+                done = core.submit(client, seq, payloads, sidx, values)
+                core.maybe_checkpoint(checkpoint_interval)
+            except Exception:  # noqa: BLE001 - a poisoned batch must not kill the worker
+                _LOG.exception(
+                    "shard %d worker failed applying batch %s/%d; dropped un-acked",
+                    index,
+                    client,
+                    seq,
+                )
             for done_seq in done:
                 out_queue.put(("done", index, client, done_seq))
         elif kind == "query":
-            out_queue.put(("query", message[1], core.db, core.stats()))
+            # Pickle the database *here*, in the worker's only mutating
+            # thread: handing the live object to the queue's feeder
+            # thread races its pickling against ongoing folds
+            # ("dictionary changed size during iteration"), and the
+            # lost response would wedge the query future forever.
+            out_queue.put(("query", message[1], pickle.dumps(core.db), core.stats()))
         elif kind == "applied":
             out_queue.put(("applied", message[1], core.applied.get(message[2], -1)))
         elif kind == "checkpoint":
@@ -435,8 +460,8 @@ class ProcessShardRunner:
     async def query(self) -> Tuple[Optional[ProfileDatabase], dict]:
         if not self.alive:
             return None, {"index": self.index, "dead": True}
-        db, stats = await self._request("query")
-        return db, stats
+        db_bytes, stats = await self._request("query")
+        return pickle.loads(db_bytes), stats
 
     async def applied_high(self, client: str) -> int:
         if not self.alive:
@@ -712,7 +737,16 @@ class ServeServer:
             self._gauge("serve.sessions", float(len(self.sessions)))
         elif message.get("stream"):
             session.stream = message["stream"]
-        self._send(writer, proto.welcome(self.nshards, session.expected_seq))
+        # The welcome resume point promises "applied on every shard", and
+        # the client deletes everything below it from its unacked buffer.
+        # A batch routed but still awaiting shard done-reports (e.g. one a
+        # shard kill dropped before journaling) is *not* applied everywhere,
+        # so the resume point must stay at or below the lowest such seq —
+        # the client resends it and the shards that did apply it dedup.
+        next_seq = session.expected_seq
+        if session.pending:
+            next_seq = min(next_seq, min(session.pending))
+        self._send(writer, proto.welcome(self.nshards, next_seq))
         if self._paused:
             self._send(writer, proto.flow("pause"))
         return session
@@ -968,6 +1002,29 @@ class ServeServer:
         values = params.get(name)
         return values[0] if values else default
 
+    @classmethod
+    def _int_param(cls, params: dict, name: str, default: str) -> int:
+        raw = cls._param(params, name, default)
+        try:
+            return int(raw)
+        except ValueError:
+            raise ProtocolError(f"query param {name} must be an integer, got {raw!r}") from None
+
+    @classmethod
+    def _kind_param(
+        cls, params: dict, name: str, default: str
+    ) -> Optional[SiteKind]:
+        raw = cls._param(params, name, default)
+        if not raw:
+            return None
+        try:
+            return SiteKind(raw)
+        except ValueError:
+            valid = ", ".join(kind.value for kind in SiteKind)
+            raise ProtocolError(
+                f"query param {name} must be a site kind ({valid}), got {raw!r}"
+            ) from None
+
     async def _http_route(self, path: str, params: dict) -> Tuple[int, str, str]:
         self._inc("serve.queries")
         if path == "/healthz":
@@ -992,16 +1049,15 @@ class ServeServer:
                 return 200, "application/json", merged.to_json() + "\n"
             from repro.analysis.tables import profile_table
 
-            kind = SiteKind(self._param(params, "kind", "load"))
-            top = int(self._param(params, "top", "20"))
+            kind = self._kind_param(params, "kind", "load")
+            top = self._int_param(params, "top", "20")
             return 200, "text/plain", profile_table(merged, kind, top=top).render() + "\n"
         if path == "/inspect":
             from repro.obs.inspect import render_overview
 
             merged = await self.merged_database()
-            kind_name = self._param(params, "kind", "")
-            kind = SiteKind(kind_name) if kind_name else None
-            top = int(self._param(params, "top", "10"))
+            kind = self._kind_param(params, "kind", "")
+            top = self._int_param(params, "top", "10")
             return 200, "text/plain", render_overview(merged, kind=kind, top=top) + "\n"
         if path == "/timeseries":
             from repro.obs.timeseries import TIMESERIES

@@ -1,11 +1,12 @@
 """Backpressure: a slow shard must throttle producers, not eat memory."""
 
+import socket
 import threading
 import time
 
 import pytest
 
-from repro.serve.client import ClientError
+from repro.serve.client import ClientError, ServeClient
 
 from tests.serve.harness import (
     ServeCluster,
@@ -82,3 +83,35 @@ def test_client_times_out_without_acks_then_recovers():
         client.close()
         merged = cluster.merged_database()
     assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_flapping_server_bounds_reconnects_by_timeout():
+    """A server that accepts and immediately drops connections must
+    yield a ClientError within the client's timeout — reconnection is
+    iterative against one deadline, not recursive with a fresh one."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port = listener.getsockname()[1]
+    stop = threading.Event()
+
+    def flap():
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            conn.close()
+
+    flapper = threading.Thread(target=flap, daemon=True)
+    flapper.start()
+    client = ServeClient("127.0.0.1", port, "c1", timeout=1.0)
+    start = time.monotonic()
+    try:
+        with pytest.raises(ClientError):
+            client.connect()
+    finally:
+        stop.set()
+        listener.close()
+        flapper.join(timeout=5)
+    assert time.monotonic() - start < 10.0

@@ -6,8 +6,14 @@ failure contract is "faults cost retries and latency, never data that
 was acknowledged."
 """
 
+import socket
 import threading
 import time
+import urllib.error
+
+import pytest
+
+from repro.serve import protocol as proto
 
 from tests.serve.harness import (
     DropFirstSend,
@@ -189,3 +195,76 @@ def test_client_reconnect_resumes_from_welcome():
         client.close()
         merged = cluster.merged_database()
     assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_reconnect_resends_batches_lost_to_shard_kill(tmp_path):
+    """A batch routed but killed out of a shard before journaling must
+    stay above the welcome resume point, so a reconnecting client keeps
+    and resends it (regression: it was dropped as durable and lost)."""
+    events = make_stream(num_sites=8, num_events=600, seed=21)
+    with ServeCluster(
+        shards=2, checkpoint_interval=None, snapshot_dir=str(tmp_path)
+    ) as cluster:
+        # Retries effectively off: recovery may only come from the
+        # reconnect handshake, which is exactly what is under test.
+        client = cluster.client("c1", stream="s", timeout=30, retry_interval=30)
+        client.push_events(events[:500], batch_size=25)
+        client.flush()
+        # Stall shard 1 so the final batch is routed (pending created,
+        # sequence advanced) but never journaled there, then kill it.
+        cluster.set_shard_delay(1, 30.0)
+        client.push_events(events[500:], batch_size=100)  # one batch
+        assert _wait_for(lambda: cluster.server.sessions["c1"].pending)
+        cluster.kill_shard(1)
+        client.abort()
+        cluster.set_shard_delay(1, 0.0)
+        cluster.restart_shard(1)
+        client.connect()  # welcome.next must keep the lost batch buffered
+        assert client.unacked >= 1
+        client.flush()
+        client.close()
+        merged = cluster.merged_database()
+    assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_malformed_batch_is_rejected_without_wedging_shards():
+    """Non-int batch elements are refused at the wire boundary with an
+    error frame; the shards never see them and healthy clients keep
+    working afterwards."""
+    events = make_stream(num_sites=6, num_events=200, seed=22)
+    with ServeCluster(shards=2) as cluster:
+        sock = socket.create_connection(("127.0.0.1", cluster.ingest_port), timeout=5)
+        try:
+            sock.sendall(proto.encode_frame(proto.hello("evil", "")))
+            payload = proto.site_to_payload(make_sites(1)[0])
+            sock.sendall(proto.encode_frame(proto.sites_frame(0, [payload])))
+            sock.sendall(
+                proto.encode_frame(
+                    {"t": "batch", "seq": 0, "sids": [0], "values": ["boom"]}
+                )
+            )
+            decoder = proto.FrameDecoder()
+            sock.settimeout(10.0)
+            error_seen = False
+            while not error_seen:
+                data = sock.recv(1 << 16)
+                if not data:
+                    break
+                for message in decoder.feed(data):
+                    if message.get("t") == "error":
+                        error_seen = True
+            assert error_seen
+        finally:
+            sock.close()
+        cluster.push_events("c1", events)
+        merged = cluster.merged_database()
+    assert_same_profile_state(merged, offline_reference(events))
+
+
+def test_bad_query_params_return_400():
+    """Malformed ?top / ?kind values are client errors, not 500s."""
+    with ServeCluster(shards=1) as cluster:
+        for path in ("/profile?top=abc", "/profile?kind=bogus", "/inspect?kind=nope"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                cluster.http(path)
+            assert excinfo.value.code == 400, path

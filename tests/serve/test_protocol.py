@@ -99,3 +99,19 @@ def test_check_batch_validation():
         proto.check_batch({"t": "batch", "seq": 0, "sids": [1], "values": []})
     with pytest.raises(ProtocolError):
         proto.check_batch({"t": "batch", "seq": 0, "sids": 3, "values": []})
+
+
+def test_check_batch_rejects_non_int_elements():
+    """Element types are enforced at the wire boundary, so a poisoned
+    batch can never reach routing or a shard's fold loop."""
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": 0, "sids": ["0"], "values": [1]})
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": 0, "sids": [0], "values": ["boom"]})
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": 0, "sids": [0], "values": [1.5]})
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": 0, "sids": [0], "values": [None]})
+    # JSON true/false decode to bool — an int subclass, still refused.
+    with pytest.raises(ProtocolError):
+        proto.check_batch({"t": "batch", "seq": 0, "sids": [True], "values": [1]})
