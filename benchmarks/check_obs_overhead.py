@@ -26,18 +26,28 @@ enforces that contract two ways:
    ``TOLERANCE`` of the collector-off path.  Both loops interleave in
    one process, like check 1.
 
+4. **Serve-plane telemetry (opt-in via ``--serve``).**  The shard fold
+   path records per-batch timings into always-on histograms
+   (``ShardCore(telemetry=True)``, the production default).  That
+   instrumentation sits at batch boundaries too, so the telemetry-on
+   fold loop must stay within ``TOLERANCE`` of ``telemetry=False``.
+   Interleaved min-of-rounds like the others; journaling is off so the
+   comparison times the fold, not the disk.
+
 Exit status 0 on pass, 1 on regression.  Run as:
 
-    PYTHONPATH=src python benchmarks/check_obs_overhead.py
+    PYTHONPATH=src python benchmarks/check_obs_overhead.py [--serve]
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import pathlib
 import random
 import sys
+import tempfile
 import time
 
 from repro.core.tnv import TNVTable
@@ -152,7 +162,70 @@ def check_timeseries_enabled() -> bool:
     return True
 
 
-def main() -> int:
+def _time_shard_submit(telemetry: bool, batches: int = 100) -> float:
+    """One fresh shard folding ``batches`` sub-batches, journal off."""
+    from repro.core.sites import Site, SiteKind
+    from repro.serve.protocol import site_to_payload
+    from repro.serve.shard import ShardCore
+
+    payloads = [
+        site_to_payload(
+            Site(
+                kind=SiteKind.LOAD,
+                program="bench",
+                procedure=f"proc{index % 3}",
+                label=f"site{index}",
+                opcode="load",
+            )
+        )
+        for index in range(8)
+    ]
+    sidx = [index % len(payloads) for index in range(len(_VALUES) // 10)]
+    values = _VALUES[: len(sidx)]
+    with tempfile.TemporaryDirectory() as directory:
+        core = ShardCore(0, directory, exact=False, telemetry=telemetry)
+        submit = core.submit
+        start = time.perf_counter()
+        for seq in range(batches):
+            submit("bench", seq, payloads, sidx, values, journal=False)
+        elapsed = time.perf_counter() - start
+        core.close()
+    return elapsed
+
+
+def check_serve_telemetry() -> bool:
+    """Serve budget: the always-on fold histograms must stay within
+    TOLERANCE of a telemetry-off shard on the pure fold path."""
+    _time_shard_submit(True)  # warm
+    _time_shard_submit(False)
+    on = []
+    off = []
+    for _ in range(ROUNDS):
+        on.append(_time_shard_submit(True))
+        off.append(_time_shard_submit(False))
+    ratio = min(on) / min(off)
+    print(
+        f"shard fold telemetry-on: {min(on) * 1e3:.2f}ms vs off "
+        f"{min(off) * 1e3:.2f}ms (ratio {ratio:.3f}, "
+        f"tolerance {1 + TOLERANCE:.2f})"
+    )
+    if ratio > 1 + TOLERANCE:
+        print(
+            f"FAIL: serve fold telemetry costs {ratio:.3f}x the "
+            f"telemetry-off path (> {1 + TOLERANCE:.2f}x)"
+        )
+        return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="also run the serve-plane telemetry leg (shard fold path)",
+    )
+    args = parser.parse_args(argv)
     assert not METRICS.enabled and not TRACER.enabled, (
         "guard must measure the disabled default"
     )
@@ -194,6 +267,9 @@ def main() -> int:
             failed = True
 
     if not check_timeseries_enabled():
+        failed = True
+
+    if args.serve and not check_serve_telemetry():
         failed = True
 
     if not failed:

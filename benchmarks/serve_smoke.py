@@ -7,9 +7,18 @@ synthetic value streams — while a query thread hits the HTTP surface
 the whole time, then asserts the served ``/profile`` is byte-identical
 to an offline fold of the exact same events.
 
+The smoke also exercises the serve metrics plane end to end: the run
+is traced (every producer batch must yield one coherent span tree with
+all server-side spans under their client batch spans), ``/metrics`` is
+scraped mid-ingest and at settle (latency buckets + per-shard gauges
+asserted), and the headline numbers — ingest events/s, client-observed
+p50/p99 batch e2e latency — land in ``benchmarks/results/
+BENCH_serve.json`` and the consolidated ``BENCH_history.jsonl``.
+
 Exit status is the verdict (assertions fail loudly); ``--log-dir``
-captures the harness event log plus a machine-readable summary so CI
-can upload them as artifacts.
+captures the harness event log, the span trace, the final ``/metrics``
+scrape and a machine-readable summary so CI can upload them as
+artifacts.
 
 Run directly (no pytest needed)::
 
@@ -33,7 +42,10 @@ for entry in (str(REPO_ROOT), str(REPO_ROOT / "src")):
 
 from repro.analysis.experiments import load_events  # noqa: E402
 from repro.core.tracestore import TARGET_KINDS  # noqa: E402
+from repro.obs.hist import Histogram  # noqa: E402
+from repro.obs.trace import TRACER  # noqa: E402
 
+from benchmarks.helpers import RESULTS_DIR, append_history  # noqa: E402
 from tests.serve.harness import (  # noqa: E402
     ServeCluster,
     assert_same_profile_state,
@@ -89,8 +101,10 @@ def main(argv=None) -> int:
     print(f"serve smoke: {args.shards} shards ({args.runtime} runtime), "
           f"{len(producers)} producers, {total_events} events")
 
-    query_counts = {"stats": 0, "profile": 0, "depth_gauge_seen": 0}
+    query_counts = {"stats": 0, "profile": 0, "metrics": 0, "depth_gauge_seen": 0}
     errors = []
+    clients = {}
+    TRACER.enable()
     with ServeCluster(
         log_path=str(log_dir / "serve-smoke-harness.log") if log_dir else None,
         shards=args.shards,
@@ -101,7 +115,7 @@ def main(argv=None) -> int:
 
         def produce(client_id, stream, events):
             try:
-                cluster.push_events(
+                clients[client_id] = cluster.push_events(
                     client_id, events, stream=stream,
                     batch_size=args.batch_size,
                 )
@@ -117,6 +131,9 @@ def main(argv=None) -> int:
                     query_counts["depth_gauge_seen"] += 1
                 cluster.http("/profile?kind=load&top=5")
                 query_counts["profile"] += 1
+                # The Prometheus endpoint must hold up under live load.
+                cluster.http("/metrics")
+                query_counts["metrics"] += 1
                 time.sleep(0.02)
 
         threads = [
@@ -125,10 +142,12 @@ def main(argv=None) -> int:
         ]
         querier = threading.Thread(target=query_while_ingesting)
         querier.start()
+        ingest_t0 = time.monotonic()
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
+        ingest_seconds = time.monotonic() - ingest_t0
         done.set()
         querier.join()
         if errors:
@@ -141,9 +160,47 @@ def main(argv=None) -> int:
         if "serve.queue_depth" in final_stats["gauges"]:
             query_counts["depth_gauge_seen"] += 1
 
+        # Settled /metrics scrape: the acceptance-criteria assertions.
+        scrape = cluster.http("/metrics")
+        assert "# TYPE repro_serve_batch_e2e histogram" in scrape
+        assert 'repro_serve_batch_e2e_bucket{le="' in scrape
+        e2e_count = int(next(
+            line for line in scrape.splitlines()
+            if line.startswith("repro_serve_batch_e2e_count")
+        ).split()[-1])
+        assert e2e_count > 0, "no batch e2e observations in the scrape"
+        for shard in range(args.shards):
+            assert f'repro_serve_shard_queue_depth{{shard="{shard}"}}' in scrape
+            assert f'repro_serve_shard_up{{shard="{shard}"}} 1' in scrape
+
         merged = cluster.merged_database()
         got_json = cluster.http("/profile?format=json")
         counters = dict(cluster.server.counters)
+
+    # Span-tree validation: one coherent tree, every server-side span
+    # under its batch's client span, ids unique, no orphans.
+    spans = TRACER.drain()
+    TRACER.disable()
+    by_id, by_name = {}, {}
+    for span in spans:
+        assert span["span_id"] not in by_id, f"duplicate id {span['span_id']}"
+        by_id[span["span_id"]] = span
+        by_name.setdefault(span["name"], []).append(span)
+    for span in spans:
+        assert span["parent_id"] is None or span["parent_id"] in by_id, (
+            f"orphan span {span['name']} ({span['span_id']})"
+        )
+    batch_ids = {span["span_id"] for span in by_name.get("serve.batch", [])}
+    assert batch_ids, "tracing was on but no client batch spans recorded"
+    for name in ("serve.enqueue", "serve.journal", "serve.fold", "serve.ack"):
+        for span in by_name.get(name, []):
+            assert span["parent_id"] in batch_ids, f"{name} not under a batch"
+    span_counts = {name: len(group) for name, group in sorted(by_name.items())}
+
+    # Client-observed batch e2e latency, merged across all producers.
+    e2e = Histogram("latency")
+    for client in clients.values():
+        e2e.merge(client.hists["serve.client_batch_e2e"])
 
     # Offline control: one database folding every producer's events.
     # Producers own disjoint site sets, so cross-producer interleaving
@@ -160,6 +217,26 @@ def main(argv=None) -> int:
     expected_json = offline.to_json() + "\n"
     assert got_json == expected_json, "served /profile JSON diverged"
 
+    events_per_s = total_events / ingest_seconds if ingest_seconds else 0.0
+    bench = {
+        "name": "serve",
+        "shards": args.shards,
+        "runtime": args.runtime,
+        "events": total_events,
+        "ingest_seconds": round(ingest_seconds, 6),
+        "events_per_s": round(events_per_s, 1),
+        "batch_e2e_p50_s": round(e2e.quantile(0.5), 6),
+        "batch_e2e_p99_s": round(e2e.quantile(0.99), 6),
+        "batches": e2e.count,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(bench, indent=2, sort_keys=True) + "\n"
+    )
+    append_history("serve", "events_per_s", bench["events_per_s"])
+    append_history("serve", "batch_e2e_p50_s", bench["batch_e2e_p50_s"])
+    append_history("serve", "batch_e2e_p99_s", bench["batch_e2e_p99_s"])
+
     summary = {
         "shards": args.shards,
         "runtime": args.runtime,
@@ -168,13 +245,24 @@ def main(argv=None) -> int:
         "queries_mid_ingest": dict(query_counts),
         "counters": counters,
         "byte_identical": True,
+        "bench": bench,
+        "span_counts": span_counts,
     }
     print(json.dumps(summary, indent=2, sort_keys=True))
     if log_dir:
         (log_dir / "serve-smoke-summary.json").write_text(
             json.dumps(summary, indent=2, sort_keys=True) + "\n"
         )
-    print("serve smoke: OK — served profile byte-identical to offline fold")
+        (log_dir / "serve-smoke-metrics.prom").write_text(scrape)
+        with open(log_dir / "serve-smoke-spans.jsonl", "w") as handle:
+            for span in spans:
+                handle.write(json.dumps(span, sort_keys=True) + "\n")
+    print(
+        "serve smoke: OK — served profile byte-identical to offline fold; "
+        f"{len(spans)} spans in one tree, "
+        f"{bench['events_per_s']:.0f} events/s, "
+        f"p99 batch e2e {bench['batch_e2e_p99_s'] * 1e3:.1f}ms"
+    )
     return 0
 
 

@@ -18,11 +18,14 @@ Subcommands:
   clearing intervals.
 * ``dash`` — render a self-contained HTML dashboard from captured
   ``--metrics``/``--trace``/``--timeseries`` artifacts plus the bench
-  result history.
+  result history; ``--live URL`` scrapes a running ``serve`` daemon
+  (``/metrics``, ``/stats``, ``/timeseries``) instead.
 * ``serve [--shards N]`` — the sharded live-profiling service: ingests
   batched event streams from concurrent producers and answers
-  ``/profile``, ``/inspect``, ``/stats``, ``/timeseries`` over HTTP
-  from merged snapshots (see ``docs/serving.md``).
+  ``/profile``, ``/inspect``, ``/stats``, ``/timeseries``, ``/metrics``
+  over HTTP from merged snapshots (see ``docs/serving.md``).  Accepts
+  ``--trace``/``--metrics`` capture flags plus ``--slow-op-threshold``
+  for the structured slow-operation log.
 * ``push <workload>`` — replay a stored workload trace into a running
   ``serve`` daemon as one producer.
 
@@ -168,14 +171,23 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
 
 
 def _cmd_dash(args: argparse.Namespace) -> int:
-    from repro.obs.dash import render_dashboard
+    if args.live:
+        from repro.obs.dash import render_live_dashboard
 
-    html = render_dashboard(
-        metrics_path=args.metrics,
-        trace_path=args.trace,
-        timeseries_path=args.timeseries,
-        bench_dir=args.bench_dir,
-    )
+        try:
+            html = render_live_dashboard(args.live)
+        except OSError as error:
+            print(f"error: could not scrape {args.live}: {error}", file=sys.stderr)
+            return 2
+    else:
+        from repro.obs.dash import render_dashboard
+
+        html = render_dashboard(
+            metrics_path=args.metrics,
+            trace_path=args.trace,
+            timeseries_path=args.timeseries,
+            bench_dir=args.bench_dir,
+        )
     with open(args.output, "w") as handle:
         handle.write(html)
     print(f"(dashboard written to {args.output})")
@@ -228,6 +240,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         restore=args.restore,
         runtime=args.runtime,
         timeseries_interval=getattr(args, "timeseries_interval", None),
+        **(
+            {"slow_op_threshold": args.slow_op_threshold}
+            if args.slow_op_threshold is not None
+            else {}
+        ),
     )
 
     async def _run() -> None:
@@ -488,6 +505,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding BENCH_*.json baselines and BENCH_history.jsonl",
     )
     dash_parser.add_argument(
+        "--live",
+        metavar="URL",
+        help="scrape a running serve daemon's HTTP endpoint (e.g. "
+        "http://127.0.0.1:7572) instead of reading capture files",
+    )
+    dash_parser.add_argument(
         "-o", "--output", default="repro-dash.html", help="output HTML file"
     )
     dash_parser.set_defaults(func=_cmd_dash)
@@ -562,6 +585,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="enable the /timeseries collector, sampling every N events",
+    )
+    serve_parser.add_argument(
+        "--slow-op-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="log a structured WARN (and count serve.slow_ops) for any "
+        "shard fold or HTTP request slower than this (default 1.0)",
+    )
+    serve_parser.add_argument(
+        "--trace",
+        help="record spans (client batches, shard journal/fold, acks) and "
+        "write the JSONL span trace to FILE on shutdown",
+    )
+    serve_parser.add_argument(
+        "--metrics",
+        help="write the internal metrics snapshot to FILE as JSON on "
+        "shutdown (the live view is always at GET /metrics)",
     )
     serve_parser.add_argument(
         "--log-level",

@@ -7,7 +7,10 @@ This package provides three layers, all off by default and engineered
 to cost (near) nothing while disabled:
 
 * :mod:`repro.obs.metrics` — a process-wide registry of counters,
-  gauges and timers.  Instrumentation points threaded through
+  gauges, timers and histograms (:mod:`repro.obs.hist` — fixed-bucket
+  log2 distributions with associative merge and deterministic
+  quantiles, the serve plane's latency primitive).  Instrumentation
+  points threaded through
   :mod:`repro.core` (TNV clears/evictions/merges, batch sizes, sampled
   vs. skipped executions), :mod:`repro.isa` (instructions executed,
   profiled ops, buffer flushes) and the experiment cache (hits,
@@ -43,6 +46,7 @@ guards this in CI.
 """
 
 from repro.obs.flight import FLIGHT, FlightRecorder
+from repro.obs.hist import Histogram, merge_hist_snapshots
 from repro.obs.logconf import configure_logging, get_logger, reset_logging
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.timeseries import TIMESERIES, TimeSeriesCollector
@@ -51,6 +55,8 @@ from repro.obs.trace import TRACER, Tracer
 __all__ = [
     "FLIGHT",
     "FlightRecorder",
+    "Histogram",
+    "merge_hist_snapshots",
     "METRICS",
     "MetricsRegistry",
     "TIMESERIES",

@@ -17,6 +17,12 @@ Sections (each rendered only when its input exists):
 * time-series sparklines, one per counter/gauge, over the event clock
 * bench trajectory: one sparkline per benchmark from the history file,
   with the latest value's delta against the committed baseline
+
+``--live URL`` switches to :func:`render_live_dashboard`, which scrapes
+a *running* serve daemon (``/healthz``, ``/stats``, ``/timeseries``,
+``/metrics``) and renders the serve-plane view instead: shard health,
+latency histograms with quantiles, producer sessions, the slow-op ring
+and the raw Prometheus scrape.
 """
 
 from __future__ import annotations
@@ -336,6 +342,269 @@ def _section_bench(bench_dir: str) -> str:
             ("", False),
         ),
         rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# live mode (``repro dash --live URL``)
+# ----------------------------------------------------------------------
+
+
+def _fmt_seconds(value: float) -> str:
+    """A latency with a unit a human reads at a glance."""
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}µs"
+
+
+def _hist_bars(snap: dict, width: int = 160, height: int = 24) -> str:
+    """A tiny inline-SVG bucket-count bar chart of one histogram."""
+    buckets = {int(i): n for i, n in snap.get("buckets", {}).items()}
+    if snap.get("overflow"):
+        buckets[snap.get("nbuckets", max(buckets, default=0) + 1)] = snap["overflow"]
+    if not buckets:
+        return ""
+    lo, hi = min(buckets), max(buckets)
+    nbars = hi - lo + 1
+    peak = max(buckets.values())
+    bar_w = max(1.0, width / nbars - 1)
+    bars = []
+    for i in range(lo, hi + 1):
+        count = buckets.get(i, 0)
+        h = (height - 2) * count / peak
+        x = (i - lo) * (width / nbars)
+        bars.append(
+            f'<rect class="bar" x="{x:.1f}" y="{height - h:.1f}" '
+            f'width="{bar_w:.1f}" height="{h:.1f}"/>'
+        )
+    return f'<svg width="{width}" height="{height}">{"".join(bars)}</svg>'
+
+
+def _section_live_hists(hists: dict, title: str) -> str:
+    from repro.obs.hist import Histogram
+
+    rows = []
+    for name, snap in sorted(hists.items()):
+        hist = Histogram.from_snapshot(snap)
+        if hist.count == 0:
+            continue
+        latency = hist.kind == "latency"
+        fmt = _fmt_seconds if latency else (lambda v: f"{v:,.0f}")
+        rows.append(
+            (
+                _esc(name),
+                f"{hist.count:,}",
+                fmt(hist.quantile(0.5)),
+                fmt(hist.quantile(0.9)),
+                fmt(hist.quantile(0.99)),
+                fmt(hist.vmax),
+                _hist_bars(snap),
+            )
+        )
+    if not rows:
+        return ""
+    return f"<h2>{_esc(title)}</h2>" + _table(
+        (
+            ("histogram", False),
+            ("count", True),
+            ("p50", True),
+            ("p90", True),
+            ("p99", True),
+            ("max", True),
+            ("", False),
+        ),
+        rows,
+    )
+
+
+def _section_live_shards(shards: List[dict]) -> str:
+    if not shards:
+        return ""
+    rows = []
+    for shard in shards:
+        rows.append(
+            (
+                f"{shard.get('index', '?')}",
+                "yes" if shard.get("alive") else '<span class="up">DEAD</span>',
+                f"{shard.get('queue_depth', 0)}",
+                f"{shard.get('sites', 0):,}",
+                f"{shard.get('counters', {}).get('shard.events', 0):,}",
+                f"{shard.get('journal_bytes', 0):,}",
+                _esc(
+                    f"{shard['snapshot_age_s']:.1f}s"
+                    if shard.get("snapshot_age_s") is not None
+                    else "never"
+                ),
+                _esc(
+                    f"{shard['last_fold_age_s']:.1f}s"
+                    if shard.get("last_fold_age_s") is not None
+                    else "never"
+                ),
+                f"{shard.get('last_fold_tick', 0):,}",
+            )
+        )
+    return "<h2>Shard health</h2>" + _table(
+        (
+            ("shard", False),
+            ("alive", False),
+            ("queue", True),
+            ("sites", True),
+            ("events", True),
+            ("journal B", True),
+            ("snapshot age", True),
+            ("last fold", True),
+            ("fold tick", True),
+        ),
+        rows,
+    )
+
+
+def _section_live_counters(stats: dict) -> str:
+    rows = [
+        (_esc(name), f"{value:,}")
+        for name, value in sorted(stats.get("counters", {}).items())
+    ]
+    rows += [
+        (_esc(name), f"{value:,}")
+        for name, value in sorted(stats.get("gauges", {}).items())
+    ]
+    if not rows:
+        return ""
+    return "<h2>Service counters &amp; gauges</h2>" + _table(
+        (("metric", False), ("value", True)), rows
+    )
+
+
+def _section_live_clients(stats: dict) -> str:
+    clients = stats.get("clients", {})
+    if not clients:
+        return ""
+    rows = [
+        (
+            _esc(client),
+            _esc(session.get("stream", "") or "-"),
+            f"{session.get('expected_seq', 0):,}",
+            f"{session.get('pending', 0)}",
+            f"{session.get('reorder_buffered', 0)}",
+            f"{session.get('sites', 0):,}",
+        )
+        for client, session in sorted(clients.items())
+    ]
+    return "<h2>Producer sessions</h2>" + _table(
+        (
+            ("client", False),
+            ("stream", False),
+            ("next seq", True),
+            ("pending", True),
+            ("reordered", True),
+            ("sites", True),
+        ),
+        rows,
+    )
+
+
+def _section_live_slow_ops(stats: dict) -> str:
+    slow_ops = stats.get("slow_ops", [])
+    threshold = stats.get("slow_op_threshold")
+    if not slow_ops:
+        return ""
+    rows = [
+        (
+            _esc(record.get("op", "?")),
+            _fmt_seconds(record.get("seconds", 0.0)),
+            _esc(record.get("detail", "")),
+        )
+        for record in slow_ops
+    ]
+    header = (
+        f'<p class="muted">threshold {threshold}s; newest last, '
+        f"ring of the most recent {len(slow_ops)}.</p>"
+    )
+    return (
+        "<h2>Slow operations</h2>"
+        + header
+        + _table((("op", False), ("took", True), ("detail", False)), rows)
+    )
+
+
+def render_live_dashboard(base_url: str, timeout: float = 5.0) -> str:
+    """Render the dashboard against a *running* serve daemon.
+
+    Scrapes ``/healthz``, ``/stats``, ``/timeseries`` and ``/metrics``
+    from ``base_url`` (the daemon's HTTP listener, e.g.
+    ``http://127.0.0.1:7572``) and renders the same self-contained HTML
+    the offline mode produces — no JavaScript polling; re-run the
+    command for a fresh snapshot.  Raises :class:`OSError` when the
+    daemon is unreachable; the optional endpoints degrade to omitted
+    sections instead.
+    """
+    import urllib.request
+
+    base = base_url.rstrip("/")
+    if "://" not in base:
+        base = "http://" + base
+
+    def fetch(path: str) -> str:
+        with urllib.request.urlopen(base + path, timeout=timeout) as response:
+            return response.read().decode("utf-8")
+
+    health = json.loads(fetch("/healthz"))
+    stats = json.loads(fetch("/stats"))
+    try:
+        timeseries = json.loads(fetch("/timeseries"))
+    except OSError:
+        timeseries = {"samples": []}
+    try:
+        metrics_text = fetch("/metrics")
+    except OSError:
+        metrics_text = ""
+
+    alive = health.get("alive", [])
+    status = (
+        '<span class="down">all shards up</span>'
+        if all(alive) and alive
+        else f'<span class="up">{alive.count(False)} shard(s) DOWN</span>'
+    )
+    header = (
+        f'<p class="muted">Scraped {_esc(base)} &mdash; '
+        f"runtime <b>{_esc(health.get('runtime', '?'))}</b>, "
+        f"{health.get('shards', '?')} shard(s), {status}"
+        + (", <b>ingest paused</b>" if stats.get("paused") else "")
+        + ".</p>"
+    )
+
+    shard_hists: Dict[str, dict] = {}
+    for shard in stats.get("shards", []):
+        for name, snap in shard.get("hists", {}).items():
+            shard_hists[f"shard{shard.get('index', '?')}.{name}"] = snap
+
+    sections = [
+        _section_live_counters(stats),
+        _section_live_hists(stats.get("hists", {}), "Serve latency histograms"),
+        _section_live_shards(stats.get("shards", [])),
+        _section_live_hists(shard_hists, "Per-shard histograms"),
+        _section_live_clients(stats),
+        _section_live_slow_ops(stats),
+        _section_timeseries(timeseries.get("samples", [])),
+    ]
+    body = "".join(section for section in sections if section)
+    raw = (
+        "<details><summary class='muted'>raw /metrics scrape</summary>"
+        f"<pre>{_esc(metrics_text)}</pre></details>"
+        if metrics_text
+        else ""
+    )
+    embedded = json.dumps({"healthz": health, "stats": stats}, sort_keys=True)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>value-profiling live dashboard</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>Value Profiling &mdash; live service</h1>"
+        f"{header}{body}{raw}"
+        f'<script type="application/json" id="repro-live">{embedded}</script>'
+        "</body></html>"
     )
 
 

@@ -1,0 +1,240 @@
+"""Fixed-bucket log2 histograms: latencies and sizes as distributions.
+
+Counters say *how many*, timers say *how long in total* — neither can
+answer "what was the p99 batch latency". This module adds the third
+primitive: a histogram over fixed power-of-two buckets, built for the
+same cross-process discipline as the rest of the obs layer:
+
+* **Fixed buckets** — bucket ``i`` covers ``(base * 2**(i-1),
+  base * 2**i]`` (bucket 0 covers ``(0, base]``), so every process
+  agrees on the bucket grid without negotiation.  Two flavors pick the
+  base: ``"latency"`` starts at 1 µs (bucket 39 tops out above 150 s),
+  ``"size"`` starts at 1 (bucket 39 tops out above 5e11 events).
+* **Associative merge** — merging is bucket-wise addition plus
+  min/max/sum/count folds, so shard generations, worker processes and
+  reconnecting clients can be combined in any order with the same
+  result (``merge_hist_snapshots`` is the plain-dict form the serve
+  plane ships over queues).
+* **Deterministic quantiles** — :meth:`Histogram.quantile` interpolates
+  linearly inside the selected bucket and clamps to the observed
+  min/max; same snapshot, same answer, no randomness.
+* **Deterministic snapshots** — :meth:`Histogram.snapshot` is a plain
+  sorted-key-stable dict (sparse buckets keyed by stringified index for
+  JSON round-trips) and :meth:`Histogram.from_snapshot` rebuilds an
+  identical histogram.
+
+The registry (:mod:`repro.obs.metrics`) hosts histograms beside
+counters/gauges/timers under the same ``enabled`` gate; the serve plane
+additionally keeps always-on private histograms so ``/metrics`` works
+without any obs flag (mirroring the server's counter dicts).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+#: number of power-of-two buckets before the overflow bucket.
+DEFAULT_BUCKETS = 40
+
+#: per flavor: (bucket-0 upper bound, accounting unit).  Latencies
+#: bucket from 1 µs and account their sum in integer nanoseconds;
+#: sizes (event counts, byte counts) bucket from 1 and sum as plain
+#: integers.  Integer sums are what makes the merge *exactly*
+#: associative — float addition reorders differ in the last ulp, and
+#: "same snapshot regardless of merge order" is a tested guarantee.
+KIND_SPEC = {"latency": (1e-6, 1e-9), "size": (1.0, 1.0)}
+
+
+def _bucket_index(ratio: float) -> int:
+    """``ceil(log2(ratio))`` for ``ratio > 1``, exact at powers of two.
+
+    ``frexp`` decomposes ``ratio = m * 2**e`` with ``m in [0.5, 1)``;
+    ``log2`` lands in ``(e-1, e]`` and hits ``e-1`` exactly when
+    ``m == 0.5``.  Pure float decomposition — no ``log2`` rounding at
+    bucket edges, so every process buckets identically.
+    """
+    mantissa, exponent = math.frexp(ratio)
+    return exponent - 1 if mantissa == 0.5 else exponent
+
+
+class Histogram:
+    """One fixed-bucket log2 histogram (see module docstring).
+
+    Args:
+        kind: ``"latency"`` (seconds, base 1 µs) or ``"size"``
+            (dimensionless, base 1).
+        nbuckets: power-of-two buckets before the overflow bucket.
+    """
+
+    __slots__ = ("kind", "base", "unit", "nbuckets", "count", "total_units",
+                 "vmin", "vmax", "buckets", "overflow")
+
+    def __init__(self, kind: str = "latency", nbuckets: int = DEFAULT_BUCKETS) -> None:
+        if kind not in KIND_SPEC:
+            raise ValueError(f"unknown histogram kind {kind!r}")
+        self.kind = kind
+        self.base, self.unit = KIND_SPEC[kind]
+        self.nbuckets = nbuckets
+        self.count = 0
+        #: running sum in integer units (ns / events) — see KIND_SPEC.
+        self.total_units = 0
+        self.vmin: Optional[float] = None
+        self.vmax: Optional[float] = None
+        #: sparse bucket index -> count (dense rendering derives bounds).
+        self.buckets: Dict[int, int] = {}
+        self.overflow = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Fold one observation in (negative values clamp to bucket 0)."""
+        value = float(value)
+        self.count += 1
+        self.total_units += int(round(value / self.unit))
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
+        ratio = value / self.base
+        index = 0 if ratio <= 1.0 else _bucket_index(ratio)
+        if index >= self.nbuckets:
+            self.overflow += 1
+        else:
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def upper_bound(self, index: int) -> float:
+        """Inclusive upper bound of bucket ``index``."""
+        return self.base * (2.0 ** index)
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (must share kind and bucket count)."""
+        self.merge_snapshot(other.snapshot())
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` dict in — the cross-process path."""
+        if snap.get("kind", self.kind) != self.kind:
+            raise ValueError(
+                f"cannot merge {snap.get('kind')!r} histogram into {self.kind!r}"
+            )
+        self.count += snap["count"]
+        self.total_units += snap["total_units"]
+        other_min = snap.get("min")
+        if other_min is not None:
+            self.vmin = other_min if self.vmin is None else min(self.vmin, other_min)
+        other_max = snap.get("max")
+        if other_max is not None:
+            self.vmax = other_max if self.vmax is None else max(self.vmax, other_max)
+        for key, count in snap.get("buckets", {}).items():
+            index = int(key)
+            if index >= self.nbuckets:
+                self.overflow += count
+            else:
+                self.buckets[index] = self.buckets.get(index, 0) + count
+        self.overflow += snap.get("overflow", 0)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Deterministic quantile estimate in ``[min, max]``.
+
+        Log-bucket histograms cannot give exact order statistics; this
+        walks the cumulative counts to the target rank and interpolates
+        linearly within the landing bucket, clamping to the observed
+        extremes so p0/p100 are exact and estimates never leave the
+        observed range.
+        """
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        assert self.vmin is not None and self.vmax is not None
+        rank = q * self.count
+        cumulative = 0.0
+        for index in sorted(self.buckets):
+            bucket_count = self.buckets[index]
+            if cumulative + bucket_count >= rank:
+                low = 0.0 if index == 0 else self.upper_bound(index - 1)
+                high = self.upper_bound(index)
+                fraction = (rank - cumulative) / bucket_count
+                estimate = low + fraction * (high - low)
+                return min(self.vmax, max(self.vmin, estimate))
+            cumulative += bucket_count
+        return self.vmax  # rank lands in the overflow bucket
+
+    @property
+    def total(self) -> float:
+        """Sum of observations in natural units (seconds / events)."""
+        return self.total_units * self.unit
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """Plain deterministic dict; JSON-round-trips via str bucket keys."""
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total_units": self.total_units,
+            "min": self.vmin,
+            "max": self.vmax,
+            "buckets": {str(index): self.buckets[index]
+                        for index in sorted(self.buckets)},
+            "overflow": self.overflow,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict, nbuckets: int = DEFAULT_BUCKETS) -> "Histogram":
+        hist = cls(kind=snap.get("kind", "latency"), nbuckets=nbuckets)
+        hist.merge_snapshot(snap)
+        return hist
+
+
+def merge_hist_snapshots(into: Dict[str, dict], other: Dict[str, dict]) -> Dict[str, dict]:
+    """Fold one ``{name: snapshot}`` map into another (mutates ``into``).
+
+    The plain-dict merge the timeseries grid and the serve plane use;
+    bucket-wise addition keeps it associative and commutative, so shard
+    generations and worker payloads combine in any order.
+    """
+    for name, snap in other.items():
+        existing = into.get(name)
+        if existing is None:
+            into[name] = Histogram.from_snapshot(snap).snapshot()
+        else:
+            hist = Histogram.from_snapshot(existing)
+            hist.merge_snapshot(snap)
+            into[name] = hist.snapshot()
+    return into
+
+
+def render_prometheus_hist(prom_name: str, snap: dict, labels: str = "") -> List[str]:
+    """One histogram snapshot as Prometheus text exposition lines.
+
+    Cumulative ``_bucket{le=...}`` series over the dense bucket grid
+    (Prometheus histograms are cumulative by contract), a ``+Inf``
+    bucket equal to the total count, and ``_sum`` / ``_count``.
+    ``labels`` is a pre-rendered ``key="value"`` list spliced into
+    every sample's label set.
+    """
+    hist = Histogram.from_snapshot(snap)
+    lines = [f"# TYPE {prom_name} histogram"]
+    extra = f",{labels}" if labels else ""
+    cumulative = 0
+    for index in range(hist.nbuckets):
+        cumulative += hist.buckets.get(index, 0)
+        bound = f"{hist.upper_bound(index):.9g}"
+        lines.append(f'{prom_name}_bucket{{le="{bound}"{extra}}} {cumulative}')
+    label_block = f"{{{labels}}}" if labels else ""
+    lines.append(f'{prom_name}_bucket{{le="+Inf"{extra}}} {hist.count}')
+    lines.append(f"{prom_name}_sum{label_block} {hist.total:.9g}")
+    lines.append(f"{prom_name}_count{label_block} {hist.count}")
+    return lines

@@ -1,4 +1,4 @@
-"""Process-wide metrics registry: counters, gauges, timers.
+"""Process-wide metrics registry: counters, gauges, timers, histograms.
 
 One global :data:`METRICS` registry serves the whole package.  It is
 **disabled by default**: every mutator starts with an ``enabled``
@@ -26,6 +26,8 @@ from __future__ import annotations
 import json
 import time
 from typing import Dict, List, Optional
+
+from repro.obs.hist import Histogram
 
 
 class _Timer:
@@ -69,7 +71,7 @@ class MetricsRegistry:
     the package emits lives in ``docs/observability.md``.
     """
 
-    __slots__ = ("enabled", "_counters", "_gauges", "_timers")
+    __slots__ = ("enabled", "_counters", "_gauges", "_timers", "_hists")
 
     def __init__(self) -> None:
         self.enabled = False
@@ -77,6 +79,7 @@ class MetricsRegistry:
         self._gauges: Dict[str, float] = {}
         #: name -> [count, total_seconds, max_seconds, min_seconds]
         self._timers: Dict[str, List[float]] = {}
+        self._hists: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -93,6 +96,7 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._timers.clear()
+        self._hists.clear()
 
     # ------------------------------------------------------------------
     # recording
@@ -125,6 +129,23 @@ class MetricsRegistry:
                 timer[2] = seconds
             if seconds < timer[3]:
                 timer[3] = seconds
+
+    def observe_hist(self, name: str, value: float, kind: str = "latency") -> None:
+        """Fold one observation into histogram ``name`` (see obs.hist).
+
+        Unlike timers — which keep only count/total/extremes — a
+        histogram preserves the shape of the distribution, so p50/p99
+        survive snapshot, merge and Prometheus exposition.
+        """
+        if not self.enabled:
+            return
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram(kind=kind)
+        hist.observe(value)
+
+    def hist(self, name: str) -> Optional[Histogram]:
+        return self._hists.get(name)
 
     def time(self, name: str):
         """Context manager timing its block into timer ``name``."""
@@ -163,6 +184,9 @@ class MetricsRegistry:
                 }
                 for name, t in sorted(self._timers.items())
             },
+            "hists": {
+                name: hist.snapshot() for name, hist in sorted(self._hists.items())
+            },
         }
 
     def merge(self, snapshot: dict) -> None:
@@ -200,6 +224,12 @@ class MetricsRegistry:
                     timer[2] = stats["max_s"]
                 if min_s < timer[3]:
                     timer[3] = min_s
+        for name, snap in snapshot.get("hists", {}).items():
+            hist = self._hists.get(name)
+            if hist is None:
+                self._hists[name] = Histogram.from_snapshot(snap)
+            else:
+                hist.merge_snapshot(snap)
 
     def write(self, path: str) -> None:
         """Write the snapshot as sorted-key JSON (diff-friendly)."""

@@ -33,6 +33,7 @@ import json
 import re
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.hist import merge_hist_snapshots, render_prometheus_hist
 from repro.obs.metrics import METRICS
 
 #: default events between samples; chosen so a scale-1.0 ``repro all``
@@ -121,14 +122,23 @@ class TimeSeriesCollector:
             self.sample()
 
     def sample(self) -> None:
-        """Take one snapshot of the registry's comparable sections now."""
+        """Take one snapshot of the registry now.
+
+        ``counters`` and ``gauges`` are the comparable sections;
+        ``timers`` and ``hists`` carry wall-clock content and ride in
+        the same sample so the exposition output keeps the full
+        registry (``render_prometheus`` emits all four).
+        """
         if not self.enabled:
             return
+        full = METRICS.snapshot()
         self._store(
             self._events,
             {
                 "counters": dict(METRICS._counters),
                 "gauges": dict(METRICS._gauges),
+                "timers": full["timers"],
+                "hists": full["hists"],
             },
         )
 
@@ -168,14 +178,21 @@ class TimeSeriesCollector:
         with the inner sections key-sorted, mirroring the registry's
         snapshot discipline.
         """
-        return [
-            {
+        out = []
+        for tick in sorted(self._grid):
+            stored = self._grid[tick]
+            sample = {
                 "tick": tick,
-                "counters": dict(sorted(self._grid[tick]["counters"].items())),
-                "gauges": dict(sorted(self._grid[tick]["gauges"].items())),
+                "counters": dict(sorted(stored["counters"].items())),
+                "gauges": dict(sorted(stored["gauges"].items())),
             }
-            for tick in sorted(self._grid)
-        ]
+            # Timing sections appear only when present — samples merged
+            # from payloads that predate them stay unchanged.
+            for section in ("timers", "hists"):
+                if stored.get(section):
+                    sample[section] = dict(sorted(stored[section].items()))
+            out.append(sample)
+        return out
 
     def series(self, name: str) -> List[Tuple[int, float]]:
         """(tick, value) pairs for one counter/gauge name, tick-ascending."""
@@ -215,6 +232,10 @@ class TimeSeriesCollector:
                 {
                     "counters": dict(sample.get("counters", {})),
                     "gauges": dict(sample.get("gauges", {})),
+                    "timers": {name: dict(stats)
+                               for name, stats in sample.get("timers", {}).items()},
+                    "hists": {name: dict(snap)
+                              for name, snap in sample.get("hists", {}).items()},
                 },
             )
         self._dropped += payload.get("dropped", 0)
@@ -252,26 +273,68 @@ def _combine(into: dict, sample: dict) -> None:
         current = gauges.get(name)
         if current is None or value > current:
             gauges[name] = value
+    # Timer and histogram merges mirror the registry's: count/total add,
+    # extremes fold, buckets add — all associative, any merge order works.
+    timers = into.setdefault("timers", {})
+    for name, stats in sample.get("timers", {}).items():
+        current = timers.get(name)
+        if current is None:
+            timers[name] = dict(stats)
+        else:
+            current["count"] += stats["count"]
+            current["total_s"] += stats["total_s"]
+            current["max_s"] = max(current["max_s"], stats["max_s"])
+            current["min_s"] = min(
+                current.get("min_s", current["max_s"]),
+                stats.get("min_s", stats["max_s"]),
+            )
+    merge_hist_snapshots(into.setdefault("hists", {}), sample.get("hists", {}))
+
+
+def prom_name(name: str, suffix: str = "") -> str:
+    """A dotted metric name as a sanitized ``repro_``-prefixed one."""
+    return "repro_" + _PROM_SANITIZE.sub("_", name) + suffix
 
 
 def render_prometheus(samples: List[dict]) -> str:
-    """Render samples as Prometheus text exposition format."""
+    """Render samples as Prometheus text exposition format.
+
+    Counters and gauges map directly; each timer expands into four
+    series (``_seconds_count`` / ``_seconds_sum`` counters plus
+    ``_seconds_max`` / ``_seconds_min`` gauges — timers used to be
+    dropped entirely, silently losing all timing data from ``.prom``
+    files); histograms render only their final sample, as cumulative
+    ``_bucket{le=...}`` series (repeating a full bucket grid per tick
+    would dwarf everything else, and the final sample already *is* the
+    whole-run distribution — histogram merges are cumulative).
+    """
     by_name: Dict[str, Tuple[str, List[Tuple[int, float]]]] = {}
+    last_hists: Dict[str, dict] = {}
     for sample in samples:
         tick = sample["tick"]
         for section, prom_type in (("counters", "counter"), ("gauges", "gauge")):
             for name, value in sample.get(section, {}).items():
-                prom = "repro_" + _PROM_SANITIZE.sub("_", name)
-                entry = by_name.get(prom)
-                if entry is None:
-                    entry = by_name[prom] = (prom_type, [])
+                entry = by_name.setdefault(prom_name(name), (prom_type, []))
                 entry[1].append((tick, value))
+        for name, stats in sample.get("timers", {}).items():
+            for suffix, prom_type, value in (
+                ("_seconds_count", "counter", stats["count"]),
+                ("_seconds_sum", "counter", stats["total_s"]),
+                ("_seconds_max", "gauge", stats["max_s"]),
+                ("_seconds_min", "gauge", stats.get("min_s", stats["max_s"])),
+            ):
+                entry = by_name.setdefault(prom_name(name, suffix), (prom_type, []))
+                entry[1].append((tick, value))
+        for name, snap in sample.get("hists", {}).items():
+            last_hists[name] = snap
     lines = []
     for prom in sorted(by_name):
         prom_type, points = by_name[prom]
         lines.append(f"# TYPE {prom} {prom_type}")
         for tick, value in points:
             lines.append(f"{prom} {value} {tick}")
+    for name in sorted(last_hists):
+        lines.extend(render_prometheus_hist(prom_name(name), last_hists[name]))
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -136,18 +136,62 @@ class Tracer:
             return f"{self._prefix}/s{self._serial}"
         return f"s{self._serial}"
 
+    @property
+    def epoch(self) -> float:
+        """The monotonic instant ``t_start_s`` values are relative to."""
+        return self._epoch
+
     def span(self, name: str, **attrs):
         """Open a span named ``name``; use as a context manager."""
         if not self.enabled:
             return _NULL_SPAN
         return _Span(self, name, attrs)
 
+    def record_span(
+        self,
+        name: str,
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        start_monotonic: Optional[float] = None,
+        duration_s: float = 0.0,
+        attrs: Optional[dict] = None,
+    ) -> Optional[str]:
+        """Append one complete span record, bypassing the stack.
+
+        The context-manager stack models strictly nested phases of one
+        thread of control; the serve plane's spans are neither — dozens
+        of client batches are in flight at once and their child spans
+        close on shard runtimes, reader threads and reconnect paths.
+        Those callers mint their own deterministic ids (the wire trace
+        context) and record finished spans directly.  ``list.append``
+        is atomic under the GIL, so cross-thread emission is safe.
+
+        Returns the span id, or ``None`` while disabled.
+        """
+        if not self.enabled:
+            return None
+        if span_id is None:
+            span_id = self._next_id()
+        if start_monotonic is None:
+            start_monotonic = time.monotonic() - duration_s
+        self._spans.append({
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "t_start_s": round(start_monotonic - self._epoch, 6),
+            "duration_s": round(duration_s, 6),
+            "attrs": attrs or {},
+        })
+        return span_id
+
     def adopt(self, spans: List[dict]) -> None:
         """Fold worker-process spans into this tracer's buffer.
 
         Root spans (``parent_id is None``) are re-parented under the
         currently open span, so parent ids in the combined trace stay
-        valid.
+        valid.  Records that carry an explicit parent pass through
+        unchanged — the serve plane's shard spans arrive pre-parented
+        under their batch's wire trace context.
         """
         if not self.enabled:
             return

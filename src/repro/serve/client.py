@@ -39,6 +39,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.core.sites import Site
 from repro.errors import ReproError
 from repro.obs import get_logger
+from repro.obs.hist import Histogram
+from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.trace import TRACER as _TRACER
 from repro.serve import protocol as proto
 from repro.serve.protocol import FrameDecoder
 
@@ -106,6 +109,19 @@ class ServeClient:
         self._next_seq = 0
         #: seq -> (sids, values); insertion order == sequence order.
         self._unacked: Dict[int, Tuple[List[int], List[int]]] = {}
+        #: the trace id every batch's wire trace context carries; the
+        #: per-batch span id is ``<trace_id>.b<seq>`` — deterministic,
+        #: so a retried or resent batch reuses its id and the span tree
+        #: stays single-rooted per batch across reconnects.
+        self.trace_id = f"c-{client_id}"
+        #: seq -> monotonic instant of the *first* transmit (e2e clock).
+        self._sent_at: Dict[int, float] = {}
+        #: always-on client-observed batch e2e (send -> ack, retries
+        #: and reconnects included) — the producer-side counterpart of
+        #: the server's serve.batch_e2e.
+        self.hists: Dict[str, Histogram] = {
+            "serve.client_batch_e2e": Histogram(),
+        }
         self.counters: Dict[str, int] = {
             "batches": 0,
             "events": 0,
@@ -163,10 +179,12 @@ class ServeClient:
                 welcome = self._welcome
                 self.shards = welcome.get("shards", 0)
                 next_seq = welcome.get("next", 0)
-                # Everything below the resume point is applied on every shard.
+                # Everything below the resume point is applied on every
+                # shard — an implicit ack, observed like an explicit one.
                 for seq in [s for s in self._unacked if s < next_seq]:
                     del self._unacked[seq]
                     self.counters["acks"] += 1
+                    self._observe_ack(seq)
                 self._next_seq = max(self._next_seq, next_seq)
                 self._send_pending_sites()
                 for seq in sorted(self._unacked):
@@ -261,6 +279,7 @@ class ServeClient:
         seq = self._next_seq
         self._next_seq += 1
         self._unacked[seq] = (list(sids), list(values))
+        self._sent_at[seq] = time.monotonic()
         self.counters["batches"] += 1
         self.counters["events"] += len(sids)
         self._send_pending_sites()
@@ -273,7 +292,10 @@ class ServeClient:
         self._await(lambda: not self._unacked, "outstanding acks")
 
     def _transmit(self, seq: int) -> None:
-        message = proto.batch(seq, *self._unacked[seq])
+        sids, values = self._unacked[seq]
+        message = proto.batch(
+            seq, sids, values, tc=[self.trace_id, f"{self.trace_id}.b{seq}"]
+        )
         if self.frame_hook is not None:
             frames = self.frame_hook(message)
             if frames is None:
@@ -366,8 +388,10 @@ class ServeClient:
         for message in self._decoder.feed(data):
             kind = message.get("t")
             if kind == "ack":
-                if self._unacked.pop(message.get("seq"), None) is not None:
+                seq = message.get("seq")
+                if self._unacked.pop(seq, None) is not None:
                     self.counters["acks"] += 1
+                    self._observe_ack(seq)
                     progressed = True
             elif kind == "flow":
                 paused = message.get("state") == "pause"
@@ -382,6 +406,30 @@ class ServeClient:
             elif kind == "error":
                 raise ClientError(f"server error: {message.get('message')}")
         return progressed
+
+    def _observe_ack(self, seq: int) -> None:
+        """Fold one acked batch into the e2e telemetry.
+
+        Records the client-observed latency histogram (always on) and,
+        when the process tracer is enabled, the batch's root span —
+        with the *same* span id the wire trace context carried, so the
+        server's serve.enqueue/journal/fold/ack children parent under
+        it in the combined tree.
+        """
+        sent = self._sent_at.pop(seq, None)
+        if sent is None:
+            return
+        elapsed = time.monotonic() - sent
+        self.hists["serve.client_batch_e2e"].observe(elapsed)
+        _METRICS.observe_hist("serve.client_batch_e2e", elapsed)
+        if _TRACER.enabled:
+            _TRACER.record_span(
+                "serve.batch",
+                span_id=f"{self.trace_id}.b{seq}",
+                start_monotonic=sent,
+                duration_s=elapsed,
+                attrs={"client": self.client_id, "seq": seq},
+            )
 
     # ------------------------------------------------------------------
     # convenience

@@ -22,10 +22,15 @@ Client → server messages (``t`` is the message type):
   client's site ids ``K, K+1, ...``.  Definitions are positional and
   idempotent: a reconnecting client replays its table and the server
   verifies the prefix instead of re-adding it.
-* ``{"t": "batch", "seq": N, "sids": [...], "values": [...]}`` — one
-  ordered slice of the event stream.  ``seq`` is a per-client,
-  contiguous, zero-based sequence number; ``sids`` index the client's
-  site table.
+* ``{"t": "batch", "seq": N, "sids": [...], "values": [...],
+  "tc": [TRACE, SPAN]}`` — one ordered slice of the event stream.
+  ``seq`` is a per-client, contiguous, zero-based sequence number;
+  ``sids`` index the client's site table.  ``tc`` (since protocol
+  version 2) is the batch's trace context — a trace id and the
+  client-minted span id every server-side child span parents under.
+  It is advisory and backward/forward tolerant: servers ignore a
+  missing or malformed ``tc`` rather than rejecting the batch, so v1
+  producers keep working and v1 servers ignore the extra key.
 * ``{"t": "bye"}`` — graceful close.
 
 Server → client messages:
@@ -64,7 +69,8 @@ from repro.core.sites import Site, SiteKind
 from repro.errors import ReproError
 
 #: bumped when the frame layout or message schema changes.
-PROTOCOL_VERSION = 1
+#: v2: batch frames carry an optional ``tc`` trace context.
+PROTOCOL_VERSION = 2
 
 #: refuse frames larger than this (corrupt length prefix / abuse guard).
 MAX_FRAME = 16 * 1024 * 1024
@@ -213,8 +219,16 @@ def sites_frame(base: int, payloads: List[List[str]]) -> dict:
     return {"t": "sites", "base": base, "sites": payloads}
 
 
-def batch(seq: int, sids: List[int], values: List[int]) -> dict:
-    return {"t": "batch", "seq": seq, "sids": sids, "values": values}
+def batch(
+    seq: int,
+    sids: List[int],
+    values: List[int],
+    tc: Optional[List[str]] = None,
+) -> dict:
+    message = {"t": "batch", "seq": seq, "sids": sids, "values": values}
+    if tc is not None:
+        message["tc"] = tc
+    return message
 
 
 def ack(seq: int) -> dict:
@@ -233,8 +247,16 @@ def bye() -> dict:
     return {"t": "bye"}
 
 
-def check_batch(message: dict) -> Tuple[int, List[int], List[int]]:
-    """Validate a batch message; returns ``(seq, sids, values)``."""
+def check_batch(
+    message: dict,
+) -> Tuple[int, List[int], List[int], Optional[Tuple[str, str]]]:
+    """Validate a batch message; returns ``(seq, sids, values, tc)``.
+
+    ``tc`` is the optional trace context as a ``(trace_id, span_id)``
+    tuple.  Unlike the event columns it is advisory telemetry, so a
+    missing or malformed one degrades to ``None`` instead of raising —
+    an old or sloppy producer must not lose data over tracing.
+    """
     seq = message.get("seq")
     sids = message.get("sids")
     values = message.get("values")
@@ -254,4 +276,12 @@ def check_batch(message: dict) -> Tuple[int, List[int], List[int]]:
         if not all(type(item) is int for item in column):
             bad = next(item for item in column if type(item) is not int)
             raise ProtocolError(f"batch {name} must all be ints, got {bad!r}")
-    return seq, sids, values
+    raw_tc = message.get("tc")
+    tc: Optional[Tuple[str, str]] = None
+    if (
+        isinstance(raw_tc, list)
+        and len(raw_tc) == 2
+        and all(isinstance(part, str) and part for part in raw_tc)
+    ):
+        tc = (raw_tc[0], raw_tc[1])
+    return seq, sids, values, tc

@@ -40,10 +40,25 @@ Queries
 A second listener answers plain HTTP/1.1 GETs from merged snapshots:
 ``/profile`` (the exact ``repro profile`` table, or the database JSON),
 ``/inspect`` (TNV health overview), ``/stats`` (service counters,
-queue depths, per-shard state), ``/timeseries`` (the global collector's
-samples when enabled), ``/healthz`` and ``/checkpoint``.  Site spaces
-are disjoint across shards, so the merge is a pure union and per-site
-numbers are exact.
+queue depths, per-shard state and health, latency histograms, the
+slow-op ring), ``/metrics`` (live Prometheus text scrape),
+``/timeseries`` (the global collector's samples when enabled),
+``/healthz`` and ``/checkpoint``.  Site spaces are disjoint across
+shards, so the merge is a pure union and per-site numbers are exact.
+
+Observability
+-------------
+
+Every client batch carries a wire trace context (``tc``); the server
+emits ``serve.enqueue`` and ``serve.ack`` child spans on its own
+tracer, while the shard runtimes time journal and fold per applied
+sub-batch and ship those observations *with their done-reports* —
+``_telemetry_for_ops`` shapes them into pre-parented span records and
+latency samples the server folds into its always-on histograms.
+Folding on the server is deliberate: a shard's own op log dies with a
+SIGKILL, the done-report does not, so ``serve.journal_sync`` /
+``serve.shard_fold`` stay cumulative across shard generations and the
+span tree stays a single tree across both runtimes.
 """
 
 from __future__ import annotations
@@ -54,14 +69,19 @@ import json
 import pickle
 import tempfile
 import threading
+import time
 import urllib.parse
+from collections import deque
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.profile import ProfileDatabase, TNVConfig
 from repro.core.sites import Site, SiteKind
 from repro.errors import ReproError
 from repro.obs import get_logger
+from repro.obs.hist import Histogram, render_prometheus_hist
 from repro.obs.metrics import METRICS as _METRICS
+from repro.obs.timeseries import prom_name
+from repro.obs.trace import TRACER as _TRACER
 from repro.serve import protocol as proto
 from repro.serve.protocol import ProtocolError
 from repro.serve.shard import ShardCore, resume_seq
@@ -71,6 +91,11 @@ _LOG = get_logger(__name__)
 DEFAULT_QUEUE_SIZE = 64
 DEFAULT_CHECKPOINT_INTERVAL = 200
 DEFAULT_REORDER_WINDOW = 64
+DEFAULT_SLOW_OP_THRESHOLD = 1.0
+
+#: slow-op ring size exposed in ``/stats`` (the log is for "what just
+#: went slow", not history — the WARN log is the durable record).
+SLOW_OP_RING = 32
 
 #: queue-depth fractions that trigger client-visible flow control.
 FLOW_HIGH_FRACTION = 0.75
@@ -82,14 +107,29 @@ class ServeError(ReproError):
 
 
 class _Pending:
-    """One routed batch awaiting done-reports from every shard."""
+    """One routed batch awaiting done-reports from every shard.
 
-    __slots__ = ("remaining", "writer", "events")
+    ``tc`` is the batch's wire trace context and ``t0`` the monotonic
+    arrival instant — both survive retries (a resent batch keeps its
+    first arrival time, so ``serve.batch_e2e`` measures the client-
+    visible wait, shard crashes included).
+    """
 
-    def __init__(self, shards: int, writer, events: int) -> None:
+    __slots__ = ("remaining", "writer", "events", "tc", "t0")
+
+    def __init__(
+        self,
+        shards: int,
+        writer,
+        events: int,
+        tc: Optional[Tuple[str, str]] = None,
+        t0: float = 0.0,
+    ) -> None:
         self.remaining: Set[int] = set(range(shards))
         self.writer = writer
         self.events = events
+        self.tc = tc
+        self.t0 = t0
 
 
 class _Session:
@@ -149,6 +189,55 @@ class _Session:
 # ----------------------------------------------------------------------
 
 
+def _telemetry_for_ops(
+    shard_index: int, client: str, ops: List[tuple], epoch: float
+) -> Dict[int, dict]:
+    """Shape a core's drained op log into per-seq done-report telemetry.
+
+    Shared by both runtimes so the wire shape is identical: ``{seq:
+    {"journal_s", "fold_s", "events", "spans"}}``.  The spans are
+    complete records pre-parented under the batch's client span id
+    (``tc[1]``) with deterministic ids — ``<tc>.s<shard>.journal`` /
+    ``.fold`` — so :meth:`Tracer.adopt` threads them into one tree no
+    matter which process or shard generation produced them, and a
+    duplicate apply can never mint a second span (dedup means a
+    (client, seq) applies at most once per shard).  ``epoch`` is the
+    producing process's span clock zero: the server's tracer epoch
+    inline, the worker's start instant in the process runtime (worker
+    spans are on the worker's own clock, as with the parallel runner).
+    """
+    telemetry: Dict[int, dict] = {}
+    for seq, tc, start_m, journal_s, fold_s, events in ops:
+        spans: List[dict] = []
+        if tc is not None:
+            parent = tc[1]
+            base = f"{parent}.s{shard_index}"
+            attrs = {"shard": shard_index, "client": client, "seq": seq}
+            spans.append({
+                "name": "serve.journal",
+                "span_id": f"{base}.journal",
+                "parent_id": parent,
+                "t_start_s": round(start_m - epoch, 6),
+                "duration_s": round(journal_s, 6),
+                "attrs": dict(attrs),
+            })
+            spans.append({
+                "name": "serve.fold",
+                "span_id": f"{base}.fold",
+                "parent_id": parent,
+                "t_start_s": round(start_m + journal_s - epoch, 6),
+                "duration_s": round(fold_s, 6),
+                "attrs": {**attrs, "events": events},
+            })
+        telemetry[seq] = {
+            "journal_s": journal_s,
+            "fold_s": fold_s,
+            "events": events,
+            "spans": spans,
+        }
+    return telemetry
+
+
 class InlineShardRunner:
     """One shard as an asyncio task draining a bounded queue.
 
@@ -185,14 +274,18 @@ class InlineShardRunner:
 
     async def _run(self) -> None:
         while True:
-            client, seq, payloads, sidx, values = await self.queue.get()
+            client, seq, payloads, sidx, values, tc = await self.queue.get()
             if self.delay:
                 await asyncio.sleep(self.delay)
             core = self.core
             if core is not None:
                 done: List[int] = []
+                telemetry: Dict[int, dict] = {}
                 try:
-                    done = core.submit(client, seq, payloads, sidx, values)
+                    done = core.submit(client, seq, payloads, sidx, values, tc=tc)
+                    telemetry = _telemetry_for_ops(
+                        self.index, client, core.take_ops(), _TRACER.epoch
+                    )
                     core.maybe_checkpoint(self.server.checkpoint_interval)
                 except Exception:  # noqa: BLE001 - a poisoned batch must not wedge the shard
                     _LOG.exception(
@@ -203,7 +296,9 @@ class InlineShardRunner:
                     )
                     self.server._inc("serve.poisoned_batches")
                 for done_seq in done:
-                    self.server._on_done(self.index, client, done_seq)
+                    self.server._on_done(
+                        self.index, client, done_seq, telemetry.get(done_seq)
+                    )
             self.queue.task_done()
             self.server._update_depth()
 
@@ -284,14 +379,20 @@ def _shard_process_main(
         exact=exact,
         restore=restore,
     )
+    # The worker's span clock zero: its spans ship home as plain records
+    # on this clock (same contract as the parallel runner's workers).
+    epoch = time.monotonic()
     while True:
         message = in_queue.get()
         kind = message[0]
         if kind == "batch":
-            _, client, seq, payloads, sidx, values = message
+            _, client, seq, payloads, sidx, values, tc = message
+            tc = tuple(tc) if tc is not None else None
             done = []
+            telemetry: Dict[int, dict] = {}
             try:
-                done = core.submit(client, seq, payloads, sidx, values)
+                done = core.submit(client, seq, payloads, sidx, values, tc=tc)
+                telemetry = _telemetry_for_ops(index, client, core.take_ops(), epoch)
                 core.maybe_checkpoint(checkpoint_interval)
             except Exception:  # noqa: BLE001 - a poisoned batch must not kill the worker
                 _LOG.exception(
@@ -301,7 +402,7 @@ def _shard_process_main(
                     seq,
                 )
             for done_seq in done:
-                out_queue.put(("done", index, client, done_seq))
+                out_queue.put(("done", index, client, done_seq, telemetry.get(done_seq)))
         elif kind == "query":
             # Pickle the database *here*, in the worker's only mutating
             # thread: handing the live object to the queue's feeder
@@ -407,9 +508,12 @@ class ProcessShardRunner:
         kind = message[0]
         if kind == "done":
             # Done reports are durable facts (journaled before reported)
-            # and stay valid even if their worker died since.
-            _, index, client, seq = message
-            self.server._on_done(index, client, seq)
+            # and stay valid even if their worker died since — and so is
+            # the telemetry riding along: folding it server-side is what
+            # lets histograms survive (and merge across) shard
+            # generations the worker itself did not.
+            _, index, client, seq, telemetry = message
+            self.server._on_done(index, client, seq, telemetry)
             self.server._update_depth()
         elif gen != self._gen:
             return  # stale response from a killed generation
@@ -549,6 +653,15 @@ class ServeServer:
         runtime: ``"inline"`` or ``"process"`` (see module docstring).
         timeseries_interval: if set, enable the global time-series
             collector for this server's lifetime (``/timeseries``).
+        slow_op_threshold: seconds above which a fold or HTTP query is
+            logged as a structured WARN, counted in ``serve.slow_ops``
+            and kept in the ``/stats`` slow-op ring.
+
+    The serve metrics plane — latency histograms, per-shard depth
+    gauges, the slow-op ring — is **always on** (like the counter
+    dicts) and scraped live via ``/metrics`` in Prometheus text
+    format; enabling the global obs registry additionally mirrors
+    everything there.  See ``docs/serving.md``.
     """
 
     def __init__(
@@ -566,6 +679,7 @@ class ServeServer:
         runtime: str = "inline",
         reorder_window: int = DEFAULT_REORDER_WINDOW,
         timeseries_interval: Optional[int] = None,
+        slow_op_threshold: float = DEFAULT_SLOW_OP_THRESHOLD,
     ) -> None:
         if shards < 1:
             raise ServeError(f"need at least one shard, got {shards}")
@@ -596,6 +710,21 @@ class ServeServer:
         self._paused = False
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {"serve.shards": float(shards)}
+        self.slow_op_threshold = slow_op_threshold
+        #: recent slow ops, newest last; rendered in /stats.
+        self.slow_ops: deque = deque(maxlen=SLOW_OP_RING)
+        #: always-on latency/size distributions, eagerly created so a
+        #: /metrics scrape shows every family (zeroed) from the first
+        #: request.  Shard-side observations fold in via done-report
+        #: telemetry, which is what keeps them cumulative across shard
+        #: kills and generation swaps.
+        self.hists: Dict[str, Histogram] = {
+            "serve.batch_e2e": Histogram(),
+            "serve.journal_sync": Histogram(),
+            "serve.shard_fold": Histogram(),
+            "serve.http_request": Histogram(),
+            "serve.batch_events": Histogram(kind="size"),
+        }
         self._flow_high = max(1, int(queue_size * FLOW_HIGH_FRACTION))
         self._flow_low = max(0, int(queue_size * FLOW_LOW_FRACTION))
 
@@ -611,6 +740,24 @@ class ServeServer:
     def _gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
         _METRICS.gauge(name, value)
+
+    def _observe(self, name: str, value: float, kind: str = "latency") -> None:
+        hist = self.hists.get(name)
+        if hist is None:
+            hist = self.hists[name] = Histogram(kind=kind)
+        hist.observe(value)
+        _METRICS.observe_hist(name, value, kind=kind)
+
+    def _slow_op(self, op: str, seconds: float, detail: str) -> None:
+        """Record one operation's duration against the slow-op budget."""
+        if seconds < self.slow_op_threshold:
+            return
+        self._inc("serve.slow_ops")
+        self.slow_ops.append({"op": op, "seconds": round(seconds, 6), "detail": detail})
+        _LOG.warning(
+            "slow op: %s took %.3fs (threshold %.3fs) %s",
+            op, seconds, self.slow_op_threshold, detail,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -702,8 +849,8 @@ class ServeServer:
                         self.nshards,
                     )
                 elif kind == "batch":
-                    seq, sids, values = proto.check_batch(message)
-                    await self._handle_batch(session, writer, seq, sids, values)
+                    seq, sids, values, tc = proto.check_batch(message)
+                    await self._handle_batch(session, writer, seq, sids, values, tc)
                 elif kind == "bye":
                     break
                 else:
@@ -752,15 +899,23 @@ class ServeServer:
         return session
 
     async def _handle_batch(
-        self, session: _Session, writer, seq: int, sids: List[int], values: List[int]
+        self,
+        session: _Session,
+        writer,
+        seq: int,
+        sids: List[int],
+        values: List[int],
+        tc: Optional[Tuple[str, str]],
     ) -> None:
         self._inc("serve.batches")
+        arrival = time.monotonic()
         if seq == session.expected_seq:
-            await self._route(session, writer, seq, sids, values, fresh=True)
+            await self._route(session, writer, seq, sids, values, fresh=True,
+                              tc=tc, t0=arrival)
             session.expected_seq += 1
             while session.expected_seq in session.reorder:
-                parked_sids, parked_values, parked_writer = session.reorder.pop(
-                    session.expected_seq
+                parked_sids, parked_values, parked_writer, parked_tc, parked_t0 = (
+                    session.reorder.pop(session.expected_seq)
                 )
                 await self._route(
                     session,
@@ -769,6 +924,8 @@ class ServeServer:
                     parked_sids,
                     parked_values,
                     fresh=True,
+                    tc=parked_tc,
+                    t0=parked_t0,
                 )
                 session.expected_seq += 1
         elif seq > session.expected_seq:
@@ -779,14 +936,15 @@ class ServeServer:
                 # wildly misordered producer from ballooning memory.
                 self._inc("serve.reorder_overflow")
             else:
-                session.reorder[seq] = (sids, values, writer)
+                session.reorder[seq] = (sids, values, writer, tc, arrival)
                 self._inc("serve.reordered_batches")
         elif seq in session.pending:
             # Routed but not fully acknowledged — a retry racing a slow
             # or crashed shard.  Re-fan-out: shards that applied it
             # dedup, the one that lost it applies it.
             self._inc("serve.retried_batches")
-            await self._route(session, writer, seq, sids, values, fresh=False)
+            await self._route(session, writer, seq, sids, values, fresh=False,
+                              tc=tc, t0=arrival)
         else:
             # Fully applied long ago: just re-ack.
             self._inc("serve.duplicate_batches")
@@ -800,6 +958,8 @@ class ServeServer:
         sids: List[int],
         values: List[int],
         fresh: bool,
+        tc: Optional[Tuple[str, str]] = None,
+        t0: float = 0.0,
     ) -> None:
         buckets: List[Optional[tuple]] = [None] * self.nshards
         shard_of = session.shard_of
@@ -820,16 +980,57 @@ class ServeServer:
             local_values.append(value)
         if fresh:
             self._inc("serve.events", len(sids))
-        session.pending[seq] = _Pending(self.nshards, writer, len(sids))
+            self._observe("serve.batch_events", len(sids), kind="size")
+        else:
+            # A retry keeps the original pending's arrival time and
+            # trace context: the e2e histogram measures the client's
+            # wait since *first* transmit, crashes and resends included.
+            previous = session.pending.get(seq)
+            if previous is not None:
+                t0 = previous.t0
+                tc = previous.tc
+        session.pending[seq] = _Pending(self.nshards, writer, len(sids), tc=tc, t0=t0)
         for index, runner in enumerate(self.runners):
             bucket = buckets[index]
             if bucket is None:
-                item = (session.id, seq, [], [], [])
+                item = (session.id, seq, [], [], [], tc)
             else:
-                item = (session.id, seq, bucket[0], bucket[2], bucket[3])
+                item = (session.id, seq, bucket[0], bucket[2], bucket[3], tc)
             await runner.submit(item)
+        if fresh and tc is not None and _TRACER.enabled:
+            _TRACER.record_span(
+                "serve.enqueue",
+                span_id=f"{tc[1]}.enq",
+                parent_id=tc[1],
+                start_monotonic=t0,
+                duration_s=time.monotonic() - t0,
+                attrs={"client": session.id, "seq": seq, "events": len(sids)},
+            )
 
-    def _on_done(self, shard_index: int, client: str, seq: int) -> None:
+    def _on_done(
+        self,
+        shard_index: int,
+        client: str,
+        seq: int,
+        telemetry: Optional[dict] = None,
+    ) -> None:
+        # Shard observations fold in *here*, on the server, from the
+        # telemetry riding each done-report: the shard's own op log
+        # dies with the shard, the done-report is durable — so the
+        # histograms stay cumulative across kills and generations.
+        if telemetry is not None:
+            journal_s = telemetry.get("journal_s", 0.0)
+            fold_s = telemetry.get("fold_s", 0.0)
+            if journal_s:
+                self._observe("serve.journal_sync", journal_s)
+            self._observe("serve.shard_fold", fold_s)
+            self._slow_op(
+                f"shard{shard_index}.fold", fold_s,
+                f"client={client} seq={seq} events={telemetry.get('events', 0)}",
+            )
+            spans = telemetry.get("spans")
+            if spans and _TRACER.enabled:
+                _TRACER.adopt(spans)
         session = self.sessions.get(client)
         if session is None:
             return
@@ -840,6 +1041,22 @@ class ServeServer:
         if not pending.remaining:
             del session.pending[seq]
             self._inc("serve.acks")
+            if pending.t0:
+                e2e = time.monotonic() - pending.t0
+                self._observe("serve.batch_e2e", e2e)
+                if pending.tc is not None and _TRACER.enabled:
+                    _TRACER.record_span(
+                        "serve.ack",
+                        span_id=f"{pending.tc[1]}.ack",
+                        parent_id=pending.tc[1],
+                        start_monotonic=pending.t0,
+                        duration_s=e2e,
+                        attrs={
+                            "client": client,
+                            "seq": seq,
+                            "events": pending.events,
+                        },
+                    )
             self._send(pending.writer, proto.ack(seq))
 
     def _send(self, writer, message: dict) -> None:
@@ -936,6 +1153,10 @@ class ServeServer:
             "paused": self._paused,
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
+            "hists": {name: hist.snapshot()
+                      for name, hist in sorted(self.hists.items())},
+            "slow_op_threshold": self.slow_op_threshold,
+            "slow_ops": list(self.slow_ops),
             "clients": {
                 client: {
                     "stream": session.stream,
@@ -974,7 +1195,11 @@ class ServeServer:
             else:
                 path, _, query = target.partition("?")
                 params = urllib.parse.parse_qs(query)
+                t_request = time.monotonic()
                 status, ctype, body = await self._http_route(path, params)
+                elapsed = time.monotonic() - t_request
+                self._observe("serve.http_request", elapsed)
+                self._slow_op(f"GET {path}", elapsed, f"status={status}")
         except ProtocolError as error:
             status, ctype, body = 400, "text/plain", f"bad request: {error}\n"
         except Exception as error:  # noqa: BLE001 - a query must never kill the loop
@@ -1069,4 +1294,66 @@ class ServeServer:
             payload = TIMESERIES.to_payload()
             payload["enabled"] = True
             return 200, "application/json", json.dumps(payload) + "\n"
+        if path == "/metrics":
+            return 200, "text/plain; version=0.0.4", self.render_metrics()
         return 404, "text/plain", f"no such endpoint: {path}\n"
+
+    def render_metrics(self) -> str:
+        """The live Prometheus scrape: counters, gauges, histograms.
+
+        Built from server-local state and per-runner depth probes only
+        — no shard round-trips — so a scrape is cheap and can never
+        block behind a busy (or dead) shard.  Per-shard queue depth and
+        liveness ride as labeled series; when the global registry is
+        enabled, its sections are appended under any names the serve
+        dicts don't already cover (the serve counters mirror into the
+        registry under identical names, so the skip avoids double
+        exposition).
+        """
+        lines: List[str] = []
+        emitted = set()
+        for name, value in sorted(self.counters.items()):
+            prom = prom_name(name)
+            emitted.add(prom)
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {value}")
+        for name, value in sorted(self.gauges.items()):
+            prom = prom_name(name)
+            emitted.add(prom)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {value:g}")
+        lines.append("# TYPE repro_serve_shard_queue_depth gauge")
+        for index, runner in enumerate(self.runners):
+            lines.append(
+                f'repro_serve_shard_queue_depth{{shard="{index}"}} {runner.depth()}'
+            )
+        lines.append("# TYPE repro_serve_shard_up gauge")
+        for index, runner in enumerate(self.runners):
+            lines.append(
+                f'repro_serve_shard_up{{shard="{index}"}} {1 if runner.alive else 0}'
+            )
+        for name, hist in sorted(self.hists.items()):
+            prom = prom_name(name)
+            emitted.add(prom)
+            lines.extend(render_prometheus_hist(prom, hist.snapshot()))
+        if _METRICS.enabled:
+            snapshot = _METRICS.snapshot()
+            for section, prom_type in (("counters", "counter"), ("gauges", "gauge")):
+                for name, value in snapshot[section].items():
+                    prom = prom_name(name)
+                    if prom in emitted:
+                        continue
+                    lines.append(f"# TYPE {prom} {prom_type}")
+                    lines.append(f"{prom} {value}")
+            for name, stats in snapshot["timers"].items():
+                prom = prom_name(name)
+                lines.append(f"# TYPE {prom}_seconds_count counter")
+                lines.append(f"{prom}_seconds_count {stats['count']}")
+                lines.append(f"# TYPE {prom}_seconds_sum counter")
+                lines.append(f"{prom}_seconds_sum {stats['total_s']}")
+            for name, snap in snapshot["hists"].items():
+                prom = prom_name(name)
+                if prom in emitted:
+                    continue
+                lines.extend(render_prometheus_hist(prom, snap))
+        return "\n".join(lines) + "\n"

@@ -33,12 +33,14 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.profile import ProfileDatabase, TNVConfig
 from repro.core.sites import Site
 from repro.errors import ReproError
+from repro.obs.hist import Histogram
 from repro.serve.protocol import site_from_payload
 
 #: bumped when the snapshot or journal layout changes.
@@ -74,6 +76,12 @@ class ShardCore:
         restore: load ``shard-<index>.snap`` + journal tail on
             construction instead of starting empty.
         ahead_window: per-client reorder-buffer bound.
+        telemetry: time journal writes and folds per applied batch into
+            local histograms and the per-batch op log (:meth:`take_ops`)
+            the runtimes ship home with done-reports.  Boundary-level
+            only — two clock reads per applied sub-batch, never per
+            event — and off during journal-replay restores so a
+            restart's catch-up doesn't pollute live latency data.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class ShardCore:
         exact: bool = True,
         restore: bool = False,
         ahead_window: int = DEFAULT_AHEAD_WINDOW,
+        telemetry: bool = True,
     ) -> None:
         self.index = index
         self.directory = Path(directory)
@@ -109,6 +118,20 @@ class ShardCore:
         }
         self._wal_file = None
         self._batches_since_checkpoint = 0
+        self.telemetry = telemetry
+        #: shard-local latency distributions (always constructed; only
+        #: populated while ``telemetry`` is on).
+        self.hists: Dict[str, Histogram] = {
+            "shard.journal_sync": Histogram(),
+            "shard.fold": Histogram(),
+        }
+        #: per-applied-batch op log the runtimes drain via take_ops():
+        #: (seq, tc, start_monotonic, journal_s, fold_s, events).
+        self._ops: List[tuple] = []
+        self._journal_bytes = 0
+        self._last_checkpoint_m: Optional[float] = None
+        self._last_fold_m: Optional[float] = None
+        self._last_fold_tick = 0  # cumulative events at the last fold
         self.directory.mkdir(parents=True, exist_ok=True)
         if restore:
             self._restore()
@@ -137,6 +160,7 @@ class ShardCore:
         sidx: List[int],
         values: List[int],
         journal: bool = True,
+        tc: Optional[tuple] = None,
     ) -> List[int]:
         """Offer one sub-batch; returns the seqs now *done* on this shard.
 
@@ -151,6 +175,10 @@ class ShardCore:
         ``sidx`` indexes into it.  Shipping the dictionary per batch
         keeps sub-batches self-contained, so a journal record replays
         without any shared interning state.
+
+        ``tc`` is the batch's wire trace context; it parks with
+        ahead-buffered batches so a gap-filling release still emits its
+        spans under the right parent.
         """
         done: List[int] = []
         high = self.applied.get(client, -1)
@@ -165,17 +193,20 @@ class ShardCore:
             elif len(parked) >= self.ahead_window:
                 self.counters["ahead_dropped"] += 1
             else:
-                parked[seq] = (site_payloads, sidx, values)
+                parked[seq] = (site_payloads, sidx, values, tc)
                 self.counters["ahead_buffered"] += 1
             return done
-        self._apply(client, seq, site_payloads, sidx, values, journal)
+        self._apply(client, seq, site_payloads, sidx, values, journal, tc)
         done.append(seq)
         parked = self._ahead.get(client)
         if parked:
             next_seq = seq + 1
             while next_seq in parked:
-                payloads, parked_sidx, parked_values = parked.pop(next_seq)
-                self._apply(client, next_seq, payloads, parked_sidx, parked_values, journal)
+                payloads, parked_sidx, parked_values, parked_tc = parked.pop(next_seq)
+                self._apply(
+                    client, next_seq, payloads, parked_sidx, parked_values,
+                    journal, parked_tc,
+                )
                 done.append(next_seq)
                 next_seq += 1
         return done
@@ -188,9 +219,13 @@ class ShardCore:
         sidx: List[int],
         values: List[int],
         journal: bool,
+        tc: Optional[tuple] = None,
     ) -> None:
+        telemetry = self.telemetry
+        t0 = time.monotonic() if telemetry else 0.0
         if journal:
             self._journal_append((client, seq, site_payloads, sidx, values))
+        t1 = time.monotonic() if telemetry else 0.0
         sites = self._decode_sites(site_payloads)
         if sidx:
             # Group the sub-batch per site in first-appearance order and
@@ -210,6 +245,28 @@ class ShardCore:
         self.counters["batches"] += 1
         self.counters["events"] += len(sidx)
         self._batches_since_checkpoint += 1
+        if telemetry:
+            now = time.monotonic()
+            journal_s = t1 - t0 if journal else 0.0
+            fold_s = now - t1
+            if journal:
+                self.hists["shard.journal_sync"].observe(journal_s)
+            self.hists["shard.fold"].observe(fold_s)
+            self._last_fold_m = now
+            self._last_fold_tick = self.counters["events"]
+            self._ops.append((seq, tc, t0, journal_s, fold_s, len(sidx)))
+
+    def take_ops(self) -> List[tuple]:
+        """Drain the per-batch op log accumulated since the last drain.
+
+        Each entry is ``(seq, tc, start_monotonic, journal_s, fold_s,
+        events)``.  The runtimes attach these to done-reports so the
+        *server* can fold them into its histograms and span tree — the
+        op log itself never survives a shard kill, which is exactly why
+        observations must leave with the ack.
+        """
+        ops, self._ops = self._ops, []
+        return ops
 
     def _decode_sites(self, site_payloads: List[list]) -> List[Site]:
         cache = self._site_cache
@@ -233,6 +290,7 @@ class ShardCore:
         self._wal_file.write(_LEN.pack(len(body)) + body)
         self._wal_file.flush()
         self.counters["wal_records"] += 1
+        self._journal_bytes += _LEN.size + len(body)
 
     def checkpoint(self) -> None:
         """Serialize full state and truncate the journal.
@@ -265,6 +323,8 @@ class ShardCore:
         with open(self.wal_path, "wb"):
             pass
         self._batches_since_checkpoint = 0
+        self._journal_bytes = 0
+        self._last_checkpoint_m = time.monotonic()
         self.counters["checkpoints"] += 1
 
     def maybe_checkpoint(self, every: Optional[int]) -> bool:
@@ -297,10 +357,20 @@ class ShardCore:
             saved = payload.get("counters", {})
             for key in ("batches", "events", "checkpoints", "wal_records"):
                 self.counters[key] = saved.get(key, 0)
-        for client, seq, site_payloads, sidx, values in self._read_journal():
-            # Replay through the normal dedup path (no re-journaling):
-            # records that predate the snapshot skip as duplicates.
-            self.submit(client, seq, site_payloads, sidx, values, journal=False)
+        # Replay with telemetry muted: a restart's catch-up folds are
+        # catch-up, not live latency — they would skew every histogram
+        # the replayed op count's worth.
+        live_telemetry, self.telemetry = self.telemetry, False
+        try:
+            for client, seq, site_payloads, sidx, values in self._read_journal():
+                # Replay through the normal dedup path (no re-journaling):
+                # records that predate the snapshot skip as duplicates.
+                self.submit(client, seq, site_payloads, sidx, values, journal=False)
+        finally:
+            self.telemetry = live_telemetry
+        self._journal_bytes = (
+            self.wal_path.stat().st_size if self.wal_path.exists() else 0
+        )
         self.counters["restores"] += 1
 
     def _read_journal(self) -> List[tuple]:
@@ -329,7 +399,15 @@ class ShardCore:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Plain-dict shard statistics for ``/stats`` responses."""
+        """Plain-dict shard statistics for ``/stats`` responses.
+
+        Besides counters this carries the shard's *health* detail: how
+        much un-checkpointed journal is on disk, how stale the snapshot
+        is, and when the last fold landed — the numbers an operator
+        needs to judge "is this shard keeping up and how much would a
+        crash replay".  Ages are ``None`` until the event happens.
+        """
+        now = time.monotonic()
         return {
             "index": self.index,
             "sites": len(self.db),
@@ -338,6 +416,20 @@ class ShardCore:
             },
             "counters": dict(self.counters),
             "pending_ahead": sum(len(parked) for parked in self._ahead.values()),
+            "journal_bytes": self._journal_bytes,
+            "snapshot_age_s": (
+                round(now - self._last_checkpoint_m, 3)
+                if self._last_checkpoint_m is not None
+                else None
+            ),
+            "last_fold_age_s": (
+                round(now - self._last_fold_m, 3)
+                if self._last_fold_m is not None
+                else None
+            ),
+            "last_fold_tick": self._last_fold_tick,
+            "hists": {name: hist.snapshot()
+                      for name, hist in sorted(self.hists.items())},
         }
 
 

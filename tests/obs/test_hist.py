@@ -1,0 +1,235 @@
+"""Fixed-bucket log2 histograms: bucketing, quantiles, merges, rendering."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs.hist import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    merge_hist_snapshots,
+    render_prometheus_hist,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# bucketing
+# ----------------------------------------------------------------------
+
+
+def test_bucket_zero_covers_up_to_base():
+    hist = Histogram("latency")
+    hist.observe(0.0)
+    hist.observe(5e-7)
+    hist.observe(1e-6)  # exactly base — inclusive upper bound
+    assert hist.buckets == {0: 3}
+
+
+def test_power_of_two_boundaries_are_exact():
+    """Bucket i's upper bound base*2**i lands *in* bucket i, and the
+    next representable float above it lands in bucket i+1 — exact
+    edges are what makes every process bucket identically."""
+    import math
+
+    for i in range(1, 10):
+        hist = Histogram("size")
+        hist.observe(2.0 ** i)
+        hist.observe(math.nextafter(2.0 ** i, float("inf")))
+        assert hist.buckets == {i: 1, i + 1: 1}
+
+
+def test_overflow_bucket_catches_the_tail():
+    hist = Histogram("latency", nbuckets=4)
+    hist.observe(1.0)  # way past 1µs * 2**4
+    assert hist.overflow == 1
+    assert hist.count == 1
+    assert not hist.buckets
+
+
+def test_negative_values_clamp_to_bucket_zero():
+    hist = Histogram("latency")
+    hist.observe(-1.0)
+    assert hist.buckets == {0: 1}
+    assert hist.vmin == -1.0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        Histogram("temperature")
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+
+def test_count_total_mean_min_max():
+    hist = Histogram("size")
+    for value in (1, 2, 3, 10):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == 16
+    assert hist.mean == 4.0
+    assert (hist.vmin, hist.vmax) == (1.0, 10.0)
+
+
+def test_empty_quantile_is_zero():
+    assert Histogram().quantile(0.5) == 0.0
+
+
+def test_quantiles_are_clamped_to_observed_range():
+    hist = Histogram("latency")
+    hist.observe(3e-6)
+    assert hist.quantile(0.0) == 3e-6
+    assert hist.quantile(1.0) == 3e-6
+
+
+def test_quantile_accuracy_within_bucket_resolution():
+    """The estimate can be off by at most one bucket's width — for a
+    log2 grid that means within 2x of the true order statistic."""
+    rng = random.Random(42)
+    values = [rng.uniform(1e-5, 1e-1) for _ in range(5000)]
+    hist = Histogram("latency")
+    for value in values:
+        hist.observe(value)
+    values.sort()
+    for q in (0.5, 0.9, 0.99):
+        true = values[int(q * len(values)) - 1]
+        estimate = hist.quantile(q)
+        assert true / 2 <= estimate <= true * 2
+
+
+def test_quantile_in_overflow_returns_max():
+    hist = Histogram("latency", nbuckets=2)
+    hist.observe(1e-6)
+    hist.observe(7.0)  # overflow
+    assert hist.quantile(0.99) == 7.0
+
+
+# ----------------------------------------------------------------------
+# merge + snapshot discipline
+# ----------------------------------------------------------------------
+
+
+def _observed(values, kind="latency"):
+    hist = Histogram(kind)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def test_snapshot_round_trip_is_identical():
+    hist = _observed([1e-6, 3e-4, 0.25, 80.0])
+    clone = Histogram.from_snapshot(hist.snapshot())
+    assert clone.snapshot() == hist.snapshot()
+    assert clone.quantile(0.5) == hist.quantile(0.5)
+
+
+def test_snapshot_survives_json():
+    hist = _observed([5e-5, 2e-3])
+    snap = json.loads(json.dumps(hist.snapshot()))
+    assert Histogram.from_snapshot(snap).snapshot() == hist.snapshot()
+
+
+def test_merge_equals_observing_everything_in_one():
+    rng = random.Random(7)
+    a_values = [rng.uniform(1e-6, 1.0) for _ in range(200)]
+    b_values = [rng.uniform(1e-6, 100.0) for _ in range(200)]
+    merged = _observed(a_values)
+    merged.merge(_observed(b_values))
+    assert merged.snapshot() == _observed(a_values + b_values).snapshot()
+
+
+def test_merge_is_associative_and_commutative():
+    """Exact snapshot equality regardless of merge order — the property
+    that lets shard generations and worker payloads combine freely.
+    (Sums are integer units precisely so this holds to the last bit.)"""
+    rng = random.Random(13)
+    parts = [
+        [rng.uniform(1e-6, 10.0) for _ in range(100)] for _ in range(3)
+    ]
+    a, b, c = (_observed(part) for part in parts)
+
+    ab_c = _observed(parts[0])
+    ab_c.merge(b)
+    ab_c.merge(c)
+    c_ba = _observed(parts[2])
+    c_ba.merge(_observed(parts[1]))
+    c_ba.merge(_observed(parts[0]))
+    assert ab_c.snapshot() == c_ba.snapshot()
+
+
+def test_merge_rejects_kind_mismatch():
+    with pytest.raises(ValueError):
+        Histogram("latency").merge(Histogram("size"))
+
+
+def test_merge_hist_snapshots_map_form():
+    a = {"x": _observed([1e-6]).snapshot()}
+    b = {"x": _observed([1e-3]).snapshot(), "y": _observed([1], "size").snapshot()}
+    merged = merge_hist_snapshots(a, b)
+    assert merged is a
+    assert merged["x"]["count"] == 2
+    assert merged["y"] == b["y"]
+    # the new entry is a copy, not an alias into the source map
+    assert merged["y"] is not b["y"]
+
+
+# ----------------------------------------------------------------------
+# registry integration
+# ----------------------------------------------------------------------
+
+
+def test_registry_hosts_histograms_behind_the_gate():
+    registry = MetricsRegistry()
+    registry.observe_hist("lat", 1e-3)  # disabled: dropped
+    registry.enable()
+    registry.observe_hist("lat", 1e-3)
+    registry.observe_hist("events", 64, kind="size")
+    snap = registry.snapshot()
+    assert snap["hists"]["lat"]["count"] == 1
+    assert snap["hists"]["events"]["kind"] == "size"
+    registry.reset()
+    assert registry.snapshot()["hists"] == {}
+
+
+def test_registry_merge_folds_hists():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    parent.enable()
+    worker.enable()
+    parent.observe_hist("lat", 1e-4)
+    worker.observe_hist("lat", 1e-2)
+    worker.observe_hist("other", 1.0)
+    parent.merge(worker.snapshot())
+    snap = parent.snapshot()
+    assert snap["hists"]["lat"]["count"] == 2
+    assert snap["hists"]["other"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# prometheus exposition
+# ----------------------------------------------------------------------
+
+
+def test_prometheus_hist_rendering():
+    hist = _observed([1e-6, 1e-6, 5.0])
+    lines = render_prometheus_hist("repro_lat_seconds", hist.snapshot())
+    assert lines[0] == "# TYPE repro_lat_seconds histogram"
+    buckets = [line for line in lines if "_bucket" in line]
+    assert len(buckets) == DEFAULT_BUCKETS + 1  # dense grid + +Inf
+    # cumulative: first bucket already holds the two 1µs observations
+    assert buckets[0] == 'repro_lat_seconds_bucket{le="1e-06"} 2'
+    assert buckets[-1] == 'repro_lat_seconds_bucket{le="+Inf"} 3'
+    assert any(line.startswith("repro_lat_seconds_sum ") for line in lines)
+    assert "repro_lat_seconds_count 3" in lines
+
+
+def test_prometheus_hist_labels_splice_into_every_sample():
+    lines = render_prometheus_hist(
+        "repro_q", _observed([1], "size").snapshot(), labels='shard="3"'
+    )
+    assert 'repro_q_bucket{le="1",shard="3"} 1' in lines
+    assert 'repro_q_sum{shard="3"} 1' in lines
+    assert 'repro_q_count{shard="3"} 1' in lines

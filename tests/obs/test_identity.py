@@ -70,6 +70,6 @@ def test_disabled_observability_leaves_no_trace_state():
     the pre-observability output is reproduced with zero side bands."""
     text = _render()
     assert text.strip()
-    assert METRICS.snapshot() == {"counters": {}, "gauges": {}, "timers": {}}
+    assert METRICS.snapshot() == {"counters": {}, "gauges": {}, "timers": {}, "hists": {}}
     assert len(TIMESERIES) == 0 and TIMESERIES.events == 0
     assert FLIGHT.total_events == 0

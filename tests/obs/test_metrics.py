@@ -85,7 +85,7 @@ class TestCounting:
         registry.observe("t", 0.1)
         registry.reset()
         snap = registry.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+        assert snap == {"counters": {}, "gauges": {}, "timers": {}, "hists": {}}
 
 
 class TestDeterminism:

@@ -198,6 +198,124 @@ class TestExporters:
         collector.write_prometheus(str(path))
         assert path.read_text().startswith("# TYPE repro_events counter")
 
+    def test_prometheus_emits_timers(self):
+        """Timers used to be dropped from ``.prom`` output entirely;
+        each now expands into count/sum counters and max/min gauges."""
+        text = render_prometheus(
+            [
+                {
+                    "tick": 10,
+                    "counters": {},
+                    "gauges": {},
+                    "timers": {
+                        "fold": {
+                            "count": 2,
+                            "total_s": 0.5,
+                            "max_s": 0.4,
+                            "min_s": 0.1,
+                        }
+                    },
+                }
+            ]
+        )
+        lines = text.splitlines()
+        assert "# TYPE repro_fold_seconds_count counter" in lines
+        assert "repro_fold_seconds_count 2 10" in lines
+        assert "repro_fold_seconds_sum 0.5 10" in lines
+        assert "# TYPE repro_fold_seconds_max gauge" in lines
+        assert "repro_fold_seconds_max 0.4 10" in lines
+        assert "repro_fold_seconds_min 0.1 10" in lines
+
+    def test_prometheus_timers_tolerate_missing_min(self):
+        """Payloads written before timers carried ``min_s`` still render
+        (min falls back to max rather than KeyError-ing the export)."""
+        text = render_prometheus(
+            [
+                {
+                    "tick": 5,
+                    "counters": {},
+                    "gauges": {},
+                    "timers": {"fold": {"count": 1, "total_s": 0.2, "max_s": 0.2}},
+                }
+            ]
+        )
+        assert "repro_fold_seconds_min 0.2 5" in text.splitlines()
+
+    def test_prometheus_emits_final_histogram(self):
+        from repro.obs.hist import Histogram
+
+        early, late = Histogram("latency"), Histogram("latency")
+        early.observe(1e-6)
+        late.observe(1e-6)
+        late.observe(1e-3)
+        text = render_prometheus(
+            [
+                {"tick": 10, "counters": {}, "gauges": {}, "hists": {"lat": early.snapshot()}},
+                {"tick": 20, "counters": {}, "gauges": {}, "hists": {"lat": late.snapshot()}},
+            ]
+        )
+        lines = text.splitlines()
+        assert "# TYPE repro_lat histogram" in lines
+        # only the final (cumulative) sample renders: count is 2, not 3
+        assert 'repro_lat_bucket{le="+Inf"} 2' in lines
+        assert "repro_lat_count 2" in lines
+
+
+class TestTimingSections:
+    def test_sample_carries_timers_and_hists(self, collector, registry):
+        with registry.time("fold"):
+            pass
+        registry.observe_hist("lat", 1e-4)
+        collector.advance(10)
+        (sample,) = collector.samples()
+        assert sample["timers"]["fold"]["count"] == 1
+        assert sample["hists"]["lat"]["count"] == 1
+
+    def test_sections_absent_when_empty(self, collector, registry):
+        registry.inc("events")
+        collector.advance(10)
+        (sample,) = collector.samples()
+        assert "timers" not in sample
+        assert "hists" not in sample
+
+    def test_combine_folds_timers_and_hists_on_shared_tick(self, collector):
+        from repro.obs.hist import Histogram
+
+        def payload(total_s, max_s, min_s, lat_value):
+            hist = Histogram("latency")
+            hist.observe(lat_value)
+            return {
+                "interval": 10,
+                "events": 10,
+                "dropped": 0,
+                "samples": [
+                    {
+                        "tick": 10,
+                        "counters": {},
+                        "gauges": {},
+                        "timers": {
+                            "fold": {
+                                "count": 1,
+                                "total_s": total_s,
+                                "max_s": max_s,
+                                "min_s": min_s,
+                            }
+                        },
+                        "hists": {"lat": hist.snapshot()},
+                    }
+                ],
+            }
+
+        collector.merge(payload(0.2, 0.2, 0.2, 1e-5))
+        collector.merge(payload(0.3, 0.3, 0.3, 1e-2))
+        (sample,) = collector.samples()
+        fold = sample["timers"]["fold"]
+        assert fold["count"] == 2
+        assert fold["total_s"] == pytest.approx(0.5)
+        assert fold["max_s"] == 0.3
+        assert fold["min_s"] == 0.2
+        assert sample["hists"]["lat"]["count"] == 2
+
 
 class TestParallelMerge:
     def test_jobs_2_yields_one_merged_series(self, registry):

@@ -92,7 +92,7 @@ def test_shard_routing_spreads_sites():
 
 
 def test_check_batch_validation():
-    assert proto.check_batch(proto.batch(0, [1], [2])) == (0, [1], [2])
+    assert proto.check_batch(proto.batch(0, [1], [2])) == (0, [1], [2], None)
     with pytest.raises(ProtocolError):
         proto.check_batch({"t": "batch", "seq": -1, "sids": [], "values": []})
     with pytest.raises(ProtocolError):
