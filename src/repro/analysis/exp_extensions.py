@@ -289,6 +289,8 @@ def table_isa_specialization(scale: float = 1.0):
         written_registers,
     )
 
+    from repro.isa.machine import resolve_engine
+
     table = Table(
         (
             "program",
@@ -302,6 +304,14 @@ def table_isa_specialization(scale: float = 1.0):
         precision=2,
     )
     data: Dict[str, dict] = {}
+    # The profiling runs go through whatever interpreter tier the
+    # environment selects (``REPRO_ENGINE``/``REPRO_TIER2``), so under
+    # the tier-2 engine this experiment's own profiling is itself
+    # profile-guided-specialized.  The engine and its quicken/deopt
+    # stats land in ``data`` only; the rendered table must stay
+    # byte-identical across engines (CI diffs it).
+    engine = resolve_engine(None)
+    data["engine"] = {"name": engine, "tier2": {}}
     for name in programs():
         workload = get_workload(name)
         dataset = workload.dataset("train", scale=scale)
@@ -316,9 +326,12 @@ def table_isa_specialization(scale: float = 1.0):
             targets=(ProfileTarget.PARAMETERS,),
             parameter_context=True,
         )
-        machine = Machine(program, observer=observer)
+        machine = Machine(program, observer=observer, engine=engine)
         machine.set_input(dataset.values)
         machine.run()
+        tier2_stats = machine.tier2_stats()
+        if tier2_stats is not None:
+            data["engine"]["tier2"][name] = tier2_stats
 
         # 2. per call site: collect argument registers that were fully
         #    invariant at that site
@@ -382,7 +395,9 @@ def table_isa_specialization(scale: float = 1.0):
             "cycles_after": result.cycles,
             "reduction": reduction,
         }
-    reductions = [entry["reduction"] for entry in data.values()]
+    reductions = [
+        entry["reduction"] for entry in data.values() if "reduction" in entry
+    ]
     data["best_reduction"] = max(reductions) if reductions else 0.0
     data["all_outputs_identical"] = True
     return make_result("table-isa-specialization", table.render(), data)

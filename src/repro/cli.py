@@ -38,9 +38,11 @@ events) and ``--log-level LEVEL`` (progress logging to stderr).
 With none of them given the observability layer stays disabled and
 experiment output is byte-identical to an uninstrumented build.
 
-They also accept ``--engine {threaded,simple,auto}`` to pick the
-interpreter engine (``threaded`` is the pre-decoded direct-threaded
-engine, ``simple`` the reference loop; both are bit-identical), and
+They also accept ``--engine {threaded,simple,tier2,auto}`` to pick
+the interpreter engine (``threaded`` is the pre-decoded
+direct-threaded engine, ``simple`` the reference loop, ``tier2`` the
+profile-guided superinstruction specializer; all are bit-identical),
+and
 ``run``/``all`` accept ``--no-replay`` to bypass the simulate-once
 event-trace store and re-simulate for every consumer.
 """
@@ -350,9 +352,9 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     """Interpreter/replay selection shared by the simulating commands."""
     parser.add_argument(
         "--engine",
-        choices=("threaded", "simple", "auto"),
+        choices=("threaded", "simple", "tier2", "auto"),
         help="interpreter engine (default: auto = threaded unless "
-        "REPRO_ENGINE says otherwise)",
+        "REPRO_ENGINE names one or REPRO_TIER2 opts into tier2)",
     )
     parser.add_argument(
         "--no-replay",
@@ -379,6 +381,7 @@ def _apply_engine_args(args: argparse.Namespace):
     import os
 
     from repro.core import fold as foldmod
+    from repro.isa import machine as machine_module
 
     engine = getattr(args, "engine", None)
     no_replay = getattr(args, "no_replay", False)
@@ -389,6 +392,10 @@ def _apply_engine_args(args: argparse.Namespace):
     }
     replay_before = experiments.replay_enabled()
     fold_before = foldmod.fold_mode()
+    # Fail a bad selector (e.g. a typo'd REPRO_ENGINE inherited from
+    # the environment) here at startup, with the same clear error for
+    # every command, instead of deep inside Machine construction.
+    machine_module.resolve_engine(engine)
     if engine:
         os.environ["REPRO_ENGINE"] = engine
     if no_replay:
@@ -454,9 +461,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(profile_parser)
     profile_parser.add_argument(
         "--engine",
-        choices=("threaded", "simple", "auto"),
+        choices=("threaded", "simple", "tier2", "auto"),
         help="interpreter engine (default: auto = threaded unless "
-        "REPRO_ENGINE says otherwise)",
+        "REPRO_ENGINE names one or REPRO_TIER2 opts into tier2)",
     )
     profile_parser.set_defaults(func=_cmd_profile)
 
@@ -707,14 +714,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     finalize = _setup_observability(args)
-    restore_engine = _apply_engine_args(args)
+    restore_engine = None
     try:
+        restore_engine = _apply_engine_args(args)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
-        restore_engine()
+        if restore_engine is not None:
+            restore_engine()
         finalize()
 
 

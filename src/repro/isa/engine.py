@@ -81,6 +81,24 @@ class ThreadedEngine:
     The machine's registers, memory, output list and procedure-call
     dict are captured by identity, so all externally visible state
     stays on the machine object exactly as with the reference engine.
+
+    **Tier hooks.**  This class is also the substrate the tier-2
+    specializer (:class:`repro.isa.tier2.Tier2Engine`) quickens on top
+    of.  The contract a subclass may rely on:
+
+    * :meth:`_decode` is the quicken point — after it returns,
+      ``self._handlers[pc]`` is the complete per-pc closure table, and
+      each closure returns the next pc.  A tier may call any handler
+      directly (the deopt path) or replace its own dispatch table
+      entries with multi-instruction superinstructions.
+    * ``_dyn``, ``_extra_cycles`` and ``_input_state`` are the shared
+      accounting cells the handlers mutate; generated code that
+      bypasses handlers must keep them exact, and :meth:`_sync` writes
+      them (plus pc/instruction counts) back to the machine on every
+      exit path.
+    * ``_Halt``/``_Trap``/``_BadPC`` are the control-flow exceptions a
+      driver must translate into machine state; trap messages are part
+      of the bit-identity contract.
     """
 
     def __init__(self, machine) -> None:

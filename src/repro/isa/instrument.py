@@ -288,6 +288,15 @@ class ValueProfiler(MachineObserver):
             if len(buffer) >= _threshold:
                 _flush(_site, buffer)
 
+        # Inline contract for the tier-2 engine: the hook's whole
+        # per-event effect is append + threshold flush on this site's
+        # buffer, so a superinstruction may compile those two
+        # statements in place of the call.  Valid only once the buffer
+        # exists (creation order is part of the observable flush
+        # order), which tier-2 guarantees by quickening only blocks
+        # whose hooks have already fired.
+        emit.__vp_inline__ = (self._buffers, site, self.flush_threshold,
+                              self._flush_site)
         return emit
 
     def bind_define(self, inst: Instruction):
@@ -321,6 +330,10 @@ class ValueProfiler(MachineObserver):
                 if len(buffer) >= _threshold:
                     _flush(_site, buffer)
 
+            # Same tier-2 inline contract as _bind_emit (the load hook
+            # ignores the address, so the inlined form is identical).
+            hook.__vp_inline__ = (self._buffers, site, self.flush_threshold,
+                                  self._flush_site)
             return hook
 
         def hook(address, value, _emit=self._emit, _site=site):

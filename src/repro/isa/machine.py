@@ -6,7 +6,7 @@ an output stream.  An optional :class:`MachineObserver` receives the
 instruction-level events the value-profiling front ends consume — the
 role ATOM's analysis routines play in the paper.
 
-Two engines share these semantics bit for bit:
+Three engines share these semantics bit for bit:
 
 * ``simple`` — the reference loop below: a hand-ordered ``if``/``elif``
   chain over opcode mnemonics, kept as the executable specification.
@@ -14,11 +14,15 @@ Two engines share these semantics bit for bit:
   pre-decodes each static instruction into a per-pc closure (operands,
   immediates, trap messages and observer hooks bound at decode time)
   and dispatches through a handler table.  It is the default; the
-  differential suite holds the two engines byte-identical.
+  differential suite holds the engines byte-identical.
+* ``tier2`` — :class:`repro.isa.tier2.Tier2Engine`, the threaded
+  engine plus online quickening: hot basic blocks with stable live-in
+  operands become guarded, constant-folded superinstruction closures
+  that deopt back to the per-pc handlers on a guard miss.
 
 Select with ``Machine(engine=...)`` — ``"auto"`` (the default) follows
-the ``REPRO_ENGINE`` environment variable and falls back to
-``threaded``.
+the ``REPRO_ENGINE`` environment variable, engages ``tier2`` when
+``REPRO_TIER2`` is truthy, and falls back to ``threaded``.
 """
 
 from __future__ import annotations
@@ -46,24 +50,40 @@ from repro.obs.timeseries import TIMESERIES as _TIMESERIES
 DEFAULT_MEMORY_WORDS = 1 << 20
 DEFAULT_BUDGET = 200_000_000
 
-_ENGINES = ("simple", "threaded")
+_ENGINES = ("simple", "threaded", "tier2")
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def tier2_opted_in() -> bool:
+    """Whether ``REPRO_TIER2`` asks ``auto`` to engage the tier-2 engine."""
+    return os.environ.get("REPRO_TIER2", "").strip().lower() in _TRUTHY
 
 
 def resolve_engine(engine: Optional[str]) -> str:
-    """Normalize an engine selector to ``"simple"`` or ``"threaded"``.
+    """Normalize an engine selector to a member of ``_ENGINES``.
 
-    ``"auto"`` (or ``None``) follows the ``REPRO_ENGINE`` environment
-    variable and defaults to the threaded engine.
+    Resolution for ``"auto"`` (or ``None``), in order:
+
+    1. ``REPRO_ENGINE`` names an engine → that engine.
+    2. ``REPRO_TIER2`` is truthy → ``"tier2"``.
+    3. otherwise → ``"threaded"``.
+
+    Unknown names — from the argument or from ``REPRO_ENGINE`` — raise
+    :class:`~repro.errors.MachineError` immediately, so a typo fails at
+    selection time rather than deep inside a run.
     """
     if engine is None:
         engine = "auto"
+    engine = engine.strip().lower()
     if engine == "auto":
-        engine = os.environ.get("REPRO_ENGINE", "").strip().lower() or "threaded"
-        if engine == "auto":
-            engine = "threaded"
+        engine = os.environ.get("REPRO_ENGINE", "").strip().lower()
+        if not engine or engine == "auto":
+            engine = "tier2" if tier2_opted_in() else "threaded"
     if engine not in _ENGINES:
         raise MachineError(
-            f"unknown engine {engine!r} (choose from 'simple', 'threaded', 'auto')"
+            f"unknown engine {engine!r} "
+            f"(choose from 'simple', 'threaded', 'tier2', 'auto')"
         )
     return engine
 
@@ -205,6 +225,7 @@ class Machine:
         observer: Optional[MachineObserver] = None,
         count_pcs: bool = False,
         engine: str = "auto",
+        tier2_config=None,
     ) -> None:
         if len(program.data_image) > memory_words:
             raise MachineError(
@@ -245,7 +266,8 @@ class Machine:
         self.procedure_calls: dict = {}
         self.registers[REG_SP] = memory_words
         self.engine = resolve_engine(engine)
-        self._threaded = None  # lazily built ThreadedEngine
+        self._threaded = None  # lazily built ThreadedEngine or Tier2Engine
+        self._tier2_config = tier2_config
 
     # ------------------------------------------------------------------
 
@@ -283,7 +305,32 @@ class Machine:
 
                 threaded = self._threaded = ThreadedEngine(self)
             return threaded.run(max_instructions)
+        if self.engine == "tier2":
+            tier2 = self._threaded
+            if tier2 is None:
+                from repro.isa.tier2 import Tier2Engine
+
+                tier2 = self._threaded = Tier2Engine(self, config=self._tier2_config)
+            return tier2.run(max_instructions)
         return self._run_simple(max_instructions)
+
+    def tier2_stats(self) -> Optional[dict]:
+        """Quicken/deopt statistics, or ``None`` off the tier-2 engine."""
+        engine = self._threaded
+        if self.engine != "tier2" or engine is None:
+            return None
+        return engine.stats()
+
+    def tier2_preheat(self, database) -> int:
+        """Seed tier-2 thresholds from a profile; see ``Tier2Engine.preheat``."""
+        if self.engine != "tier2":
+            return 0
+        tier2 = self._threaded
+        if tier2 is None:
+            from repro.isa.tier2 import Tier2Engine
+
+            tier2 = self._threaded = Tier2Engine(self, config=self._tier2_config)
+        return tier2.preheat(database)
 
     def _run_simple(self, max_instructions: int) -> RunResult:
         """The reference interpreter loop (``engine="simple"``)."""

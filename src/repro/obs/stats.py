@@ -103,6 +103,7 @@ def interpreter_stats(snapshot: dict) -> dict:
         "runs": counters.get("machine.runs", 0),
         "threaded_runs": counters.get("machine.engine.threaded_runs", 0),
         "simple_runs": counters.get("machine.engine.simple_runs", 0),
+        "tier2_runs": counters.get("machine.engine.tier2_runs", 0),
         "instructions": instructions,
         "seconds": seconds,
         "mips": instructions / seconds / 1e6 if seconds else 0.0,
@@ -112,7 +113,15 @@ def interpreter_stats(snapshot: dict) -> dict:
 def render_interpreter(snapshot: dict) -> str:
     stats = interpreter_stats(snapshot)
     table = Table(
-        ("machine runs", "threaded", "simple", "instructions", "run s", "MIPS"),
+        (
+            "machine runs",
+            "threaded",
+            "simple",
+            "tier-2",
+            "instructions",
+            "run s",
+            "MIPS",
+        ),
         title="Interpreter throughput",
         precision=3,
     )
@@ -120,11 +129,90 @@ def render_interpreter(snapshot: dict) -> str:
         stats["runs"],
         stats["threaded_runs"],
         stats["simple_runs"],
+        stats["tier2_runs"],
         stats["instructions"],
         stats["seconds"],
         stats["mips"],
     )
     return table.render()
+
+
+def tier2_stats(snapshot: dict) -> dict:
+    """Tier-2 quicken/deopt figures from a metrics snapshot.
+
+    Sourced from the ``machine.tier2.*`` counters the tier-2 engine
+    emits after each run: lifecycle totals (quickened, requickened,
+    despecialized, deopts, guard hits) plus per-workload throughput
+    from the ``machine.tier2.instructions.<workload>`` counters and
+    ``machine.tier2.run.<workload>`` timers.
+    """
+    counters = snapshot.get("counters", {})
+    timers = snapshot.get("timers", {})
+    guard_hits = counters.get("machine.tier2.guards", 0)
+    deopts = counters.get("machine.tier2.deopts", 0)
+    guarded_entries = guard_hits + deopts
+    workloads = []
+    prefix = "machine.tier2.instructions."
+    for key in sorted(counters):
+        if not key.startswith(prefix):
+            continue
+        name = key[len(prefix):]
+        instructions = counters[key]
+        seconds = timers.get(f"machine.tier2.run.{name}", {}).get("total_s", 0.0)
+        workloads.append(
+            {
+                "workload": name,
+                "instructions": instructions,
+                "seconds": seconds,
+                "mips": instructions / seconds / 1e6 if seconds else 0.0,
+            }
+        )
+    return {
+        "runs": counters.get("machine.engine.tier2_runs", 0),
+        "quickened": counters.get("machine.tier2.quickened", 0),
+        "requickened": counters.get("machine.tier2.requickened", 0),
+        "despecialized": counters.get("machine.tier2.despecialized", 0),
+        "deopts": deopts,
+        "guard_hits": guard_hits,
+        "guard_hit_rate": guard_hits / guarded_entries if guarded_entries else 0.0,
+        "workloads": workloads,
+    }
+
+
+def render_tier2(snapshot: dict) -> str:
+    stats = tier2_stats(snapshot)
+    table = Table(
+        (
+            "tier-2 runs",
+            "quickened",
+            "requickened",
+            "despecialized",
+            "deopts",
+            "guard hit%",
+        ),
+        title="Tier-2 engine",
+    )
+    table.add_row(
+        stats["runs"],
+        stats["quickened"],
+        stats["requickened"],
+        stats["despecialized"],
+        stats["deopts"],
+        percentage(stats["guard_hit_rate"]),
+    )
+    sections = [table.render()]
+    if stats["workloads"]:
+        per_workload = Table(
+            ("workload", "tier-2 instructions", "run s", "MIPS"),
+            title="Tier-2 throughput by workload",
+            precision=3,
+        )
+        for row in stats["workloads"]:
+            per_workload.add_row(
+                row["workload"], row["instructions"], row["seconds"], row["mips"]
+            )
+        sections.append(per_workload.render())
+    return "\n\n".join(sections)
 
 
 def cache_stats(counters: Dict[str, int]) -> dict:
@@ -316,6 +404,7 @@ def render_stats(
     counters = (snapshot or {}).get("counters", {})
     if snapshot is not None:
         sections.append(render_interpreter(snapshot))
+        sections.append(render_tier2(snapshot))
         sections.append(render_cache(counters))
         sections.append(render_tracestore(snapshot))
         sections.append(render_fold(snapshot))
@@ -351,6 +440,7 @@ def stats_payload(
     if snapshot is not None:
         counters = snapshot.get("counters", {})
         payload["interpreter"] = interpreter_stats(snapshot)
+        payload["tier2"] = tier2_stats(snapshot)
         payload["cache"] = cache_stats(counters)
         payload["tracestore"] = tracestore_stats(snapshot)
         payload["fold"] = fold_stats(snapshot)

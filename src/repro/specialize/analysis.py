@@ -56,8 +56,26 @@ class BenefitModel:
     specialization_cost: float = 100.0
 
     def net_benefit(self, candidate: SpecializationCandidate) -> float:
-        gain = candidate.expected_hits * self.saving_per_call
-        cost = candidate.executions * self.guard_cost + self.specialization_cost
+        return self.net_benefit_terms(candidate.executions, candidate.invariance)
+
+    def net_benefit_terms(
+        self,
+        executions: float,
+        invariance: float,
+        saving_per_call: Optional[float] = None,
+        guards: int = 1,
+    ) -> float:
+        """The break-even inequality over raw terms.
+
+        Lets callers without a :class:`SpecializationCandidate` — the
+        tier-2 engine scoring a basic block's guard set — reuse the
+        same model: ``saving_per_call`` overrides the configured
+        per-call saving, ``guards`` scales the per-call guard cost by
+        the number of guarded values.
+        """
+        saving = self.saving_per_call if saving_per_call is None else saving_per_call
+        gain = executions * invariance * saving
+        cost = executions * self.guard_cost * guards + self.specialization_cost
         return gain - cost
 
     def breakeven_invariance(self, executions: int) -> float:

@@ -1,13 +1,18 @@
-"""Differential tests: the threaded engine is bit-identical to simple.
+"""Differential tests: every engine is bit-identical to simple.
 
 The pre-decoded direct-threaded engine re-implements every opcode as a
-bound closure; the only acceptable difference from the reference
-``simple`` loop is speed.  A randomized program generator — all opcode
-families, division by (possibly) zero, loads/stores that can leave the
-data segment, computed jumps that can leave the code segment, writes to
-the hardwired ``r0``, and budgets small enough to exhaust — drives both
-engines and asserts identical results, identical machine state,
-identical trap messages, and identical value profiles.
+bound closure, and the tier-2 engine re-implements hot *blocks* as
+generated superinstructions behind guards; the only acceptable
+difference from the reference ``simple`` loop is speed.  A randomized
+program generator — all opcode families, division by (possibly) zero,
+loads/stores that can leave the data segment, computed jumps that can
+leave the code segment, writes to the hardwired ``r0``, and budgets
+small enough to exhaust — drives all engines and asserts identical
+results, identical machine state, identical trap messages, and
+identical value profiles.  The tier-2 leg runs with an aggressive
+config (hot threshold 2, fail limit 2) so the random programs exercise
+quickening, guard failure, deopt, requickening, and despecialization
+within the small budgets.
 """
 
 import random
@@ -21,6 +26,14 @@ from repro.errors import MachineError
 from repro.isa.assembler import assemble
 from repro.isa.instrument import ALL_TARGETS, ProfileTarget, ValueProfiler
 from repro.isa.machine import Machine
+from repro.isa.tier2 import Tier2Config
+
+_ENGINES = ("simple", "threaded", "tier2")
+
+
+def _hot_tier2_config() -> Tier2Config:
+    """A tier-2 config that quickens (and thrashes) fast in tiny runs."""
+    return Tier2Config(hot_threshold=2, fail_limit=2, requicken_budget=1)
 
 _SCRATCH = list(range(8, 26))
 
@@ -132,7 +145,10 @@ def _run(program, engine: str, budget: int, buffered: bool):
     profiler = ValueProfiler(
         program, database, targets=ALL_TARGETS, buffered=buffered
     )
-    machine = Machine(program, observer=profiler, engine=engine)
+    config = _hot_tier2_config() if engine == "tier2" else None
+    machine = Machine(
+        program, observer=profiler, engine=engine, tier2_config=config
+    )
     machine.set_input([3, 1, 4, 1, 5, 9, 2, 6])
     try:
         result = machine.run(max_instructions=budget)
@@ -169,9 +185,11 @@ def test_engines_agree_on_random_programs(seed, budget, buffered):
     simple = _run(program, "simple", budget, buffered)
     threaded = _run(program, "threaded", budget, buffered)
     assert threaded == simple
+    tier2 = _run(program, "tier2", budget, buffered)
+    assert tier2 == simple
 
 
-@pytest.mark.parametrize("engine", ["simple", "threaded"])
+@pytest.mark.parametrize("engine", _ENGINES)
 def test_budget_error_flushes_buffered_observer(engine):
     """Budget exhaustion must not swallow buffered profile events.
 
@@ -204,7 +222,7 @@ def test_budget_error_flushes_buffered_observer(engine):
     assert database.total_executions() > 0, "events died in the buffer"
 
 
-@pytest.mark.parametrize("engine", ["simple", "threaded"])
+@pytest.mark.parametrize("engine", _ENGINES)
 def test_trap_flushes_buffered_observer(engine):
     source = """
     .program zdiv
@@ -234,11 +252,37 @@ def test_engine_selection_resolves_env(monkeypatch):
     source = ".program tiny\n.text\n.proc main nargs=0\n    halt\n.endproc\n"
     program = assemble(source)
     monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.delenv("REPRO_TIER2", raising=False)
     assert Machine(program).engine == "threaded"
     assert Machine(program, engine="simple").engine == "simple"
+    assert Machine(program, engine="tier2").engine == "tier2"
     monkeypatch.setenv("REPRO_ENGINE", "simple")
     assert Machine(program).engine == "simple"
     assert Machine(program, engine="auto").engine == "simple"
+    monkeypatch.setenv("REPRO_ENGINE", "tier2")
+    assert Machine(program).engine == "tier2"
     monkeypatch.setenv("REPRO_ENGINE", "bogus")
     with pytest.raises(MachineError):
         Machine(program)
+
+
+def test_auto_engages_tier2_only_on_opt_in(monkeypatch):
+    """``auto`` prefers threaded unless ``REPRO_TIER2`` opts in.
+
+    The tier-2 engine is bit-identical but pays warm-up costs, so
+    ``auto`` only engages it when asked; an explicit ``REPRO_ENGINE``
+    still wins over the opt-in flag.
+    """
+    source = ".program tiny\n.text\n.proc main nargs=0\n    halt\n.endproc\n"
+    program = assemble(source)
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    for flag in ("1", "true", "yes", "on"):
+        monkeypatch.setenv("REPRO_TIER2", flag)
+        assert Machine(program).engine == "tier2"
+        assert Machine(program, engine="auto").engine == "tier2"
+    for flag in ("", "0", "false", "no", "off"):
+        monkeypatch.setenv("REPRO_TIER2", flag)
+        assert Machine(program).engine == "threaded"
+    monkeypatch.setenv("REPRO_TIER2", "1")
+    monkeypatch.setenv("REPRO_ENGINE", "threaded")
+    assert Machine(program).engine == "threaded"

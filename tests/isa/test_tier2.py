@@ -1,0 +1,179 @@
+"""Tier-2 engine lifecycle tests: quicken, guard, deopt, despecialize.
+
+The differential suite (``tests/isa/test_engine_differential.py``)
+proves the tier-2 engine is bit-identical to the reference loop on
+random programs; these tests pin the *lifecycle* — that specific
+programs actually drive the quicken → guard-fail → deopt → requicken →
+despecialize transitions, that budget exhaustion inside a
+superinstruction is exact, and that profiles stay byte-identical
+across all three engines.
+"""
+
+import json
+
+import pytest
+
+from repro.core.profile import ProfileDatabase
+from repro.errors import MachineError
+from repro.isa.assembler import assemble
+from repro.isa.instrument import ALL_TARGETS, ProfileTarget, ValueProfiler
+from repro.isa.machine import Machine
+from repro.isa.tier2 import Tier2Config
+
+
+def _hot_config(**overrides) -> Tier2Config:
+    kwargs = dict(hot_threshold=2, fail_limit=2, requicken_budget=1)
+    kwargs.update(overrides)
+    return Tier2Config(**kwargs)
+
+
+# A loop whose hot block multiplies by ``r8``; r8 is invariant long
+# enough to quicken with a guarded binding, then the program itself
+# perturbs it twice.  First perturbation: guard failures -> deopts ->
+# requicken with the new value.  Second perturbation: the requicken
+# budget is spent, so the block despecializes to an unguarded variant.
+_PERTURB = """
+.program perturb
+.text
+.proc main nargs=0
+    li r8, 5
+    li r9, 0
+    li r10, 120
+outer:
+    mul r11, r8, r8
+    add r9, r9, r11
+    subi r10, r10, 1
+    seqi r12, r10, 80
+    seqi r13, r10, 40
+    or r12, r12, r13
+    beqz r12, skip
+    add r8, r8, r10
+skip:
+    bnez r10, outer
+    out r9
+    halt
+.endproc
+"""
+
+
+def _outcome(source: str, engine: str, budget: int = 1_000_000):
+    program = assemble(source)
+    database = ProfileDatabase(name="t2")
+    profiler = ValueProfiler(program, database, targets=ALL_TARGETS, buffered=True)
+    config = _hot_config() if engine == "tier2" else None
+    machine = Machine(program, observer=profiler, engine=engine, tier2_config=config)
+    try:
+        result = machine.run(max_instructions=budget)
+        outcome = ("ok", result)
+    except MachineError as error:
+        outcome = ("error", str(error))
+    return outcome, machine, database
+
+
+def test_guard_failure_deopts_and_requickens():
+    outcome, machine, _ = _outcome(_PERTURB, "tier2")
+    simple_outcome, simple_machine, _ = _outcome(_PERTURB, "simple")
+    assert outcome == simple_outcome
+    assert list(machine.output) == list(simple_machine.output)
+    stats = machine.tier2_stats()
+    assert stats["quickened"] >= 1
+    assert stats["deopts"] >= 1, "perturbed operand never failed a guard"
+    assert stats["requickened"] >= 1, "failed block never requickened"
+    assert stats["despecialized"] >= 1, (
+        "second perturbation should exhaust the requicken budget"
+    )
+
+
+def test_guard_hits_counted():
+    _, machine, _ = _outcome(_PERTURB, "tier2")
+    stats = machine.tier2_stats()
+    # The stable phases re-enter the guarded superinstruction many
+    # times; each successful entry counts as a guard hit.
+    assert stats["guard_hits"] > stats["deopts"]
+
+
+def test_budget_exhaustion_inside_superinstruction():
+    """The budget must be exact even when it expires mid-trace.
+
+    The spin loop quickens into a loop-closed superinstruction that
+    executes many instructions per dispatch; a budget that is not a
+    multiple of the trace length must still stop after exactly the
+    budgeted number of instructions with state identical to simple.
+    """
+    source = """
+    .program spin
+    .text
+    .proc main nargs=0
+        li r8, 0
+    loop:
+        addi r8, r8, 1
+        addi r9, r9, 2
+        xori r10, r8, 3
+        j loop
+    .endproc
+    """
+    program = assemble(source)
+    for budget in (37, 100, 101, 1003):
+        machines = {}
+        for engine in ("simple", "tier2"):
+            config = _hot_config() if engine == "tier2" else None
+            machine = Machine(program, engine=engine, tier2_config=config)
+            with pytest.raises(MachineError, match="budget"):
+                machine.run(max_instructions=budget)
+            machines[engine] = machine
+        simple, tier2 = machines["simple"], machines["tier2"]
+        assert tier2.instructions_executed == budget
+        assert tier2.instructions_executed == simple.instructions_executed
+        assert list(tier2.registers) == list(simple.registers)
+        assert tier2.pc == simple.pc
+        assert tier2.cycles == simple.cycles
+
+
+def test_profiles_byte_identical_across_engines():
+    dumps = {}
+    for engine in ("simple", "threaded", "tier2"):
+        _, _, database = _outcome(_PERTURB, engine)
+        dumps[engine] = json.dumps(database.to_json(), sort_keys=True)
+    assert dumps["threaded"] == dumps["simple"]
+    assert dumps["tier2"] == dumps["simple"]
+
+
+def test_preheat_seeds_thresholds_from_profile():
+    """A prior profile lets the tier skip most of its online warm-up."""
+    program = assemble(_PERTURB)
+    database = ProfileDatabase(name="t2")
+    profiler = ValueProfiler(
+        program,
+        database,
+        targets=(ProfileTarget.INSTRUCTIONS, ProfileTarget.LOADS),
+        buffered=True,
+    )
+    machine = Machine(program, observer=profiler, engine="threaded")
+    machine.run()
+
+    fresh = Machine(program, engine="tier2", tier2_config=_hot_config())
+    seeded = fresh.tier2_preheat(database)
+    assert seeded >= 1, "hot profiled blocks should preheat"
+    fresh.run()
+    assert fresh.tier2_stats()["quickened"] >= 1
+
+
+def test_stats_shape():
+    _, machine, _ = _outcome(_PERTURB, "tier2")
+    stats = machine.tier2_stats()
+    for key in (
+        "engine",
+        "candidate_blocks",
+        "quickened",
+        "requickened",
+        "despecialized",
+        "deopts",
+        "guard_hits",
+        "guarded_blocks",
+        "fused_instructions",
+    ):
+        assert key in stats, key
+    assert stats["engine"] == "tier2"
+    # Off the tier-2 engine there are no stats.
+    other = Machine(assemble(_PERTURB), engine="threaded")
+    assert other.tier2_stats() is None
