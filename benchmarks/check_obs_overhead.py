@@ -34,6 +34,13 @@ enforces that contract two ways:
    Interleaved min-of-rounds like the others; journaling is off so the
    comparison times the fold, not the disk.
 
+5. **Tier-2 jitlog enabled (always run).**  The specialization journal
+   records only at lifecycle points (hot/quicken/deopt/compile), never
+   in the superinstruction dispatch loop, so even *enabled* it must
+   keep a quickening-heavy tier-2 run within ``TOLERANCE`` of the
+   journal-off run.  Interleaved min-of-rounds, fresh machine per
+   round so each run replays the whole lifecycle.
+
 Exit status 0 on pass, 1 on regression.  Run as:
 
     PYTHONPATH=src python benchmarks/check_obs_overhead.py [--serve]
@@ -218,6 +225,75 @@ def check_serve_telemetry() -> bool:
     return True
 
 
+_TIER2_BENCH = """
+.program jitbench
+.text
+.proc main nargs=0
+    li r8, 5
+    li r9, 0
+    li r10, 40000
+outer:
+    mul r11, r8, r8
+    add r9, r9, r11
+    add r9, r9, r8
+    xor r11, r11, r9
+    subi r10, r10, 1
+    seqi r12, r10, 20000
+    beqz r12, skip
+    add r8, r8, r10
+skip:
+    bnez r10, outer
+    out r9
+    halt
+.endproc
+"""
+
+
+def _time_tier2_run(journal: bool) -> float:
+    """One full tier-2 run (warm-up, quicken, one deopt/requicken) on a
+    fresh machine; the journal, when on, sees the whole lifecycle."""
+    from repro.isa.assembler import assemble
+    from repro.isa.machine import Machine
+    from repro.obs.jitlog import JITLOG
+
+    machine = Machine(assemble(_TIER2_BENCH), engine="tier2")
+    if journal:
+        JITLOG.enable()
+    try:
+        start = time.perf_counter()
+        machine.run()
+        return time.perf_counter() - start
+    finally:
+        if journal:
+            JITLOG.disable()
+            JITLOG.reset()
+
+
+def check_jitlog_enabled() -> bool:
+    """Tier-2 budget: a quickening-heavy run with the specialization
+    journal enabled must stay within TOLERANCE of journal-off."""
+    _time_tier2_run(True)  # warm (also warms the tier-2 code cache)
+    _time_tier2_run(False)
+    on = []
+    off = []
+    for _ in range(ROUNDS):
+        on.append(_time_tier2_run(True))
+        off.append(_time_tier2_run(False))
+    ratio = min(on) / min(off)
+    print(
+        f"tier2 run jitlog-on: {min(on) * 1e3:.2f}ms vs off "
+        f"{min(off) * 1e3:.2f}ms (ratio {ratio:.3f}, "
+        f"tolerance {1 + TOLERANCE:.2f})"
+    )
+    if ratio > 1 + TOLERANCE:
+        print(
+            f"FAIL: tier-2 jitlog-enabled run is {ratio:.3f}x the "
+            f"journal-off run (> {1 + TOLERANCE:.2f}x)"
+        )
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -267,6 +343,9 @@ def main(argv=None) -> int:
             failed = True
 
     if not check_timeseries_enabled():
+        failed = True
+
+    if not check_jitlog_enabled():
         failed = True
 
     if args.serve and not check_serve_telemetry():

@@ -93,30 +93,42 @@ def _dispatch_order(ids: Sequence[str]) -> List[str]:
     return sorted(ids, key=lambda eid: rank.get(eid, -1))
 
 
-def _experiment_worker(args: Tuple[str, float, bool, bool, Optional[int], Optional[int]]):
+def _experiment_worker(
+    args: Tuple[str, float, bool, bool, Optional[int], Optional[int], Optional[int]]
+):
     """Top-level worker: run one experiment in a fresh process.
 
-    Returns ``(result, metrics_snapshot, spans, timeseries_payload)``.
-    When the parent had observability enabled, the worker records into
-    its own registry and tracer (span ids prefixed with the experiment
-    id so they stay unique in the combined trace) and ships both home
-    as plain dicts; otherwise those slots are ``None``.  With the
-    parent's time-series collector on, the worker samples its own and
-    ships the payload for an associative merge; with the flight
-    recorder on, the worker runs its own ring so a crash inside the
-    worker dumps from the process that saw the failing events.
+    Returns ``(result, metrics_snapshot, spans, timeseries_payload,
+    jitlog_payload)``.  When the parent had observability enabled, the
+    worker records into its own registry and tracer (span ids prefixed
+    with the experiment id so they stay unique in the combined trace)
+    and ships both home as plain dicts; otherwise those slots are
+    ``None``.  With the parent's time-series collector on, the worker
+    samples its own and ships the payload for an associative merge;
+    with the flight recorder on, the worker runs its own ring so a
+    crash inside the worker dumps from the process that saw the failing
+    events.  With the parent's jitlog on, the worker journals its own
+    tier-2 lifecycle (independently of ``observe`` — the journal has
+    its own enable) and ships the events home for a deterministic
+    merge in result order.
     """
-    experiment_id, scale, use_cache, observe, ts_interval, flight_capacity = args
+    (experiment_id, scale, use_cache, observe, ts_interval,
+     flight_capacity, jitlog_capacity) = args
     from repro.analysis import experiments
     from repro.obs.flight import FLIGHT
+    from repro.obs.jitlog import JITLOG
     from repro.obs.timeseries import TIMESERIES
 
     if not use_cache:
         experiments.set_cache_enabled(False)
     if flight_capacity is not None:
         FLIGHT.enable(capacity=flight_capacity)
+    if jitlog_capacity is not None:
+        JITLOG.enable(capacity=jitlog_capacity)
     if not observe:
-        return experiments.run(experiment_id, scale=scale), None, None, None
+        result = experiments.run(experiment_id, scale=scale)
+        jl_payload = JITLOG.to_payload() if jitlog_capacity is not None else None
+        return result, None, None, None, jl_payload
     METRICS.reset()
     METRICS.enable()
     TRACER.enable(prefix=experiment_id)
@@ -129,11 +141,12 @@ def _experiment_worker(args: Tuple[str, float, bool, bool, Optional[int], Option
         for span in spans:
             span.setdefault("attrs", {})["worker"] = experiment_id
         ts_payload = TIMESERIES.to_payload() if ts_interval is not None else None
+        jl_payload = JITLOG.to_payload() if jitlog_capacity is not None else None
     finally:
         METRICS.disable()
         TRACER.disable()
         TIMESERIES.disable()
-    return result, snapshot, spans, ts_payload
+    return result, snapshot, spans, ts_payload, jl_payload
 
 
 def run_experiments(
@@ -159,29 +172,38 @@ def run_experiments(
 
         return experiments.run_all(scale=scale, jobs=1, ids=ids, use_cache=use_cache)
     from repro.obs.flight import FLIGHT
+    from repro.obs.jitlog import JITLOG
     from repro.obs.timeseries import TIMESERIES
 
     observe = METRICS.enabled or TRACER.enabled or TIMESERIES.enabled
     ts_interval = TIMESERIES.interval if TIMESERIES.enabled else None
     flight_capacity = FLIGHT.capacity if FLIGHT.enabled else None
+    jitlog_capacity = JITLOG.capacity if JITLOG.enabled else None
     _LOG.info("dispatching %d experiment(s) over %d workers", len(ids), jobs)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = {
             experiment_id: pool.submit(
                 _experiment_worker,
-                (experiment_id, scale, use_cache, observe, ts_interval, flight_capacity),
+                (experiment_id, scale, use_cache, observe, ts_interval,
+                 flight_capacity, jitlog_capacity),
             )
             for experiment_id in _dispatch_order(ids)
         }
         results = []
         for experiment_id in ids:
-            result, snapshot, spans, ts_payload = futures[experiment_id].result()
+            result, snapshot, spans, ts_payload, jl_payload = (
+                futures[experiment_id].result()
+            )
             if snapshot is not None:
                 METRICS.merge(snapshot)
             if spans is not None:
                 TRACER.adopt(spans)
             if ts_payload is not None:
                 TIMESERIES.merge(ts_payload)
+            if jl_payload is not None:
+                # Merged in ids order, so the combined journal is
+                # deterministic regardless of completion order.
+                JITLOG.merge(jl_payload)
             results.append(result)
         return results
 

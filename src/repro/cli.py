@@ -28,13 +28,21 @@ Subcommands:
   for the structured slow-operation log.
 * ``push <workload>`` — replay a stored workload trace into a running
   ``serve`` daemon as one producer.
+* ``tier2-report <workload>`` — the specialization flight deck: run a
+  workload on the tier-2 engine with the jitlog journal recording and
+  render per-block lifecycle timelines, the deopt-reason taxonomy,
+  top guard-failing registers, and the predicted-vs-observed
+  invariance table joining the journal against the TNV profiles
+  (see ``docs/observability.md``).
 
 ``run``, ``all`` and ``profile`` accept the observability flags
 ``--trace FILE`` (JSONL span trace), ``--metrics FILE`` (counter
 snapshot), ``--timeseries FILE`` (periodic counter/gauge samples on an
 event clock; ``.prom`` selects Prometheus text, anything else JSONL),
 ``--flight`` / ``--flight-dump FILE`` (crash ring of the last profile
-events) and ``--log-level LEVEL`` (progress logging to stderr).
+events), ``--jitlog FILE`` / ``--jitlog-map FILE`` (tier-2
+specialization journal as JSONL / perf-map-style pc-range dump) and
+``--log-level LEVEL`` (progress logging to stderr).
 With none of them given the observability layer stays disabled and
 experiment output is byte-identical to an uninstrumented build.
 
@@ -189,6 +197,7 @@ def _cmd_dash(args: argparse.Namespace) -> int:
             trace_path=args.trace,
             timeseries_path=args.timeseries,
             bench_dir=args.bench_dir,
+            jitlog_path=args.jitlog,
         )
     with open(args.output, "w") as handle:
         handle.write(html)
@@ -300,6 +309,22 @@ def _cmd_push(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tier2_report(args: argparse.Namespace) -> int:
+    from repro.obs import jitreport
+
+    report = jitreport.collect(args.workload, args.variant, scale=args.scale)
+    print(jitreport.render_report(report, top=args.top))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump(jitreport.report_payload(report), handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"(data written to {args.json})")
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     from repro.workloads import all_workloads
 
@@ -340,6 +365,18 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--flight-dump",
         metavar="FILE",
         help="with --flight: also dump the ring to FILE at exit",
+    )
+    parser.add_argument(
+        "--jitlog",
+        metavar="FILE",
+        help="record the tier-2 specialization journal and write it to "
+        "FILE as JSONL at exit (no-op off the tier2 engine)",
+    )
+    parser.add_argument(
+        "--jitlog-map",
+        metavar="FILE",
+        help="also write a perf-map-style dump of the quickened pc "
+        "ranges (START SIZE NAME) to FILE at exit",
     )
     parser.add_argument(
         "--log-level",
@@ -512,6 +549,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding BENCH_*.json baselines and BENCH_history.jsonl",
     )
     dash_parser.add_argument(
+        "--jitlog",
+        help="tier-2 specialization journal (JSONL written by --jitlog) "
+        "to render as the Tier-2 panel's event feed",
+    )
+    dash_parser.add_argument(
         "--live",
         metavar="URL",
         help="scrape a running serve daemon's HTTP endpoint (e.g. "
@@ -541,6 +583,21 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--scale", type=float, default=1.0)
     report_parser.add_argument("--kind", default="load")
     report_parser.set_defaults(func=_cmd_report)
+
+    t2_parser = sub.add_parser(
+        "tier2-report",
+        help="specialization flight deck: jitlog lifecycle timelines, "
+        "deopt taxonomy, predicted-vs-observed invariance",
+    )
+    t2_parser.add_argument("workload")
+    t2_parser.add_argument("--variant", default="train", choices=("train", "test"))
+    t2_parser.add_argument("--scale", type=float, default=1.0)
+    t2_parser.add_argument("--top", type=int, default=10)
+    t2_parser.add_argument(
+        "--json", help="also write the machine-readable report to this JSON file"
+    )
+    _add_obs_args(t2_parser)
+    t2_parser.set_defaults(func=_cmd_tier2_report)
 
     serve_parser = sub.add_parser(
         "serve", help="run the sharded live-profiling service"
@@ -659,12 +716,16 @@ def _setup_observability(args: argparse.Namespace):
     timeseries_interval = getattr(args, "timeseries_interval", None)
     flight = getattr(args, "flight", False)
     flight_dump = getattr(args, "flight_dump", None)
+    jitlog_file = getattr(args, "jitlog", None)
+    jitlog_map_file = getattr(args, "jitlog_map", None)
     log_level = getattr(args, "log_level", None)
     if args.func in (_cmd_stats, _cmd_dash):
-        # These read capture files, never record.
+        # These read capture files, never record (dash's --jitlog is
+        # an *input* journal, rendered, not recorded).
         trace_file = metrics_file = timeseries_file = None
         flight = False
         flight_dump = None
+        jitlog_file = jitlog_map_file = None
     if log_level:
         configure_logging(log_level)
     if trace_file or metrics_file or timeseries_file:
@@ -680,6 +741,10 @@ def _setup_observability(args: argparse.Namespace):
         from repro.obs.flight import FLIGHT
 
         FLIGHT.enable()
+    if jitlog_file or jitlog_map_file:
+        from repro.obs.jitlog import JITLOG
+
+        JITLOG.enable()
 
     def finalize() -> None:
         if trace_file:
@@ -706,6 +771,14 @@ def _setup_observability(args: argparse.Namespace):
             if flight_dump:
                 FLIGHT.dump(flight_dump, reason="cli-exit")
             FLIGHT.disable()
+        if jitlog_file or jitlog_map_file:
+            from repro.obs.jitlog import JITLOG
+
+            if jitlog_file:
+                JITLOG.write_jsonl(jitlog_file)
+            if jitlog_map_file:
+                JITLOG.write_map(jitlog_map_file)
+            JITLOG.disable()
 
     return finalize
 

@@ -321,6 +321,16 @@ class Machine:
             return None
         return engine.stats()
 
+    def tier2_block_summaries(self) -> Optional[list]:
+        """Per-block lifecycle summaries (``Tier2Engine.block_summaries``),
+        or ``None`` off the tier-2 engine.  Pairs with the jitlog journal:
+        the journal records the transitions, this records where each
+        block ended up."""
+        engine = self._threaded
+        if self.engine != "tier2" or engine is None:
+            return None
+        return engine.block_summaries()
+
     def tier2_preheat(self, database) -> int:
         """Seed tier-2 thresholds from a profile; see ``Tier2Engine.preheat``."""
         if self.engine != "tier2":

@@ -49,9 +49,12 @@ import os
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.sites import Site, SiteKind
 from repro.errors import MachineError
 from repro.isa.engine import _BIAS, _MASK, _BadPC, _Halt, _Trap, ThreadedEngine
 from repro.isa.instructions import to_signed64
+from repro.obs.flight import FLIGHT as _FLIGHT
+from repro.obs.jitlog import JITLOG as _JITLOG
 from repro.obs.metrics import METRICS as _METRICS
 from repro.obs.timeseries import TIMESERIES as _TIMESERIES
 from repro.specialize.analysis import BenefitModel
@@ -170,9 +173,10 @@ class _Block:
 
     __slots__ = ("start", "pcs", "fused", "watch", "count", "samples",
                  "unstable", "threshold", "mode", "bindings", "fails",
-                 "requickens", "refit", "volatile", "guard_cell", "preheated")
+                 "requickens", "refit", "volatile", "guard_cell", "preheated",
+                 "capped")
 
-    def __init__(self, start, pcs, fused, watch, threshold):
+    def __init__(self, start, pcs, fused, watch, threshold, capped=False):
         self.start = start
         self.pcs = pcs              # pcs the trace absorbs, in order
         self.fused = fused          # instructions the superblock absorbs
@@ -189,6 +193,7 @@ class _Block:
         self.volatile: set = set()
         self.guard_cell = [0]       # guard passes, bumped by the prologue
         self.preheated = False
+        self.capped = capped        # trace growth stopped at max_trace
 
 
 def _reads_of(inst) -> Tuple[int, ...]:
@@ -276,6 +281,9 @@ class Tier2Engine(ThreadedEngine):
         #: internal iteration themselves.  ``executed`` is always
         #: ``max_instructions − rem[0]`` (plus the trap correction).
         self._rem: List[int] = [0]
+        #: budget of the current run; with the countdown cell it gives
+        #: the jitlog event clock (instructions retired) at any point.
+        self._max_instructions = 0
         self._metrics_prev = {"quickened": 0, "requickened": 0,
                               "despecialized": 0, "deopts": 0, "guards": 0}
 
@@ -291,6 +299,14 @@ class Tier2Engine(ThreadedEngine):
         self._blocks = {}
         self._counters = {"quickened": 0, "requickened": 0,
                           "despecialized": 0, "deopts": 0}
+        # The metric-delta baseline must reset with the counters (and
+        # with the blocks whose guard cells feed the guards delta):
+        # a re-decode between runs — e.g. an observer change — would
+        # otherwise leave stale prior totals here, and the next
+        # _emit_tier2_metrics would under-report every machine.tier2.*
+        # delta (value − stale_prev goes zero or negative).
+        self._metrics_prev = {"quickened": 0, "requickened": 0,
+                              "despecialized": 0, "deopts": 0, "guards": 0}
         if self._machine.pc_counts is not None:
             # Block profiling needs the per-pc count loop; stay tier-1.
             return
@@ -356,8 +372,21 @@ class Tier2Engine(ThreadedEngine):
                 break
             else:
                 break
+        capped = len(fused) >= cap
         if len(fused) < self._config.min_fused:
+            if fused and _JITLOG.enabled:
+                _JITLOG.emit("reject", self._clock(),
+                             self._machine.program.name, bb.start,
+                             reason="min_fused", fused=len(fused),
+                             limit=self._config.min_fused)
             return None
+        if capped and _JITLOG.enabled:
+            # The truncated trace still compiles; growth past the cap
+            # was what got rejected.
+            _JITLOG.emit("reject", self._clock(),
+                         self._machine.program.name, bb.start,
+                         reason="max_trace", fused=len(fused),
+                         limit=cap)
         watch: List[int] = []
         written: set = set()
         for inst in fused:
@@ -371,7 +400,8 @@ class Tier2Engine(ThreadedEngine):
         # don't make warm-up itself expensive.  Bindings are limited to
         # ``max_guards`` anyway, so extra watch slots rarely pay off.
         max_watch = 2 + self._config.max_guards
-        return _Block(bb.start, tuple(pcs), fused, tuple(watch[:max_watch]), threshold)
+        return _Block(bb.start, tuple(pcs), fused, tuple(watch[:max_watch]),
+                      threshold, capped=capped)
 
     def _install_counter(self, blk: _Block) -> None:
         base = self._handlers[blk.start]
@@ -405,9 +435,32 @@ class Tier2Engine(ThreadedEngine):
     # quicken / deopt / respecialize
     # ------------------------------------------------------------------
 
+    def _clock(self) -> int:
+        """Instructions retired — the deterministic jitlog event clock."""
+        return self._max_instructions - self._rem[0]
+
+    def _jl_emit(self, type: str, blk: _Block, **fields) -> None:
+        _JITLOG.emit(type, self._clock(), self._machine.program.name,
+                     blk.start, **fields)
+
+    def _flight_note(self, blk: _Block, what: str, value: int) -> None:
+        proc = self._machine._procedure_by_pc[blk.start]
+        site = Site(kind=SiteKind.INSTRUCTION,
+                    program=self._machine.program.name,
+                    procedure=proc.name if proc is not None else "",
+                    label=str(blk.start), opcode=f"tier2.{what}")
+        _FLIGHT.record(site, value)
+
     def _decide(self, blk: _Block) -> None:
         cfg = self._config
+        if _JITLOG.enabled:
+            self._jl_emit("hot", blk, count=blk.count,
+                          threshold=blk.threshold, preheated=blk.preheated,
+                          unstable=sorted(blk.unstable))
         if self._counters["quickened"] >= cfg.max_quickened:
+            if _JITLOG.enabled:
+                self._jl_emit("reject", blk, reason="max_quickened",
+                              fused=len(blk.fused), limit=cfg.max_quickened)
             blk.mode = "rejected"
             self._funcs[blk.start] = self._handlers[blk.start]
             return
@@ -419,6 +472,7 @@ class Tier2Engine(ThreadedEngine):
             if v is not None:
                 bindings[r] = v
         folds = substs = 0
+        net = None
         if bindings:
             fn, folds, substs = self._compile(blk, bindings)
             # The thesis break-even test, with observed stability as
@@ -430,9 +484,15 @@ class Tier2Engine(ThreadedEngine):
                 guards=len(bindings),
             )
             if net <= 0:
+                if _JITLOG.enabled:
+                    self._jl_emit("reject", blk, reason="benefit",
+                                  fused=len(blk.fused), folds=folds,
+                                  substs=substs, guards=len(bindings),
+                                  net=round(net, 6))
                 bindings = {}
+                net = None
         if not bindings:
-            fn, _, _ = self._compile(blk, {})
+            fn, folds, substs = self._compile(blk, {})
         blk.bindings = bindings
         blk.mode = "guarded" if bindings else "fused"
         blk.samples = {}
@@ -440,6 +500,14 @@ class Tier2Engine(ThreadedEngine):
         self._counters["quickened"] += 1
         self._funcs[blk.start] = fn
         self._lens[blk.start] = len(blk.fused)
+        if _JITLOG.enabled:
+            self._jl_emit("quicken", blk, mode=blk.mode,
+                          pc_range=[blk.pcs[0], blk.pcs[-1]],
+                          fused=len(blk.fused), capped=blk.capped,
+                          bindings=sorted(bindings.items()),
+                          folds=folds, substs=substs,
+                          guards=len(bindings),
+                          net=round(net, 6) if net is not None else None)
 
     def _make_fallback(self, blk: _Block):
         """Deopt path: the trace's original per-pc handlers, followed.
@@ -475,17 +543,27 @@ class Tier2Engine(ThreadedEngine):
         return fb
 
     def _note_deopt(self, blk: _Block) -> None:
+        journal = _JITLOG.enabled
         self._counters["deopts"] += 1
         blk.fails += 1
         R = self._machine.registers
         for r, bound in blk.bindings.items():
             v = R[r]
             if v != bound:
+                if journal:
+                    self._jl_emit("guard_fail", blk, reg=r, expected=bound,
+                                  observed=v, entries=blk.guard_cell[0],
+                                  fails=blk.fails)
                 prev = blk.refit.get(r)
                 if prev is None:
                     blk.refit[r] = v
                 elif prev != v:
                     blk.volatile.add(r)
+        if journal:
+            self._jl_emit("deopt", blk, fails=blk.fails,
+                          limit=self._config.fail_limit)
+        if _FLIGHT.enabled:
+            self._flight_note(blk, "deopt", blk.fails)
         if blk.fails >= self._config.fail_limit:
             self._respecialize(blk)
 
@@ -506,12 +584,21 @@ class Tier2Engine(ThreadedEngine):
                 blk.bindings = bindings
                 self._counters["requickened"] += 1
                 self._funcs[blk.start] = fn
+                if _JITLOG.enabled:
+                    self._jl_emit("requicken", blk,
+                                  bindings=sorted(bindings.items()),
+                                  requickens=blk.requickens)
                 return
         fn, _, _ = self._compile(blk, {})
         blk.bindings = {}
         blk.mode = "fused"
         self._counters["despecialized"] += 1
         self._funcs[blk.start] = fn
+        if _JITLOG.enabled:
+            self._jl_emit("despecialize", blk, requickens=blk.requickens,
+                          budget=cfg.requicken_budget)
+        if _FLIGHT.enabled:
+            self._flight_note(blk, "despecialize", blk.requickens)
 
     def _compile(self, blk: _Block, bindings: Dict[int, int]):
         return _Codegen(self, blk, bindings).build()
@@ -547,6 +634,8 @@ class Tier2Engine(ThreadedEngine):
                 blk.threshold = 1
                 self._install_counter(blk)
                 touched += 1
+                if _JITLOG.enabled:
+                    self._jl_emit("preheat", blk, threshold=1)
         return touched
 
     # ------------------------------------------------------------------
@@ -569,6 +658,34 @@ class Tier2Engine(ThreadedEngine):
                 len(b.fused) for b in blocks.values() if b.mode in ("guarded", "fused")
             ),
         }
+
+    def block_summaries(self) -> List[Dict[str, object]]:
+        """Deterministic per-block lifecycle snapshot (for reporting).
+
+        One dict per candidate block, sorted by leader pc.  ``entries``
+        is warm-up entries through the counting stub (it stops counting
+        once the block quickens); ``guard_entries`` is guard passes of
+        the compiled superinstruction, including in-trace loop
+        iterations.
+        """
+        out = []
+        for start in sorted(self._blocks):
+            b = self._blocks[start]
+            out.append({
+                "start": b.start,
+                "end": b.pcs[-1] if b.pcs else b.start,
+                "pcs": list(b.pcs),
+                "fused": len(b.fused),
+                "mode": b.mode,
+                "entries": b.count,
+                "guard_entries": b.guard_cell[0],
+                "bindings": sorted(b.bindings.items()),
+                "fails": b.fails,
+                "requickens": b.requickens,
+                "preheated": b.preheated,
+                "capped": b.capped,
+            })
+        return out
 
     def _emit_tier2_metrics(self) -> None:
         c = self._counters
@@ -626,6 +743,7 @@ class Tier2Engine(ThreadedEngine):
         # never completed.
         rem = self._rem
         rem[0] = max_instructions - executed_at_entry
+        self._max_instructions = max_instructions
         started = time.perf_counter() if _METRICS.enabled else 0.0
 
         try:
@@ -1367,10 +1485,14 @@ class _Codegen:
         src = f"def _sb({params}):\n" + "\n".join(body) + "\n"
         ns = dict(self.args)
         code = _CODE_CACHE.get(src)
+        hit = code is not None
         if code is None:
             if len(_CODE_CACHE) >= _CODE_CACHE_CAP:
                 _CODE_CACHE.clear()
             code = compile(src, f"<tier2:{self.machine.program.name}:{blk.start}>", "exec")
             _CODE_CACHE[src] = code
+        if _JITLOG.enabled:
+            engine._jl_emit("cache_hit" if hit else "cache_miss", blk,
+                            source_lines=src.count("\n"))
         exec(code, ns)  # noqa: S102 - source assembled from trusted opcode table
         return ns["_sb"], self.folds, self.substs

@@ -30,12 +30,20 @@ to cost (near) nothing while disabled:
 * :mod:`repro.obs.flight` — a fixed-size crash ring of the last N
   (tick, site, value) profile events, dumped automatically when an
   experiment raises (``--flight`` / ``--flight-dump FILE``).
+* :mod:`repro.obs.jitlog` — the tier-2 specialization journal: a
+  bounded ring of typed quicken/guard/deopt lifecycle events with
+  reasons, on a deterministic event clock (``--jitlog FILE`` /
+  ``--jitlog-map FILE``), analyzed by :mod:`repro.obs.jitreport`
+  (``repro tier2-report`` — lifecycle timelines, deopt taxonomy,
+  predicted-vs-observed invariance).
 
 Surfaces: ``--trace FILE``, ``--metrics FILE``, ``--timeseries FILE``,
-``--flight`` and ``--log-level`` on the ``run``/``all``/``profile``
-CLI commands, plus ``repro stats`` (:mod:`repro.obs.stats`),
-``repro inspect`` (:mod:`repro.obs.inspect` — per-site TNV health) and
-``repro dash`` (:mod:`repro.obs.dash` — self-contained HTML report).
+``--flight``, ``--jitlog`` and ``--log-level`` on the
+``run``/``all``/``profile`` CLI commands, plus ``repro stats``
+(:mod:`repro.obs.stats`), ``repro inspect`` (:mod:`repro.obs.inspect`
+— per-site TNV health), ``repro tier2-report``
+(:mod:`repro.obs.jitreport`) and ``repro dash``
+(:mod:`repro.obs.dash` — self-contained HTML report).
 
 Overhead guarantee: with observability disabled (the default) the hot
 per-event recording paths (``TNVTable.record``, the interpreter loop)
@@ -47,6 +55,7 @@ guards this in CI.
 
 from repro.obs.flight import FLIGHT, FlightRecorder
 from repro.obs.hist import Histogram, merge_hist_snapshots
+from repro.obs.jitlog import JITLOG, JitLog
 from repro.obs.logconf import configure_logging, get_logger, reset_logging
 from repro.obs.metrics import METRICS, MetricsRegistry
 from repro.obs.timeseries import TIMESERIES, TimeSeriesCollector
@@ -57,6 +66,8 @@ __all__ = [
     "FlightRecorder",
     "Histogram",
     "merge_hist_snapshots",
+    "JITLOG",
+    "JitLog",
     "METRICS",
     "MetricsRegistry",
     "TIMESERIES",

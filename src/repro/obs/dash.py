@@ -14,6 +14,9 @@ Sections (each rendered only when its input exists):
 * per-experiment wall clock (the ``experiment.*`` timers) as a bar list
 * cache and replay hit rates (profile cache + event-trace store)
 * measured sampling overhead vs. the thesis Ch. VIII expectations
+* tier-2 specialization: lifecycle flow bars, journal event counts,
+  reject reasons and worst blocks — from the ``machine.tier2.*``
+  figures plus a ``--jitlog`` journal file when one is given
 * time-series sparklines, one per counter/gauge, over the event clock
 * bench trajectory: one sparkline per benchmark from the history file,
   with the latest value's delta against the committed baseline
@@ -245,6 +248,121 @@ def _section_interpreter(payload: dict) -> str:
             ],
         )
     )
+
+
+def _section_tier2(payload: dict, jitlog: Optional[Tuple[dict, List[dict]]]) -> str:
+    """The specialization flight deck: lifecycle flow, deopt reasons,
+    worst blocks — from the ``machine.tier2.*`` figures plus (when a
+    ``--jitlog`` journal is given) the per-block event stream."""
+    tier2 = payload.get("tier2") or {}
+    jl = payload.get("jitlog") or {}
+    header, events = jitlog if jitlog else ({}, [])
+    if not tier2.get("runs") and not jl.get("events") and not events:
+        return ""
+    parts = ["<h2>Tier-2 specialization</h2>"]
+
+    quickened = tier2.get("quickened", 0)
+    flow = [
+        ("quickened", quickened),
+        ("requickened", tier2.get("requickened", 0)),
+        ("despecialized", tier2.get("despecialized", 0)),
+        ("deopts", tier2.get("deopts", 0)),
+    ]
+    peak = max((count for _, count in flow), default=0)
+    if peak:
+        rows = [
+            (_esc(stage), f"{count:,}", hbar(count / peak))
+            for stage, count in flow
+        ]
+        rows.append(
+            (
+                "guard hit rate",
+                f"{tier2.get('guard_hit_rate', 0.0) * 100:.2f}%",
+                hbar(tier2.get("guard_hit_rate", 0.0)),
+            )
+        )
+        parts.append(_table((("lifecycle", False), ("count", True), ("", False)), rows))
+
+    counts = dict(jl.get("events", {}))
+    if not counts and events:
+        for event in events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+    if counts:
+        peak = max(counts.values())
+        parts.append("<h3>Journal events</h3>")
+        parts.append(
+            _table(
+                (("event", False), ("count", True), ("", False)),
+                [
+                    (_esc(name), f"{count:,}", hbar(count / peak))
+                    for name, count in sorted(counts.items())
+                ],
+            )
+        )
+
+    if events:
+        reasons: Dict[str, int] = {}
+        blocks: Dict[Tuple[str, int], Dict[str, int]] = {}
+        for event in events:
+            type_ = event["type"]
+            if type_ == "reject":
+                key = f"reject:{event.get('reason', '?')}"
+                reasons[key] = reasons.get(key, 0) + 1
+            if type_ not in ("deopt", "guard_fail", "requicken", "despecialize"):
+                continue
+            row = blocks.setdefault(
+                (event["program"], event["block"]),
+                {"deopts": 0, "guard_fails": 0, "requickens": 0, "despecialized": 0},
+            )
+            if type_ == "deopt":
+                row["deopts"] += 1
+            elif type_ == "guard_fail":
+                row["guard_fails"] += 1
+            elif type_ == "requicken":
+                row["requickens"] += 1
+            else:
+                row["despecialized"] = 1
+        if reasons:
+            parts.append("<h3>Reject reasons</h3>")
+            parts.append(
+                _table(
+                    (("reason", False), ("count", True)),
+                    [(_esc(r), f"{c:,}") for r, c in sorted(reasons.items())],
+                )
+            )
+        worst = sorted(
+            blocks.items(), key=lambda kv: (-kv[1]["deopts"], kv[0])
+        )[:10]
+        if worst:
+            parts.append("<h3>Worst blocks (by deopts)</h3>")
+            parts.append(
+                _table(
+                    (
+                        ("block", False),
+                        ("deopts", True),
+                        ("guard fails", True),
+                        ("requickens", True),
+                        ("despecialized", False),
+                    ),
+                    [
+                        (
+                            _esc(f"{program}:{block}"),
+                            f"{row['deopts']:,}",
+                            f"{row['guard_fails']:,}",
+                            f"{row['requickens']:,}",
+                            "yes" if row["despecialized"] else "",
+                        )
+                        for (program, block), row in worst
+                    ],
+                )
+            )
+        dropped = header.get("dropped", 0)
+        if dropped:
+            parts.append(
+                f'<p class="muted">journal ring dropped {dropped:,} of '
+                f'{header.get("total_events", 0):,} events.</p>'
+            )
+    return "".join(parts) if len(parts) > 1 else ""
 
 
 def _section_timeseries(samples: List[dict]) -> str:
@@ -618,8 +736,10 @@ def render_dashboard(
     trace_path: Optional[str] = None,
     timeseries_path: Optional[str] = None,
     bench_dir: Optional[str] = None,
+    jitlog_path: Optional[str] = None,
 ) -> str:
     """Render the full dashboard HTML from whichever artifacts exist."""
+    from repro.obs.jitlog import load_jitlog
     from repro.obs.metrics import load_snapshot
     from repro.obs.timeseries import load_series
     from repro.obs.trace import load_trace
@@ -627,12 +747,14 @@ def render_dashboard(
     snapshot = load_snapshot(metrics_path) if metrics_path else None
     spans = load_trace(trace_path) if trace_path else None
     samples = load_series(timeseries_path) if timeseries_path else None
+    jitlog = load_jitlog(jitlog_path) if jitlog_path else None
     payload = stats_payload(spans=spans, snapshot=snapshot)
 
     sections = [
         _section_experiments(payload),
         _section_caches(payload),
         _section_interpreter(payload),
+        _section_tier2(payload, jitlog),
         _section_sampling(payload),
         _section_timeseries(samples or []),
         _section_bench(bench_dir) if bench_dir else "",
@@ -642,7 +764,7 @@ def render_dashboard(
         body = "<p>(no artifacts to report — pass --metrics/--trace/--timeseries)</p>"
     inputs = ", ".join(
         _esc(os.path.basename(p))
-        for p in (metrics_path, trace_path, timeseries_path)
+        for p in (metrics_path, trace_path, timeseries_path, jitlog_path)
         if p
     )
     embedded = json.dumps(payload, sort_keys=True, default=str)

@@ -23,6 +23,14 @@ order.
 The ring is per process.  Parallel workers each run their own; a crash
 inside a worker dumps from that worker, named after the experiment
 that raised, so ``--jobs N`` failures stay attributable.
+
+The tier-2 engine (:mod:`repro.isa.tier2`) also tees its ``deopt`` and
+``despecialize`` lifecycle decisions into the ring as synthetic
+INSTRUCTION sites (opcode ``tier2.deopt`` / ``tier2.despecialize``,
+label = block leader pc, value = the block's failure/requicken count),
+so a crash dump shows the last specialization retreats next to the
+last profile events — inline and under ``--jobs`` alike, since each
+worker's engine feeds that worker's own ring.
 """
 
 from __future__ import annotations

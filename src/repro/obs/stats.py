@@ -215,6 +215,37 @@ def render_tier2(snapshot: dict) -> str:
     return "\n\n".join(sections)
 
 
+def jitlog_stats(snapshot: dict) -> dict:
+    """Tier-2 specialization-journal event totals from a snapshot.
+
+    Sourced from the ``machine.tier2.jitlog.<type>`` counters the
+    journal bumps on every emit — present only when a run recorded
+    with ``--jitlog`` (or the journal was enabled programmatically)
+    while metrics were on.  The full event stream with reasons lives
+    in the JSONL export; these are the rates that belong in a summary.
+    """
+    counters = snapshot.get("counters", {})
+    prefix = "machine.tier2.jitlog."
+    events = {
+        key[len(prefix):]: counters[key]
+        for key in sorted(counters)
+        if key.startswith(prefix)
+    }
+    return {"events": events, "total": sum(events.values())}
+
+
+def render_jitlog(snapshot: dict) -> str:
+    stats = jitlog_stats(snapshot)
+    if not stats["events"]:
+        return ""
+    table = Table(("journal event", "count"), title="Tier-2 specialization journal")
+    for name, count in stats["events"].items():
+        table.add_row(name, count)
+    table.add_separator()
+    table.add_row("TOTAL", stats["total"])
+    return table.render()
+
+
 def cache_stats(counters: Dict[str, int]) -> dict:
     memory_hits = counters.get("cache.memory_hits", 0)
     disk_hits = counters.get("cache.disk_hits", 0)
@@ -405,6 +436,11 @@ def render_stats(
     if snapshot is not None:
         sections.append(render_interpreter(snapshot))
         sections.append(render_tier2(snapshot))
+        jitlog_section = render_jitlog(snapshot)
+        if jitlog_section:
+            # Only when a journal recorded — captures without one keep
+            # their exact pre-jitlog rendering.
+            sections.append(jitlog_section)
         sections.append(render_cache(counters))
         sections.append(render_tracestore(snapshot))
         sections.append(render_fold(snapshot))
@@ -441,6 +477,9 @@ def stats_payload(
         counters = snapshot.get("counters", {})
         payload["interpreter"] = interpreter_stats(snapshot)
         payload["tier2"] = tier2_stats(snapshot)
+        jitlog = jitlog_stats(snapshot)
+        if jitlog["events"]:
+            payload["jitlog"] = jitlog
         payload["cache"] = cache_stats(counters)
         payload["tracestore"] = tracestore_stats(snapshot)
         payload["fold"] = fold_stats(snapshot)

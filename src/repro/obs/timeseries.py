@@ -25,6 +25,14 @@ series regardless of completion order.
 Exporters: :meth:`write_jsonl` (one sample per line, diff-friendly) and
 :meth:`write_prometheus` (Prometheus text exposition format, ticks as
 timestamps), selected by the output path's extension on the CLI.
+
+Because sampling covers every counter in the registry, new counter
+families appear in the grid with no wiring here — e.g. running with
+both ``--timeseries`` and ``--jitlog`` puts the
+``machine.tier2.jitlog.<type>`` specialization-event rates
+(:mod:`repro.obs.jitlog`) on the same event clock as everything else,
+which is how quicken/deopt bursts line up against throughput dips in
+the dashboard's time-series panel.
 """
 
 from __future__ import annotations

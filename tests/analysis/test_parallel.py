@@ -164,6 +164,27 @@ class TestObservabilityFanout:
         assert METRICS.snapshot()["counters"] == {}
         assert TRACER.drain() == []
 
+    def test_jitlog_merges_from_workers(self, isolated_cache, monkeypatch):
+        from repro.obs.jitlog import JITLOG
+
+        # Workers inherit the environment, so forcing tier-2 (and fresh
+        # simulation, so machines actually run) makes each worker
+        # journal its own specialization lifecycle; the parent merges
+        # in ids order even though metrics/tracing stay disabled.
+        monkeypatch.setenv("REPRO_ENGINE", "tier2")
+        monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+        JITLOG.enable()
+        try:
+            run_experiments(CHEAP_IDS, scale=SCALE, jobs=2, use_cache=False)
+            events = JITLOG.events()
+            assert events, "workers must ship their journals home"
+            assert any(e["type"] == "quicken" for e in events)
+            seqs = [e["seq"] for e in events]
+            assert seqs == sorted(seqs), "merge must resequence"
+        finally:
+            JITLOG.disable()
+            JITLOG.reset()
+
 
 class TestProfileFanout:
     def test_profile_jobs_match_direct_profiling(self, isolated_cache):

@@ -1,0 +1,180 @@
+"""Tests for the tier-2 specialization report (repro.obs.jitreport).
+
+The journal-analysis helpers are pure functions of an event list, so
+most of this file drives them with synthetic events.  The end-to-end
+leg runs ``collect`` on the compress workload once (module-scoped) and
+pins the acceptance property of the flight deck: at least one guarded
+operand the profile predicted stable is flagged ``thrash`` and
+attributed to the register whose observed values actually varied.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.jitlog import JITLOG
+from repro.obs.jitreport import (
+    PREDICT_STABLE,
+    SURVIVAL_OK,
+    VERDICTS,
+    collect,
+    deopt_taxonomy,
+    guard_failures,
+    lifecycle_timelines,
+    render_report,
+    report_payload,
+    thrashing_blocks,
+    _render_timeline,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def _clean_jitlog():
+    JITLOG.disable()
+    JITLOG.reset()
+    yield
+    JITLOG.disable()
+    JITLOG.reset()
+
+
+def _ev(type_, block, seq, **fields):
+    return {"seq": seq, "clock": seq, "type": type_, "program": "p",
+            "block": block, **fields}
+
+
+class TestTaxonomy:
+    def test_rejects_bucket_by_reason(self):
+        events = [
+            _ev("reject", 4, 0, reason="min_fused"),
+            _ev("reject", 9, 1, reason="benefit"),
+            _ev("reject", 12, 2, reason="benefit"),
+        ]
+        assert deopt_taxonomy(events) == {
+            "reject:benefit": 2, "reject:min_fused": 1,
+        }
+
+    def test_deopt_runs_classified_by_following_transition(self):
+        events = [
+            _ev("deopt", 4, 0), _ev("deopt", 4, 1),
+            _ev("requicken", 4, 2, bindings=[[3, 7]]),
+            _ev("deopt", 4, 3), _ev("deopt", 4, 4),
+            _ev("despecialize", 4, 5),
+            _ev("deopt", 9, 6),  # never resolved: absorbed
+        ]
+        assert deopt_taxonomy(events) == {
+            "deopt:absorbed": 1,
+            "deopt:despecialized": 2,
+            "deopt:requickened": 2,
+        }
+
+    def test_empty_journal(self):
+        assert deopt_taxonomy([]) == {}
+
+
+class TestGuardFailures:
+    def test_rows_aggregate_per_register_sorted_by_fails(self):
+        events = [
+            _ev("guard_fail", 4, 0, reg=3, expected=7, observed=8),
+            _ev("guard_fail", 4, 1, reg=3, expected=7, observed=9),
+            _ev("guard_fail", 9, 2, reg=3, expected=1, observed=2),
+            _ev("guard_fail", 4, 3, reg=5, expected=0, observed=1),
+        ]
+        rows = guard_failures(events)
+        assert [r["reg"] for r in rows] == [3, 5]
+        top = rows[0]
+        assert top["fails"] == 3
+        assert top["blocks"] == [4, 9]
+        assert top["expected"] == [1, 7]
+        assert top["observed"] == [2, 8, 9]
+
+
+class TestTimelines:
+    def test_grouped_by_block_in_journal_order(self):
+        events = [
+            _ev("hot", 4, 0), _ev("quicken", 4, 1, mode="guarded"),
+            _ev("hot", 9, 2), _ev("guard_fail", 4, 3, reg=1),
+            _ev("deopt", 4, 4),
+        ]
+        timelines = lifecycle_timelines(events)
+        assert set(timelines) == {4, 9}
+        # guard_fail is an attribute of the deopt, not a transition.
+        assert [e["type"] for e in timelines[4]] == ["hot", "quicken", "deopt"]
+
+    def test_render_collapses_repeats(self):
+        transitions = [
+            _ev("hot", 4, 0), _ev("quicken", 4, 1, mode="guarded"),
+            _ev("deopt", 4, 2), _ev("deopt", 4, 3), _ev("deopt", 4, 4),
+            _ev("requicken", 4, 5),
+        ]
+        assert _render_timeline(transitions) == (
+            "counting > hot > guarded > deopt x3 > requicken"
+        )
+
+
+class TestCompressEndToEnd:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return collect("compress")
+
+    def test_journal_saw_the_full_lifecycle(self, report):
+        counts = report.event_counts
+        assert counts.get("quicken", 0) >= 1
+        assert counts.get("guard_fail", 0) >= 1
+        assert counts.get("deopt", 0) >= 1
+        assert report.summaries and report.stats["quickened"] >= 1
+        # collect() left nothing enabled behind.
+        assert not JITLOG.enabled
+
+    def test_thrashing_block_attributed_to_variant_operand(self, report):
+        rows = report_payload(report)["predicted_vs_observed"]
+        thrash = thrashing_blocks(rows)
+        assert thrash, "compress must show at least one thrashing operand"
+        row = thrash[0]
+        # The profile predicted stability for this operand...
+        assert row["inv_top1"] >= PREDICT_STABLE
+        # ...but its guard kept failing at run time...
+        assert row["fails"] >= 1 and row["survival"] < SURVIVAL_OK
+        # ...and the journal attributes those failures to this exact
+        # (block, register) pair with both values named.
+        fails = [e for e in report.events
+                 if e["type"] == "guard_fail"
+                 and e["block"] == row["block"] and e["reg"] == row["reg"]]
+        assert len(fails) == row["fails"]
+        assert all(e["expected"] != e["observed"] for e in fails)
+
+    def test_verdicts_are_from_the_catalog(self, report):
+        rows = report_payload(report)["predicted_vs_observed"]
+        assert rows and {r["verdict"] for r in rows} <= set(VERDICTS)
+        order = [VERDICTS.index(r["verdict"]) for r in rows]
+        assert order == sorted(order), "report sorts worst verdicts first"
+
+    def test_render_is_deterministic_and_complete(self, report):
+        text = render_report(report)
+        assert text == render_report(report)
+        for section in ("tier-2 specialization journal",
+                        "Per-block lifecycle",
+                        "Deopt / reject taxonomy",
+                        "Top guard-failing registers",
+                        "Predicted vs observed invariance"):
+            assert section in text
+        assert "thrash" in text
+
+    def test_payload_is_json_serializable(self, report):
+        payload = report_payload(report)
+        round_tripped = json.loads(json.dumps(payload, sort_keys=True))
+        assert round_tripped["workload"] == "compress"
+        assert round_tripped["event_counts"] == report.event_counts
+
+    def test_borrowed_journal_keeps_events_for_the_caller(self):
+        JITLOG.enable()
+        JITLOG.emit("hot", 0, "earlier", 0, count=1)
+        report = collect("compress")
+        # collect() must not steal the ring: the earlier event and this
+        # run's events are both still visible to the --jitlog exporter.
+        assert JITLOG.enabled
+        assert JITLOG.events()[0]["program"] == "earlier"
+        assert JITLOG.total_events > 1
+        # ...while the report only saw its own run.
+        assert all(e["program"] != "earlier" for e in report.events)

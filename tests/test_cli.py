@@ -267,6 +267,43 @@ class TestTelemetryCommands:
         assert not TIMESERIES.enabled
         assert not FLIGHT.enabled
 
+    def test_run_writes_jitlog_capture(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.jitlog import JITLOG, load_jitlog
+
+        monkeypatch.setenv("REPRO_ENGINE", "tier2")
+        journal_file = tmp_path / "jitlog.jsonl"
+        map_file = tmp_path / "jit.map"
+        code = main(
+            ["run", "table-isa-specialization", "--scale", "0.1",
+             "--no-cache", "--no-replay",
+             "--jitlog", str(journal_file), "--jitlog-map", str(map_file)]
+        )
+        assert code == 0
+        assert not JITLOG.enabled, "the journal must not leak past main()"
+        header, events = load_jitlog(str(journal_file))
+        assert header["jitlog"] is True and header["total_events"] > 0
+        assert events and {"seq", "clock", "type", "program", "block"} <= set(events[0])
+        assert any(e["type"] == "quicken" for e in events)
+        for line in map_file.read_text().splitlines():
+            start, size, symbol = line.split()
+            int(start, 16), int(size, 16)
+            assert symbol.startswith("t2_")
+
+    def test_tier2_report_command(self, tmp_path, capsys):
+        json_file = tmp_path / "deck.json"
+        assert main(["tier2-report", "compress", "--json", str(json_file)]) == 0
+        text = capsys.readouterr().out
+        assert "tier-2 specialization journal" in text
+        assert "Predicted vs observed invariance" in text
+        payload = json.loads(json_file.read_text())
+        assert payload["workload"] == "compress"
+        assert payload["event_counts"].get("quicken", 0) >= 1
+        assert payload["thrashing"], "compress shows a thrashing operand"
+
+    def test_tier2_report_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["tier2-report", "no-such-workload"]) != 0
+        assert "no-such-workload" in capsys.readouterr().err
+
     def test_stats_json_export(self, tmp_path, capsys):
         metrics_file = tmp_path / "metrics.json"
         main(["run", "table-load-values", "--scale", "0.1", "--no-cache",
